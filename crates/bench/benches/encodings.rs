@@ -1,0 +1,134 @@
+//! Criterion micro-benchmarks mirroring the paper's experiments at a scale
+//! that completes in minutes:
+//!
+//! * `encode_gen` — CNF generation cost per encoding (part of Table 2's
+//!   "translation to CNF" column, ablation A1),
+//! * `unsat_proof` — UNSAT proving time per strategy on an unroutable tiny
+//!   benchmark (the Table 2 quantity),
+//! * `sat_solve` — solution finding on a routable configuration (the §6
+//!   routable-configurations result),
+//! * `solver_baseline` — CDCL vs DPLL on the same instance (solver
+//!   substrate ablation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use satroute_core::{encode_coloring, EncodingId, Strategy, SymmetryHeuristic};
+use satroute_fpga::benchmarks;
+use satroute_solver::{CdclSolver, DpllSolver, SolveOutcome};
+
+fn bench_encode_gen(c: &mut Criterion) {
+    let instance = &benchmarks::suite_tiny()[2];
+    let graph = &instance.conflict_graph;
+    let width = instance.routable_width;
+
+    let mut group = c.benchmark_group("encode_gen");
+    for id in [
+        EncodingId::Log,
+        EncodingId::Direct,
+        EncodingId::Muldirect,
+        EncodingId::IteLinear,
+        EncodingId::IteLog,
+        EncodingId::IteLinear2Muldirect,
+        EncodingId::Muldirect3Muldirect,
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(id.name()), &id, |b, id| {
+            b.iter(|| {
+                encode_coloring(graph, width, &id.encoding(), SymmetryHeuristic::S1)
+                    .formula
+                    .num_clauses()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_unsat_proof(c: &mut Criterion) {
+    let instance = &benchmarks::suite_tiny()[2];
+    let graph = &instance.conflict_graph;
+    let width = instance.unroutable_width;
+
+    let mut group = c.benchmark_group("unsat_proof");
+    group.sample_size(10);
+    for (label, strategy) in [
+        ("muldirect/-", Strategy::paper_baseline()),
+        (
+            "muldirect/s1",
+            Strategy::new(EncodingId::Muldirect, SymmetryHeuristic::S1),
+        ),
+        (
+            "ITE-log/s1",
+            Strategy::new(EncodingId::IteLog, SymmetryHeuristic::S1),
+        ),
+        ("ITE-linear-2+muldirect/s1", Strategy::paper_best()),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &strategy,
+            |b, strategy| {
+                b.iter(|| {
+                    let report = strategy.solve_coloring(graph, width);
+                    assert!(!report.outcome.is_colorable());
+                    report.solver_stats.conflicts
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_sat_solve(c: &mut Criterion) {
+    let instance = &benchmarks::suite_tiny()[2];
+    let graph = &instance.conflict_graph;
+    let width = instance.routable_width;
+
+    let mut group = c.benchmark_group("sat_solve");
+    for id in [
+        EncodingId::Log,
+        EncodingId::Muldirect,
+        EncodingId::IteLinear,
+        EncodingId::IteLinear2Muldirect,
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(id.name()), &id, |b, id| {
+            b.iter(|| {
+                let report = Strategy::new(*id, SymmetryHeuristic::S1).solve_coloring(graph, width);
+                assert!(report.outcome.is_colorable());
+                report.solver_stats.decisions
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_solver_baseline(c: &mut Criterion) {
+    // CDCL vs chronological DPLL on the same small encoded instance.
+    let instance = &benchmarks::suite_tiny()[0];
+    let enc = encode_coloring(
+        &instance.conflict_graph,
+        instance.unroutable_width.max(2),
+        &EncodingId::Muldirect.encoding(),
+        SymmetryHeuristic::S1,
+    );
+
+    let mut group = c.benchmark_group("solver_baseline");
+    group.sample_size(10);
+    group.bench_function("cdcl", |b| {
+        b.iter(|| {
+            let mut s = CdclSolver::new();
+            s.add_formula(&enc.formula);
+            matches!(s.solve(), SolveOutcome::Sat(_))
+        })
+    });
+    group.bench_function("dpll", |b| {
+        b.iter(|| matches!(DpllSolver::new().solve(&enc.formula), SolveOutcome::Sat(_)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_encode_gen,
+    bench_unsat_proof,
+    bench_sat_solve,
+    bench_solver_baseline
+);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Calibration helper: prints, per paper-suite benchmark, the conflict
+//! graph size, the width window, and quick solve times for the baseline and
+//! the best strategy at the unroutable width. Used to tune the synthetic
+//! benchmark specs so the suite spans the paper's easy→hard range (not one
+//! of the paper's artifacts itself).
+
+use std::time::Instant;
+
+use satroute_bench::fmt_secs;
+use satroute_core::Strategy;
+use satroute_fpga::benchmarks;
+
+fn main() {
+    println!(
+        "{:>10} {:>6} {:>7} {:>7} {:>6} {:>6}  {:>10} {:>12}",
+        "bench", "verts", "edges", "maxdeg", "W_sat", "W_uns", "base[s]", "best[s]"
+    );
+    for spec in benchmarks::paper_specs() {
+        let build_start = Instant::now();
+        let inst = spec.build();
+        let build = build_start.elapsed();
+        let g = &inst.conflict_graph;
+
+        let base = Strategy::paper_baseline();
+        let best = Strategy::paper_best();
+
+        let t0 = Instant::now();
+        let r0 = base.solve_coloring(g, inst.unroutable_width);
+        let base_t = t0.elapsed();
+        let t1 = Instant::now();
+        let r1 = best.solve_coloring(g, inst.unroutable_width);
+        let best_t = t1.elapsed();
+
+        assert!(
+            !r0.outcome.is_colorable() && !r1.outcome.is_colorable(),
+            "unroutable width must be UNSAT"
+        );
+
+        println!(
+            "{:>10} {:>6} {:>7} {:>7} {:>6} {:>6}  {:>10} {:>12}  (build {})",
+            inst.name,
+            g.num_vertices(),
+            g.num_edges(),
+            g.max_degree(),
+            inst.routable_width,
+            inst.unroutable_width,
+            fmt_secs(base_t),
+            fmt_secs(best_t),
+            fmt_secs(build),
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! Calibration helper: prints clique / DSATUR numbers for candidate
+//! benchmark configurations without any SAT solving, so the paper suite's
+//! difficulty ladder (clique sizes ≈ 8 … 12) can be pinned quickly.
+//! Not a paper artifact.
+
+use satroute_coloring::dsatur_coloring;
+use satroute_fpga::{Architecture, GlobalRouter, Netlist, RoutingProblem};
+
+fn main() {
+    println!(
+        "{:>5} {:>5} {:>10} {:>6} {:>7} {:>7} {:>6}",
+        "grid", "nets", "seed", "verts", "edges", "clique", "dsat"
+    );
+    for &(w, h) in &[(5u16, 5u16), (6, 6), (7, 7)] {
+        for &nets in &[24usize, 30, 36, 42, 48, 56] {
+            for seed in 0..4u64 {
+                let arch = Architecture::new(w, h).unwrap();
+                let Ok(netlist) = Netlist::random(&arch, nets, 2..=4, 0x5EED_0000 + seed) else {
+                    continue;
+                };
+                let routing = GlobalRouter::new()
+                    .with_ripup_passes(0)
+                    .with_congestion_weight(0)
+                    .route(&arch, &netlist)
+                    .unwrap();
+                let problem = RoutingProblem::new(arch, netlist, routing);
+                let g = problem.conflict_graph();
+                let clique = g.greedy_clique().len();
+                let dsat = dsatur_coloring(&g).max_color().map_or(1, |m| m + 1);
+                println!(
+                    "{:>2}x{:<2} {:>5} {:>10} {:>6} {:>7} {:>7} {:>6}",
+                    w,
+                    h,
+                    nets,
+                    0x5EED_0000u64 + seed,
+                    g.num_vertices(),
+                    g.num_edges(),
+                    clique,
+                    dsat
+                );
+            }
+        }
+    }
+}

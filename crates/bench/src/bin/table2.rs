@@ -1,0 +1,99 @@
+//! Regenerates **Table 2** of the paper: total CPU time (graph-coloring
+//! generation + CNF translation + SAT solving) on the challenging
+//! *unroutable* FPGA configurations, for the best-performing encodings ×
+//! symmetry heuristics, with the total row and the speedup row relative to
+//! muldirect without symmetry breaking.
+//!
+//! Layout matches the paper's columns: muldirect gets {-, b1, s1}, the six
+//! best new encodings get {b1, s1}.
+//!
+//! Run with: `cargo run --release -p satroute-bench --bin table2 [--tiny]`
+//! (`--tiny` runs the miniature suite for a fast smoke check.)
+
+use std::time::Duration;
+
+use satroute_bench::{fmt_secs, fmt_speedup, run_cell};
+use satroute_core::{ColoringOutcome, EncodingId, Strategy, SymmetryHeuristic};
+use satroute_fpga::benchmarks;
+
+fn main() {
+    let tiny = std::env::args().any(|a| a == "--tiny");
+    let suite = if tiny {
+        benchmarks::suite_tiny()
+    } else {
+        benchmarks::suite_paper()
+    };
+
+    use EncodingId::*;
+    use SymmetryHeuristic::{None as NoSym, B1, S1};
+    let columns: Vec<Strategy> = vec![
+        Strategy::new(Muldirect, NoSym),
+        Strategy::new(Muldirect, B1),
+        Strategy::new(Muldirect, S1),
+        Strategy::new(IteLinear, B1),
+        Strategy::new(IteLinear, S1),
+        Strategy::new(IteLog, B1),
+        Strategy::new(IteLog, S1),
+        Strategy::new(IteLinear2Direct, B1),
+        Strategy::new(IteLinear2Direct, S1),
+        Strategy::new(IteLinear2Muldirect, B1),
+        Strategy::new(IteLinear2Muldirect, S1),
+        Strategy::new(Muldirect3Muldirect, B1),
+        Strategy::new(Muldirect3Muldirect, S1),
+        Strategy::new(Direct3Muldirect, B1),
+        Strategy::new(Direct3Muldirect, S1),
+    ];
+
+    println!("Table 2: total CPU time [s] on unroutable configurations (W = W_min - 1)");
+    println!(
+        "suite: {}\n",
+        if tiny { "tiny (smoke)" } else { "paper-scale" }
+    );
+
+    let header: Vec<String> = std::iter::once("benchmark".to_string())
+        .chain(columns.iter().map(|s| s.to_string()))
+        .collect();
+    let widths: Vec<usize> = header.iter().map(|h| h.len().max(9)).collect();
+    println!("{}", satroute_bench::row(&header, &widths));
+
+    let mut totals: Vec<Duration> = vec![Duration::ZERO; columns.len()];
+    for instance in &suite {
+        let width = instance.unroutable_width;
+        if width == 0 {
+            continue;
+        }
+        let mut cells: Vec<String> = vec![instance.name.clone()];
+        for (c, strategy) in columns.iter().enumerate() {
+            let cell = run_cell(instance, *strategy, width);
+            assert!(
+                matches!(cell.outcome, ColoringOutcome::Unsat),
+                "{}: {strategy} must prove UNSAT",
+                instance.name
+            );
+            totals[c] += cell.total;
+            cells.push(fmt_secs(cell.total));
+        }
+        println!("{}", satroute_bench::row(&cells, &widths));
+    }
+
+    let mut total_row: Vec<String> = vec!["Total".to_string()];
+    total_row.extend(totals.iter().map(|t| fmt_secs(*t)));
+    println!("{}", satroute_bench::row(&total_row, &widths));
+
+    let baseline = totals[0];
+    let mut speedup_row: Vec<String> = vec!["Speedup".to_string()];
+    speedup_row.extend(totals.iter().map(|t| fmt_speedup(baseline, *t)));
+    println!("{}", satroute_bench::row(&speedup_row, &widths));
+
+    let best = totals
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, t)| **t)
+        .expect("non-empty");
+    println!(
+        "\nbest overall strategy: {} ({} total, {} vs muldirect/-)",
+        columns[best.0],
+        fmt_secs(*best.1),
+        fmt_speedup(baseline, *best.1)
+    );
+}

@@ -1,0 +1,109 @@
+//! Ablation: how much does the *shape* of the ITE tree matter?
+//!
+//! The paper (§3) observes that many structurally different ITE trees have
+//! the same number of leaves, that each shape yields a different encoding,
+//! and picks two extremes (linear chain, balanced) for the headline
+//! comparison. This ablation measures several random shapes between the
+//! extremes on one unroutable benchmark.
+//!
+//! Run with: `cargo run --release -p satroute-bench --bin tree_shapes [bench]`
+
+use std::time::Instant;
+
+use satroute_cnf::{CnfFormula, Lit};
+use satroute_core::{IteTree, SchemeCnf, SymmetryHeuristic};
+use satroute_fpga::benchmarks;
+use satroute_solver::{CdclSolver, SolveOutcome};
+
+/// Encodes the coloring instance with an arbitrary per-vertex scheme
+/// (duplicated across vertices) plus s1 symmetry clauses — a miniature of
+/// `encode_coloring` for schemes outside the catalog.
+fn encode_with_scheme(
+    graph: &satroute_coloring::CspGraph,
+    scheme: &SchemeCnf,
+    k: u32,
+) -> CnfFormula {
+    let n = graph.num_vertices() as u32;
+    let mut f = CnfFormula::with_vars(scheme.num_vars * n);
+    let shift = |lits: &[Lit], off: u32| -> Vec<Lit> {
+        lits.iter()
+            .map(|&l| Lit::from_code(l.code() + 2 * off))
+            .collect()
+    };
+    let offsets: Vec<u32> = (0..n).map(|v| v * scheme.num_vars).collect();
+    for &off in &offsets {
+        for c in &scheme.structural {
+            f.add_clause(shift(c, off));
+        }
+    }
+    let negations: Vec<Vec<Lit>> = scheme
+        .patterns
+        .iter()
+        .map(|p| p.negation_clause())
+        .collect();
+    for (u, v) in graph.edges() {
+        for neg in &negations {
+            let mut clause = shift(neg, offsets[u as usize]);
+            clause.extend(shift(neg, offsets[v as usize]));
+            f.add_clause(clause);
+        }
+    }
+    for (p, &v) in SymmetryHeuristic::S1
+        .restricted_sequence(graph, k)
+        .iter()
+        .enumerate()
+    {
+        for d in (p as u32 + 1)..k {
+            f.add_clause(shift(&negations[d as usize], offsets[v as usize]));
+        }
+    }
+    f
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "k2".into());
+    let instance = benchmarks::suite_tiny()
+        .into_iter()
+        .chain(benchmarks::suite_paper())
+        .find(|b| b.name == which)
+        .expect("known benchmark name");
+    let g = &instance.conflict_graph;
+    let k = instance.unroutable_width;
+    println!(
+        "ITE tree shapes on `{}` at W = {k} (UNSAT), s1 symmetry:\n",
+        instance.name
+    );
+    println!(
+        "{:<22} {:>6} {:>10} {:>10} {:>12}",
+        "shape", "depth", "time[s]", "conflicts", "clauses"
+    );
+
+    let mut shapes: Vec<(String, IteTree)> = vec![
+        ("linear (Fig. 1a)".into(), IteTree::linear(k)),
+        ("balanced (Fig. 1b)".into(), IteTree::balanced(k)),
+    ];
+    for seed in 0..5u64 {
+        shapes.push((format!("random #{seed}"), IteTree::random_shape(k, seed)));
+    }
+
+    for (name, tree) in shapes {
+        let scheme = tree.to_scheme();
+        let formula = encode_with_scheme(g, &scheme, k);
+        let t = Instant::now();
+        let mut solver = CdclSolver::new();
+        solver.add_formula(&formula);
+        let outcome = solver.solve();
+        assert!(
+            matches!(outcome, SolveOutcome::Unsat),
+            "{name}: must be UNSAT"
+        );
+        println!(
+            "{:<22} {:>6} {:>10.3} {:>10} {:>12}",
+            name,
+            tree.depth(),
+            t.elapsed().as_secs_f64(),
+            solver.stats().conflicts,
+            formula.num_clauses()
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! Shared harness code for the table/figure-regeneration binaries.
+//!
+//! Each binary in `src/bin/` regenerates one artifact of the reproduced
+//! paper (see `DESIGN.md`, experiment index):
+//!
+//! | binary            | paper artifact |
+//! |-------------------|----------------|
+//! | `table1`          | Table 1 — clause sets of log/direct/muldirect |
+//! | `figure1`         | Figure 1 — the four ITE trees for a 13-value domain |
+//! | `table2`          | Table 2 — encodings × symmetry on unroutable configs |
+//! | `routable`        | §6 prose — all encodings on routable configs |
+//! | `portfolio_table` | §6 prose — 2- and 3-strategy parallel portfolios |
+//! | `sizes`           | ablation A1 — formula sizes per encoding |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Duration;
+
+use satroute_core::{ColoringOutcome, ColoringReport, Strategy};
+use satroute_fpga::benchmarks::BenchmarkInstance;
+
+/// One measured cell of a results table.
+#[derive(Clone, Debug)]
+pub struct Cell {
+    /// The strategy that was run.
+    pub strategy: Strategy,
+    /// The benchmark name.
+    pub benchmark: String,
+    /// Total time (graph generation + CNF translation + SAT solving).
+    pub total: Duration,
+    /// The outcome.
+    pub outcome: ColoringOutcome,
+    /// Full report.
+    pub report: ColoringReport,
+}
+
+/// Runs `strategy` on `instance` at the given channel width and returns
+/// the Table 2-style cell.
+pub fn run_cell(instance: &BenchmarkInstance, strategy: Strategy, width: u32) -> Cell {
+    let mut report = strategy.solve_coloring(&instance.conflict_graph, width);
+    // Account the (cached) conflict-graph generation as zero: the suites
+    // pre-extract it; `RoutingPipeline` measures it when run end to end.
+    report.timing.graph_generation = Duration::ZERO;
+    Cell {
+        strategy,
+        benchmark: instance.name.clone(),
+        total: report.timing.total(),
+        outcome: report.outcome.clone(),
+        report,
+    }
+}
+
+/// Formats a duration like the paper's tables: seconds with two decimals.
+pub fn fmt_secs(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64())
+}
+
+/// Formats a speedup row entry (e.g. `1139x`).
+pub fn fmt_speedup(baseline: Duration, other: Duration) -> String {
+    if other.is_zero() {
+        return "inf".to_string();
+    }
+    format!("{:.2}x", baseline.as_secs_f64() / other.as_secs_f64())
+}
+
+/// Renders a fixed-width table row.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_helpers() {
+        assert_eq!(fmt_secs(Duration::from_millis(1500)), "1.50");
+        assert_eq!(
+            fmt_speedup(Duration::from_secs(10), Duration::from_secs(2)),
+            "5.00x"
+        );
+        assert_eq!(fmt_speedup(Duration::from_secs(1), Duration::ZERO), "inf");
+        assert_eq!(row(&["a".into(), "bb".into()], &[3, 4]), "  a    bb");
+    }
+}

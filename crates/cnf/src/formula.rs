@@ -1,0 +1,288 @@
+//! CNF formulas with a built-in variable allocator.
+
+use std::fmt;
+
+use crate::{Assignment, Clause, Lit, Var};
+
+/// A formula in conjunctive normal form.
+///
+/// The formula owns its clauses and tracks how many variables have been
+/// allocated. Fresh variables are handed out by [`CnfFormula::new_var`],
+/// which is how the encoding framework allocates the indexing Boolean
+/// variables of each CSP variable.
+///
+/// # Examples
+///
+/// ```
+/// use satroute_cnf::{CnfFormula, Lit};
+///
+/// let mut f = CnfFormula::new();
+/// let a = f.new_var();
+/// let b = f.new_var();
+/// f.add_clause([Lit::positive(a), Lit::positive(b)]);
+/// assert_eq!(f.num_vars(), 2);
+/// assert_eq!(f.num_clauses(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct CnfFormula {
+    num_vars: u32,
+    clauses: Vec<Clause>,
+}
+
+/// Summary statistics for a [`CnfFormula`], used by the formula-size
+/// ablation (experiment A1 in `DESIGN.md`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct FormulaStats {
+    /// Number of allocated variables.
+    pub num_vars: u32,
+    /// Number of clauses.
+    pub num_clauses: usize,
+    /// Total number of literal occurrences.
+    pub num_literals: usize,
+    /// Number of unit (single-literal) clauses.
+    pub num_unit: usize,
+    /// Number of binary (two-literal) clauses.
+    pub num_binary: usize,
+    /// Length of the longest clause.
+    pub max_clause_len: usize,
+}
+
+impl CnfFormula {
+    /// Creates an empty formula with no variables.
+    pub fn new() -> Self {
+        CnfFormula::default()
+    }
+
+    /// Creates an empty formula with `num_vars` pre-allocated variables.
+    pub fn with_vars(num_vars: u32) -> Self {
+        CnfFormula {
+            num_vars,
+            clauses: Vec::new(),
+        }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var::new(self.num_vars);
+        self.num_vars += 1;
+        v
+    }
+
+    /// Allocates `n` fresh variables, returning them in order.
+    pub fn new_vars(&mut self, n: u32) -> Vec<Var> {
+        (0..n).map(|_| self.new_var()).collect()
+    }
+
+    /// Number of allocated variables.
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// Ensures the variable count is at least `num_vars`.
+    pub fn ensure_vars(&mut self, num_vars: u32) {
+        self.num_vars = self.num_vars.max(num_vars);
+    }
+
+    /// Number of clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// The clauses of the formula.
+    pub fn clauses(&self) -> &[Clause] {
+        &self.clauses
+    }
+
+    /// Adds a clause built from the given literals.
+    ///
+    /// Variables referenced by the clause are registered automatically, so a
+    /// formula parsed from literals never under-reports `num_vars`.
+    pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, lits: I) {
+        self.push_clause(Clause::from_lits(lits));
+    }
+
+    /// Adds an already-built clause.
+    pub fn push_clause(&mut self, clause: Clause) {
+        for lit in &clause {
+            self.num_vars = self.num_vars.max(lit.var().index() + 1);
+        }
+        self.clauses.push(clause);
+    }
+
+    /// Evaluates the formula under an assignment.
+    ///
+    /// Returns `Some(true)` if every clause is satisfied, `Some(false)` if
+    /// some clause is falsified, `None` if undetermined.
+    pub fn evaluate(&self, assignment: &Assignment) -> Option<bool> {
+        let mut undetermined = false;
+        for clause in &self.clauses {
+            match clause.evaluate(assignment) {
+                Some(true) => {}
+                Some(false) => return Some(false),
+                None => undetermined = true,
+            }
+        }
+        if undetermined {
+            None
+        } else {
+            Some(true)
+        }
+    }
+
+    /// Returns `true` if `assignment` is a model of this formula (all clauses
+    /// satisfied; unassigned variables are allowed as long as every clause
+    /// already has a satisfied literal).
+    pub fn is_satisfied_by(&self, assignment: &Assignment) -> bool {
+        self.clauses
+            .iter()
+            .all(|c| c.evaluate(assignment) == Some(true))
+    }
+
+    /// Computes summary statistics.
+    pub fn stats(&self) -> FormulaStats {
+        let mut s = FormulaStats {
+            num_vars: self.num_vars,
+            num_clauses: self.clauses.len(),
+            ..FormulaStats::default()
+        };
+        for c in &self.clauses {
+            s.num_literals += c.len();
+            match c.len() {
+                1 => s.num_unit += 1,
+                2 => s.num_binary += 1,
+                _ => {}
+            }
+            s.max_clause_len = s.max_clause_len.max(c.len());
+        }
+        s
+    }
+
+    /// Iterates over the clauses.
+    pub fn iter(&self) -> std::slice::Iter<'_, Clause> {
+        self.clauses.iter()
+    }
+}
+
+impl FromIterator<Clause> for CnfFormula {
+    fn from_iter<I: IntoIterator<Item = Clause>>(iter: I) -> Self {
+        let mut f = CnfFormula::new();
+        for c in iter {
+            f.push_clause(c);
+        }
+        f
+    }
+}
+
+impl Extend<Clause> for CnfFormula {
+    fn extend<I: IntoIterator<Item = Clause>>(&mut self, iter: I) {
+        for c in iter {
+            self.push_clause(c);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a CnfFormula {
+    type Item = &'a Clause;
+    type IntoIter = std::slice::Iter<'a, Clause>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.clauses.iter()
+    }
+}
+
+impl fmt::Debug for CnfFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CnfFormula({} vars, {} clauses)",
+            self.num_vars,
+            self.clauses.len()
+        )
+    }
+}
+
+impl fmt::Display for CnfFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, clause) in self.clauses.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "({clause})")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(d: i64) -> Lit {
+        Lit::from_dimacs(d)
+    }
+
+    #[test]
+    fn var_allocation_is_sequential() {
+        let mut f = CnfFormula::new();
+        assert_eq!(f.new_var().index(), 0);
+        assert_eq!(f.new_var().index(), 1);
+        let vs = f.new_vars(3);
+        assert_eq!(vs.iter().map(|v| v.index()).collect::<Vec<_>>(), [2, 3, 4]);
+        assert_eq!(f.num_vars(), 5);
+    }
+
+    #[test]
+    fn add_clause_registers_variables() {
+        let mut f = CnfFormula::new();
+        f.add_clause([lit(5), lit(-2)]);
+        assert_eq!(f.num_vars(), 5);
+    }
+
+    #[test]
+    fn evaluate_total_and_partial() {
+        let mut f = CnfFormula::new();
+        f.add_clause([lit(1), lit(2)]);
+        f.add_clause([lit(-1)]);
+        let mut a = Assignment::new(2);
+        assert_eq!(f.evaluate(&a), None);
+        a.assign(Var::new(0), false);
+        a.assign(Var::new(1), true);
+        assert_eq!(f.evaluate(&a), Some(true));
+        assert!(f.is_satisfied_by(&a));
+        a.assign(Var::new(0), true);
+        assert_eq!(f.evaluate(&a), Some(false));
+    }
+
+    #[test]
+    fn stats_counts_shapes() {
+        let mut f = CnfFormula::new();
+        f.add_clause([lit(1)]);
+        f.add_clause([lit(1), lit(2)]);
+        f.add_clause([lit(1), lit(2), lit(3)]);
+        let s = f.stats();
+        assert_eq!(s.num_vars, 3);
+        assert_eq!(s.num_clauses, 3);
+        assert_eq!(s.num_literals, 6);
+        assert_eq!(s.num_unit, 1);
+        assert_eq!(s.num_binary, 1);
+        assert_eq!(s.max_clause_len, 3);
+    }
+
+    #[test]
+    fn empty_formula_is_trivially_true() {
+        let f = CnfFormula::new();
+        assert_eq!(f.evaluate(&Assignment::new(0)), Some(true));
+    }
+
+    #[test]
+    fn collect_from_clauses() {
+        let f: CnfFormula = vec![
+            Clause::from_lits([lit(1), lit(2)]),
+            Clause::from_lits([lit(-3)]),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(f.num_clauses(), 2);
+        assert_eq!(f.num_vars(), 3);
+    }
+}

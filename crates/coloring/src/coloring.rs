@@ -1,0 +1,135 @@
+//! Color assignments.
+
+use std::fmt;
+
+use crate::CspGraph;
+
+/// An assignment of one color to every vertex of a [`CspGraph`].
+///
+/// Colors are `u32` values; in the FPGA routing flow a color is a track
+/// index `0..W`.
+///
+/// # Examples
+///
+/// ```
+/// use satroute_coloring::{Coloring, CspGraph};
+///
+/// let g = CspGraph::from_edges(3, [(0, 1), (1, 2)]);
+/// let c = Coloring::from_colors(vec![0, 1, 0]);
+/// assert!(c.is_proper(&g));
+/// assert_eq!(c.num_colors(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Coloring {
+    colors: Vec<u32>,
+}
+
+impl Coloring {
+    /// Creates a coloring from a color vector (index = vertex).
+    pub fn from_colors(colors: Vec<u32>) -> Self {
+        Coloring { colors }
+    }
+
+    /// Number of vertices covered.
+    pub fn len(&self) -> usize {
+        self.colors.len()
+    }
+
+    /// Returns `true` if no vertex is covered.
+    pub fn is_empty(&self) -> bool {
+        self.colors.is_empty()
+    }
+
+    /// Color of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn color(&self, v: u32) -> u32 {
+        self.colors[v as usize]
+    }
+
+    /// The underlying color vector.
+    pub fn colors(&self) -> &[u32] {
+        &self.colors
+    }
+
+    /// Number of *distinct* colors used.
+    pub fn num_colors(&self) -> usize {
+        let mut used: Vec<u32> = self.colors.clone();
+        used.sort_unstable();
+        used.dedup();
+        used.len()
+    }
+
+    /// Largest color value used, or `None` for an empty coloring.
+    pub fn max_color(&self) -> Option<u32> {
+        self.colors.iter().copied().max()
+    }
+
+    /// Returns `true` if the coloring is proper for `graph`: it covers every
+    /// vertex and no edge has equal endpoint colors.
+    pub fn is_proper(&self, graph: &CspGraph) -> bool {
+        self.colors.len() == graph.num_vertices()
+            && graph.edges().all(|(u, v)| self.color(u) != self.color(v))
+    }
+
+    /// Returns the first violated edge, if any (useful for diagnostics).
+    pub fn first_violation(&self, graph: &CspGraph) -> Option<(u32, u32)> {
+        graph
+            .edges()
+            .find(|&(u, v)| self.colors.get(u as usize) == self.colors.get(v as usize))
+    }
+
+    /// Consumes the coloring, returning the color vector.
+    pub fn into_colors(self) -> Vec<u32> {
+        self.colors
+    }
+}
+
+impl From<Vec<u32>> for Coloring {
+    fn from(colors: Vec<u32>) -> Self {
+        Coloring::from_colors(colors)
+    }
+}
+
+impl fmt::Display for Coloring {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, c) in self.colors.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{i}:{c}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proper_and_improper() {
+        let g = CspGraph::from_edges(3, [(0, 1), (1, 2), (0, 2)]);
+        assert!(Coloring::from_colors(vec![0, 1, 2]).is_proper(&g));
+        let bad = Coloring::from_colors(vec![0, 1, 0]);
+        assert!(!bad.is_proper(&g));
+        assert_eq!(bad.first_violation(&g), Some((0, 2)));
+    }
+
+    #[test]
+    fn wrong_length_is_improper() {
+        let g = CspGraph::new(3);
+        assert!(!Coloring::from_colors(vec![0, 1]).is_proper(&g));
+    }
+
+    #[test]
+    fn color_counting() {
+        let c = Coloring::from_colors(vec![5, 0, 5, 2]);
+        assert_eq!(c.num_colors(), 3);
+        assert_eq!(c.max_color(), Some(5));
+        assert_eq!(Coloring::default().max_color(), None);
+    }
+}

@@ -1,0 +1,151 @@
+//! Exhaustive coloring oracles for tests.
+//!
+//! These are deliberately simple backtracking procedures. They establish
+//! ground truth for small graphs so that every SAT encoding in
+//! `satroute-core` can be checked against an independent implementation.
+
+use crate::{Coloring, CspGraph};
+
+/// Decides k-colorability by plain backtracking.
+///
+/// Returns a proper coloring with at most `k` colors, or `None` if the graph
+/// is not k-colorable. Exponential — intended for graphs with at most a few
+/// dozen vertices (tests and property tests only).
+///
+/// # Examples
+///
+/// ```
+/// use satroute_coloring::{exact, CspGraph};
+///
+/// let triangle = CspGraph::from_edges(3, [(0, 1), (1, 2), (0, 2)]);
+/// assert!(exact::k_color(&triangle, 2).is_none());
+/// assert!(exact::k_color(&triangle, 3).is_some());
+/// ```
+pub fn k_color(graph: &CspGraph, k: u32) -> Option<Coloring> {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return Some(Coloring::from_colors(Vec::new()));
+    }
+    if k == 0 {
+        return None;
+    }
+    // Order vertices by descending degree: fail-first speeds up backtracking.
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_by_key(|&v| (std::cmp::Reverse(graph.degree(v)), v));
+
+    let mut colors: Vec<Option<u32>> = vec![None; n];
+    if backtrack(graph, &order, 0, k, &mut colors) {
+        Some(Coloring::from_colors(
+            colors.into_iter().map(|c| c.expect("complete")).collect(),
+        ))
+    } else {
+        None
+    }
+}
+
+fn backtrack(
+    graph: &CspGraph,
+    order: &[u32],
+    idx: usize,
+    k: u32,
+    colors: &mut Vec<Option<u32>>,
+) -> bool {
+    if idx == order.len() {
+        return true;
+    }
+    let v = order[idx];
+    // Symmetry pruning: the first `idx` vertices can only have introduced
+    // colors 0..idx, so trying colors beyond idx is redundant.
+    let limit = k.min(idx as u32 + 1);
+    for c in 0..limit {
+        if graph.neighbors(v).all(|w| colors[w as usize] != Some(c)) {
+            colors[v as usize] = Some(c);
+            if backtrack(graph, order, idx + 1, k, colors) {
+                return true;
+            }
+            colors[v as usize] = None;
+        }
+    }
+    false
+}
+
+/// Computes the chromatic number by trying k = lower bound upward.
+///
+/// Exponential — tests only.
+pub fn chromatic_number(graph: &CspGraph) -> u32 {
+    if graph.num_vertices() == 0 {
+        return 0;
+    }
+    let lower = graph.greedy_clique().len() as u32;
+    for k in lower.max(1).. {
+        if k_color(graph, k).is_some() {
+            return k;
+        }
+    }
+    unreachable!("every graph is n-colorable")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph_has_chromatic_number_zero() {
+        assert_eq!(chromatic_number(&CspGraph::new(0)), 0);
+    }
+
+    #[test]
+    fn edgeless_needs_one() {
+        assert_eq!(chromatic_number(&CspGraph::new(4)), 1);
+    }
+
+    #[test]
+    fn even_cycle_two_odd_cycle_three() {
+        let c4 = CspGraph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(chromatic_number(&c4), 2);
+        let c5 = CspGraph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        assert_eq!(chromatic_number(&c5), 3);
+    }
+
+    #[test]
+    fn complete_graph_kn() {
+        for n in 1..6u32 {
+            let mut edges = Vec::new();
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    edges.push((i, j));
+                }
+            }
+            let g = CspGraph::from_edges(n as usize, edges);
+            assert_eq!(chromatic_number(&g), n);
+        }
+    }
+
+    #[test]
+    fn returned_coloring_is_proper_and_within_k() {
+        let g = CspGraph::from_edges(6, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (5, 3)]);
+        let c = k_color(&g, 3).expect("3-colorable");
+        assert!(c.is_proper(&g));
+        assert!(c.max_color().unwrap() < 3);
+        assert!(k_color(&g, 2).is_none());
+    }
+
+    #[test]
+    fn zero_colors_only_works_for_empty() {
+        assert!(k_color(&CspGraph::new(1), 0).is_none());
+        assert!(k_color(&CspGraph::new(0), 0).is_some());
+    }
+
+    #[test]
+    fn petersen_graph_is_3_chromatic() {
+        // Outer 5-cycle 0-4, inner pentagram 5-9, spokes i -- i+5.
+        let mut edges = vec![];
+        for i in 0..5u32 {
+            edges.push((i, (i + 1) % 5));
+            edges.push((i + 5, (i + 2) % 5 + 5));
+            edges.push((i, i + 5));
+        }
+        let g = CspGraph::from_edges(10, edges);
+        assert_eq!(chromatic_number(&g), 3);
+    }
+}

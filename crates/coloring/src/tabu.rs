@@ -1,0 +1,253 @@
+//! Local-search bound tighteners: Tabucol-style coloring improvement and a
+//! randomized clique improver.
+//!
+//! The SAT pipeline only needs *bounds* from the heuristic side: an upper
+//! bound (some proper coloring) to start the minimum-width search, and a
+//! lower bound (some clique) to certify unroutable widths. DSATUR and the
+//! greedy clique are decent; these local searches tighten both, narrowing
+//! the window the SAT solver has to close.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Coloring, CspGraph};
+
+/// Attempts to find a proper k-coloring with Tabucol-style local search
+/// (Hertz & de Werra): start from a random assignment, repeatedly move the
+/// endpoint of a violated edge to the color minimizing the conflict count,
+/// with a short tabu list on (vertex, color) moves.
+///
+/// Returns `Some(coloring)` on success within `max_iters` iterations. A
+/// `None` is *not* an unsatisfiability proof — only the SAT flow proves
+/// impossibility.
+///
+/// Deterministic for fixed arguments.
+///
+/// # Examples
+///
+/// ```
+/// use satroute_coloring::{tabu_color, CspGraph};
+///
+/// let cycle = CspGraph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+/// let coloring = tabu_color(&cycle, 3, 10_000, 7).expect("C5 is 3-colorable");
+/// assert!(coloring.is_proper(&cycle));
+/// ```
+pub fn tabu_color(graph: &CspGraph, k: u32, max_iters: u64, seed: u64) -> Option<Coloring> {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return Some(Coloring::from_colors(Vec::new()));
+    }
+    if k == 0 {
+        return None;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut colors: Vec<u32> = (0..n).map(|_| rng.gen_range(0..k)).collect();
+
+    // conflicts[v] = number of neighbors sharing v's color.
+    let mut conflicts: Vec<u32> = vec![0; n];
+    let mut total_conflicts: u64 = 0;
+    for (u, v) in graph.edges() {
+        if colors[u as usize] == colors[v as usize] {
+            conflicts[u as usize] += 1;
+            conflicts[v as usize] += 1;
+            total_conflicts += 1;
+        }
+    }
+
+    // tabu_until[v][c] = iteration until which assigning color c to v is
+    // forbidden.
+    let mut tabu_until: Vec<Vec<u64>> = vec![vec![0; k as usize]; n];
+
+    for iter in 1..=max_iters {
+        if total_conflicts == 0 {
+            return Some(Coloring::from_colors(colors));
+        }
+        // Pick a random conflicted vertex.
+        let conflicted: Vec<u32> = (0..n as u32)
+            .filter(|&v| conflicts[v as usize] > 0)
+            .collect();
+        let v = conflicted[rng.gen_range(0..conflicted.len())];
+        let old = colors[v as usize];
+
+        // Count neighbors per color.
+        let mut per_color = vec![0u32; k as usize];
+        for w in graph.neighbors(v) {
+            per_color[colors[w as usize] as usize] += 1;
+        }
+
+        // Best non-tabu move (aspiration: accept a tabu move reaching 0
+        // conflicts for v if it improves the best seen).
+        let mut best: Option<(u32, u32)> = None; // (color, resulting conflicts)
+        for c in 0..k {
+            if c == old {
+                continue;
+            }
+            let tabu = tabu_until[v as usize][c as usize] > iter;
+            if tabu && per_color[c as usize] > 0 {
+                continue;
+            }
+            match best {
+                Some((_, bc)) if per_color[c as usize] >= bc => {}
+                _ => best = Some((c, per_color[c as usize])),
+            }
+        }
+        let Some((new, _)) = best else {
+            continue; // everything tabu; try another vertex next iteration
+        };
+
+        // Apply the move, updating conflict bookkeeping.
+        for w in graph.neighbors(v) {
+            let wc = colors[w as usize];
+            if wc == old {
+                conflicts[w as usize] -= 1;
+                conflicts[v as usize] -= 1;
+                total_conflicts -= 1;
+            } else if wc == new {
+                conflicts[w as usize] += 1;
+                conflicts[v as usize] += 1;
+                total_conflicts += 1;
+            }
+        }
+        colors[v as usize] = new;
+        let tenure = 7 + (total_conflicts / 2).min(20);
+        tabu_until[v as usize][old as usize] = iter + tenure;
+    }
+
+    if total_conflicts == 0 {
+        Some(Coloring::from_colors(colors))
+    } else {
+        None
+    }
+}
+
+/// Improves a coloring bound by repeatedly calling [`tabu_color`] with one
+/// color fewer until it fails, starting from the DSATUR count.
+///
+/// Returns the best proper coloring found. Deterministic.
+pub fn tabu_upper_bound(graph: &CspGraph, max_iters: u64, seed: u64) -> Coloring {
+    let mut best = crate::dsatur_coloring(graph);
+    loop {
+        let current = best.max_color().map_or(0, |m| m + 1);
+        if current <= 1 {
+            return best;
+        }
+        match tabu_color(graph, current - 1, max_iters, seed) {
+            Some(better) => {
+                debug_assert!(better.is_proper(graph));
+                best = better;
+            }
+            None => return best,
+        }
+    }
+}
+
+/// Randomized clique improvement: grows cliques from random seed vertices
+/// (preferring high-degree candidates) and keeps the best, starting from
+/// [`CspGraph::greedy_clique`].
+///
+/// The returned vertex set is always a clique — a valid lower-bound
+/// certificate for the chromatic number / channel width.
+pub fn improved_clique(graph: &CspGraph, restarts: u32, seed: u64) -> Vec<u32> {
+    let n = graph.num_vertices();
+    let mut best = graph.greedy_clique();
+    if n == 0 {
+        return best;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    for _ in 0..restarts {
+        let start = rng.gen_range(0..n as u32);
+        let mut clique = vec![start];
+        // Candidates = neighbors of everything in the clique.
+        let mut candidates: Vec<u32> = graph.neighbors(start).collect();
+        while !candidates.is_empty() {
+            // Pick among the top candidates by degree, with a little noise.
+            candidates.sort_by_key(|&v| std::cmp::Reverse(graph.degree(v)));
+            let pick_range = candidates.len().min(3);
+            let v = candidates[rng.gen_range(0..pick_range)];
+            clique.push(v);
+            candidates.retain(|&w| w != v && graph.has_edge(v, w));
+        }
+        if clique.len() > best.len() {
+            best = clique;
+        }
+    }
+
+    debug_assert!(is_clique(graph, &best));
+    best
+}
+
+fn is_clique(graph: &CspGraph, vertices: &[u32]) -> bool {
+    vertices
+        .iter()
+        .enumerate()
+        .all(|(i, &u)| vertices[i + 1..].iter().all(|&v| graph.has_edge(u, v)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{exact, random_graph};
+
+    #[test]
+    fn tabu_finds_known_colorings() {
+        let c5 = CspGraph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        assert!(tabu_color(&c5, 3, 10_000, 1).is_some());
+        // And respects impossibility in practice (cannot 2-color an odd
+        // cycle no matter how long it runs).
+        assert!(tabu_color(&c5, 2, 5_000, 1).is_none());
+    }
+
+    #[test]
+    fn tabu_results_are_proper_and_within_k() {
+        for seed in 0..4u64 {
+            let g = random_graph(20, 0.4, seed);
+            let k = crate::dsatur_coloring(&g).max_color().unwrap() + 1;
+            let c = tabu_color(&g, k, 50_000, seed).expect("DSATUR bound is achievable");
+            assert!(c.is_proper(&g));
+            assert!(c.max_color().unwrap() < k);
+        }
+    }
+
+    #[test]
+    fn tabu_upper_bound_never_worse_than_dsatur() {
+        for seed in 0..4u64 {
+            let g = random_graph(18, 0.5, seed);
+            let dsatur = crate::dsatur_coloring(&g).max_color().unwrap() + 1;
+            let tabu = tabu_upper_bound(&g, 20_000, seed);
+            assert!(tabu.is_proper(&g));
+            assert!(tabu.max_color().unwrap() + 1 <= dsatur);
+        }
+    }
+
+    #[test]
+    fn tabu_upper_bound_is_tight_on_small_graphs() {
+        for seed in 0..3u64 {
+            let g = random_graph(11, 0.5, seed);
+            let chi = exact::chromatic_number(&g);
+            let tabu = tabu_upper_bound(&g, 100_000, seed);
+            assert_eq!(tabu.max_color().unwrap() + 1, chi, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn improved_clique_is_a_clique_and_not_smaller() {
+        for seed in 0..4u64 {
+            let g = random_graph(25, 0.5, seed);
+            let greedy = g.greedy_clique().len();
+            let improved = improved_clique(&g, 50, seed);
+            assert!(is_clique(&g, &improved));
+            assert!(improved.len() >= greedy);
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let empty = CspGraph::new(0);
+        assert!(tabu_color(&empty, 1, 10, 0).is_some());
+        assert!(improved_clique(&empty, 10, 0).is_empty());
+        let g = CspGraph::new(3);
+        assert!(tabu_color(&g, 0, 10, 0).is_none());
+        assert_eq!(tabu_upper_bound(&g, 10, 0).num_colors(), 1);
+    }
+}

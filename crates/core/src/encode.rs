@@ -1,0 +1,261 @@
+//! Encoding a graph-coloring CSP into CNF.
+//!
+//! For a K-coloring of a [`CspGraph`] the encoder:
+//!
+//! 1. emits the chosen encoding's [`SchemeCnf`] for domain size K once (all
+//!    CSP variables share the same domain — the K tracks);
+//! 2. allocates a disjoint block of `num_vars` SAT variables per vertex
+//!    (the paper's requirement that ITE trees "depend on a unique set of
+//!    indexing Boolean variables");
+//! 3. maps the structural clauses into each vertex's block;
+//! 4. adds one conflict clause per edge and common domain value:
+//!    `¬pattern_v(d) ∨ ¬pattern_w(d)` (§2–§4);
+//! 5. adds symmetry-breaking restrictions: the p-th restricted vertex
+//!    (0-based) gets `¬pattern(d)` clauses for every `d > p` (§5).
+//!
+//! The result carries a [`DecodeMap`] so that a SAT model can be converted
+//! back into a coloring by [`crate::decode::decode_coloring`].
+
+use satroute_cnf::{CnfFormula, Lit};
+use satroute_coloring::CspGraph;
+
+use crate::catalog::Encoding;
+use crate::pattern::SchemeCnf;
+use crate::symmetry::SymmetryHeuristic;
+
+/// Mapping from SAT variables back to CSP vertices: the shared scheme and
+/// each vertex's variable-block offset.
+#[derive(Clone, Debug)]
+pub struct DecodeMap {
+    /// The per-vertex scheme (patterns over local variables).
+    pub scheme: SchemeCnf,
+    /// `offsets[v]` = index of the first SAT variable of vertex `v`.
+    pub offsets: Vec<u32>,
+    /// Number of colors the instance was encoded for.
+    pub num_colors: u32,
+}
+
+/// The output of [`encode_coloring`]: the CNF formula and its decode map.
+#[derive(Clone, Debug)]
+pub struct EncodedColoring {
+    /// The CNF instance; satisfiable iff the graph is `num_colors`-colorable
+    /// (under the sound symmetry restrictions).
+    pub formula: CnfFormula,
+    /// Decoder state.
+    pub decode: DecodeMap,
+}
+
+/// Encodes the K-coloring problem of `graph` as CNF.
+///
+/// `k == 0` with a non-empty graph yields a trivially unsatisfiable formula
+/// (a single empty clause); with an empty graph, an empty (satisfiable)
+/// formula.
+///
+/// # Examples
+///
+/// ```
+/// use satroute_coloring::CspGraph;
+/// use satroute_core::{encode_coloring, EncodingId, SymmetryHeuristic};
+///
+/// let triangle = CspGraph::from_edges(3, [(0, 1), (1, 2), (0, 2)]);
+/// let enc = encode_coloring(
+///     &triangle,
+///     3,
+///     &EncodingId::Muldirect.encoding(),
+///     SymmetryHeuristic::None,
+/// );
+/// // 3 vertices × 3 value variables.
+/// assert_eq!(enc.formula.num_vars(), 9);
+/// ```
+pub fn encode_coloring(
+    graph: &CspGraph,
+    k: u32,
+    encoding: &Encoding,
+    symmetry: SymmetryHeuristic,
+) -> EncodedColoring {
+    let n = graph.num_vertices();
+    if k == 0 {
+        let mut formula = CnfFormula::new();
+        if n > 0 {
+            formula.add_clause(std::iter::empty());
+        }
+        return EncodedColoring {
+            formula,
+            decode: DecodeMap {
+                scheme: SchemeCnf::default(),
+                offsets: vec![0; n],
+                num_colors: 0,
+            },
+        };
+    }
+
+    let scheme = encoding.emit(k);
+    let mut formula = CnfFormula::with_vars(scheme.num_vars * n as u32);
+
+    let offsets: Vec<u32> = (0..n as u32).map(|v| v * scheme.num_vars).collect();
+    let shift = |lits: &[Lit], offset: u32| -> Vec<Lit> {
+        lits.iter()
+            .map(|&l| Lit::from_code(l.code() + 2 * offset))
+            .collect()
+    };
+
+    // Structural clauses, one copy per vertex.
+    for &offset in &offsets {
+        for clause in &scheme.structural {
+            formula.add_clause(shift(clause, offset));
+        }
+    }
+
+    // Conflict clauses: for each edge and common value, forbid both
+    // patterns simultaneously.
+    let negations: Vec<Vec<Lit>> = scheme
+        .patterns
+        .iter()
+        .map(|p| p.negation_clause())
+        .collect();
+    for (u, v) in graph.edges() {
+        for neg in &negations {
+            let mut clause = shift(neg, offsets[u as usize]);
+            clause.extend(shift(neg, offsets[v as usize]));
+            formula.add_clause(clause);
+        }
+    }
+
+    // Symmetry restrictions: position p (0-based) may only use colors 0..=p.
+    for (p, &v) in symmetry.restricted_sequence(graph, k).iter().enumerate() {
+        for d in (p as u32 + 1)..k {
+            formula.add_clause(shift(&negations[d as usize], offsets[v as usize]));
+        }
+    }
+
+    EncodedColoring {
+        formula,
+        decode: DecodeMap {
+            scheme,
+            offsets,
+            num_colors: k,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::EncodingId;
+
+    fn triangle() -> CspGraph {
+        CspGraph::from_edges(3, [(0, 1), (1, 2), (0, 2)])
+    }
+
+    #[test]
+    fn zero_colors_nonempty_graph_is_trivially_unsat() {
+        let enc = encode_coloring(
+            &triangle(),
+            0,
+            &EncodingId::Log.encoding(),
+            SymmetryHeuristic::None,
+        );
+        assert_eq!(enc.formula.num_clauses(), 1);
+        assert!(enc.formula.clauses()[0].is_empty());
+    }
+
+    #[test]
+    fn zero_colors_empty_graph_is_trivially_sat() {
+        let enc = encode_coloring(
+            &CspGraph::new(0),
+            0,
+            &EncodingId::Log.encoding(),
+            SymmetryHeuristic::None,
+        );
+        assert_eq!(enc.formula.num_clauses(), 0);
+    }
+
+    #[test]
+    fn muldirect_triangle_clause_counts() {
+        // Per vertex: 1 ALO clause. Per edge: 3 conflict clauses.
+        let enc = encode_coloring(
+            &triangle(),
+            3,
+            &EncodingId::Muldirect.encoding(),
+            SymmetryHeuristic::None,
+        );
+        assert_eq!(enc.formula.num_clauses(), 3 + 9);
+        assert_eq!(enc.formula.num_vars(), 9);
+    }
+
+    #[test]
+    fn direct_triangle_clause_counts() {
+        // Per vertex: 1 ALO + 3 AMO. Per edge: 3 conflicts.
+        let enc = encode_coloring(
+            &triangle(),
+            3,
+            &EncodingId::Direct.encoding(),
+            SymmetryHeuristic::None,
+        );
+        assert_eq!(enc.formula.num_clauses(), 3 * 4 + 9);
+    }
+
+    #[test]
+    fn table1_conflict_clause_shape_for_log() {
+        // Table 1's log conflict clauses on a single edge, k = 3, are
+        // 4-literal clauses (two 2-literal patterns negated).
+        let g = CspGraph::from_edges(2, [(0, 1)]);
+        let enc = encode_coloring(&g, 3, &EncodingId::Log.encoding(), SymmetryHeuristic::None);
+        // 2 illegal-value clauses + 3 conflict clauses.
+        assert_eq!(enc.formula.num_clauses(), 5);
+        let conflicts: Vec<_> = enc
+            .formula
+            .clauses()
+            .iter()
+            .filter(|c| c.len() == 4)
+            .collect();
+        assert_eq!(conflicts.len(), 3);
+    }
+
+    #[test]
+    fn symmetry_restrictions_add_unit_like_clauses() {
+        let without = encode_coloring(
+            &triangle(),
+            3,
+            &EncodingId::Muldirect.encoding(),
+            SymmetryHeuristic::None,
+        );
+        let with = encode_coloring(
+            &triangle(),
+            3,
+            &EncodingId::Muldirect.encoding(),
+            SymmetryHeuristic::S1,
+        );
+        // Sequence has 2 vertices: position 0 forbids colors 1,2 (2
+        // clauses), position 1 forbids color 2 (1 clause).
+        assert_eq!(
+            with.formula.num_clauses(),
+            without.formula.num_clauses() + 3
+        );
+    }
+
+    #[test]
+    fn ite_encodings_have_no_structural_clauses() {
+        let enc = encode_coloring(
+            &triangle(),
+            5,
+            &EncodingId::IteLog.encoding(),
+            SymmetryHeuristic::None,
+        );
+        // Only conflict clauses: 3 edges × 5 values.
+        assert_eq!(enc.formula.num_clauses(), 15);
+    }
+
+    #[test]
+    fn vertex_blocks_are_disjoint() {
+        let enc = encode_coloring(
+            &triangle(),
+            4,
+            &EncodingId::IteLinear.encoding(),
+            SymmetryHeuristic::None,
+        );
+        let per = enc.decode.scheme.num_vars;
+        assert_eq!(enc.decode.offsets, vec![0, per, 2 * per]);
+        assert_eq!(enc.formula.num_vars(), 3 * per);
+    }
+}

@@ -1,0 +1,75 @@
+//! The paper's contribution: SAT encodings for FPGA detailed routing.
+//!
+//! This crate reproduces the technical core of **Velev & Gao, "Comparison of
+//! Boolean Satisfiability Encodings on FPGA Detailed Routing Problems"
+//! (DATE 2008)**:
+//!
+//! * [`pattern`] — the *indexing Boolean pattern* framework (paper §2): an
+//!   encoding of a CSP variable is a set of local Boolean variables, one
+//!   pattern (conjunction of literals) per domain value, and structural
+//!   clauses. Conflict clauses between adjacent CSP variables fall out as
+//!   single CNF clauses.
+//! * [`scheme`] — the simple encodings: **log**, **direct**, **muldirect**
+//!   (Table 1).
+//! * [`ite`] — structural ITE-tree encodings (§3): **ITE-linear**,
+//!   **ITE-log**, and arbitrary tree shapes.
+//! * [`hier`] — hierarchical 2-level composition (§4): a top scheme
+//!   partitions the domain into subdomains, a bottom scheme (with one shared
+//!   variable set) selects within each subdomain.
+//! * [`catalog`] — the 14 encodings compared in the paper (plus `direct`),
+//!   addressable by [`EncodingId`].
+//! * [`symmetry`] — the symmetry-breaking heuristics **b1** (Van Gelder) and
+//!   **s1** (the paper's new heuristic) (§5).
+//! * [`encode`] / [`decode`] — graph-coloring CSP → CNF and SAT model →
+//!   coloring.
+//! * [`strategy`] — one (encoding, symmetry) combination run end to end
+//!   with the Table 2 time breakdown.
+//! * [`portfolio`] — parallel first-answer-wins execution of several
+//!   strategies (§6).
+//! * [`pipeline`] — the full FPGA flow: global routing → conflict graph →
+//!   SAT → detailed routing / unroutability proof.
+//!
+//! # Examples
+//!
+//! Prove a triangle is not 2-colorable with the paper's best encoding:
+//!
+//! ```
+//! use satroute_coloring::CspGraph;
+//! use satroute_core::{ColoringOutcome, EncodingId, Strategy, SymmetryHeuristic};
+//!
+//! let triangle = CspGraph::from_edges(3, [(0, 1), (1, 2), (0, 2)]);
+//! let strategy = Strategy::new(EncodingId::IteLinear2Muldirect, SymmetryHeuristic::S1);
+//! match strategy.solve_coloring(&triangle, 2).outcome {
+//!     ColoringOutcome::Unsat => {}
+//!     other => panic!("expected UNSAT, got {other:?}"),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod catalog;
+pub mod decode;
+pub mod encode;
+pub mod hier;
+pub mod incremental;
+pub mod ite;
+pub mod pattern;
+pub mod pipeline;
+pub mod portfolio;
+pub mod scheme;
+pub mod strategy;
+pub mod symmetry;
+
+pub use catalog::{Encoding, EncodingId, ParseEncodingError};
+pub use decode::{decode_coloring, DecodeError};
+pub use encode::{encode_coloring, DecodeMap, EncodedColoring};
+pub use hier::TopScheme;
+pub use ite::IteTree;
+pub use pattern::{Pattern, SchemeCnf};
+pub use pipeline::{RouteResult, RoutingPipeline, UnroutabilityCertificate, WidthSearch};
+pub use portfolio::{run_portfolio, simulate_portfolio, PortfolioResult, SimulatedPortfolio};
+pub use scheme::SimpleScheme;
+pub use strategy::{ColoringOutcome, ColoringReport, Strategy, TimingBreakdown};
+pub use symmetry::SymmetryHeuristic;

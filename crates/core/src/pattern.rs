@@ -1,0 +1,322 @@
+//! The indexing-Boolean-pattern framework.
+//!
+//! The paper defines (§2): *"Given a CSP variable, its set of domain values,
+//! and the Boolean variables introduced for a SAT encoding of that CSP
+//! variable, we will refer to an assignment to those Boolean variables that
+//! selects a particular domain value as an indexing Boolean pattern for that
+//! domain value."*
+//!
+//! Every encoding in this crate — simple, ITE-tree and hierarchical — is
+//! reduced to this common shape:
+//!
+//! * `num_vars` local Boolean variables per CSP variable,
+//! * one [`Pattern`] (a conjunction of literals over the local variables)
+//!   per domain value,
+//! * *structural clauses* over the local variables (at-least-one,
+//!   at-most-one, excluded-illegal-values — whatever the encoding needs).
+//!
+//! Because patterns are conjunctions, the conflict clause for an edge
+//! `(v, w)` and a common value `d` is a single CNF clause:
+//! `¬pattern_v(d) ∨ ¬pattern_w(d)`.
+//!
+//! A [`SchemeCnf`] is **correct** when two machine-checkable properties
+//! hold (verified exhaustively for small domains in tests):
+//!
+//! 1. *exclusive selectability* — for every value `d` there is an
+//!    assignment satisfying the structural clauses under which `d`'s
+//!    pattern is true and every other pattern is false (a CSP solution maps
+//!    to a SAT solution);
+//! 2. *totality* — every assignment satisfying the structural clauses
+//!    makes at least one pattern true (a SAT solution decodes to a CSP
+//!    solution; multi-valued encodings like muldirect may select several).
+
+use std::fmt;
+
+use satroute_cnf::{Assignment, Lit, Var};
+
+/// A conjunction of literals over an encoding's *local* Boolean variables
+/// (`Var(0)..Var(num_vars)`), selecting one domain value.
+///
+/// The empty pattern is the always-true conjunction; it appears for domains
+/// of size 1 encoded with zero variables.
+///
+/// # Examples
+///
+/// ```
+/// use satroute_cnf::{Lit, Var};
+/// use satroute_core::Pattern;
+///
+/// // The pattern "i0 ∧ ¬i1".
+/// let p = Pattern::new(vec![
+///     Lit::positive(Var::new(0)),
+///     Lit::negative(Var::new(1)),
+/// ]);
+/// assert_eq!(p.len(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Pattern {
+    lits: Vec<Lit>,
+}
+
+impl Pattern {
+    /// Creates a pattern from its literals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same variable appears twice (patterns are paths in an
+    /// ITE tree / assignments, so a variable occurs at most once).
+    pub fn new(lits: Vec<Lit>) -> Self {
+        let mut vars: Vec<Var> = lits.iter().map(|l| l.var()).collect();
+        vars.sort_unstable();
+        let before = vars.len();
+        vars.dedup();
+        assert_eq!(before, vars.len(), "pattern mentions a variable twice");
+        Pattern { lits }
+    }
+
+    /// The always-true empty pattern.
+    pub fn empty() -> Self {
+        Pattern::default()
+    }
+
+    /// The literals of this pattern.
+    pub fn lits(&self) -> &[Lit] {
+        &self.lits
+    }
+
+    /// Number of literals.
+    pub fn len(&self) -> usize {
+        self.lits.len()
+    }
+
+    /// Returns `true` for the empty (always-true) pattern.
+    pub fn is_empty(&self) -> bool {
+        self.lits.is_empty()
+    }
+
+    /// Evaluates the conjunction under a total assignment of the local
+    /// variables.
+    pub fn is_satisfied_by(&self, assignment: &Assignment) -> bool {
+        self.lits.iter().all(|&l| assignment.satisfies(l))
+    }
+
+    /// The negation of this pattern as a clause: `¬l1 ∨ ¬l2 ∨ …`.
+    ///
+    /// For the empty pattern this is the empty (unsatisfiable) clause —
+    /// correct, since forbidding an always-selected value is contradictory.
+    pub fn negation_clause(&self) -> Vec<Lit> {
+        self.lits.iter().map(|&l| !l).collect()
+    }
+
+    /// Rewrites the pattern's local variables into a global variable space
+    /// by adding `offset` to each variable index.
+    pub fn offset(&self, offset: u32) -> Vec<Lit> {
+        self.lits
+            .iter()
+            .map(|&l| Lit::from_code(l.code() + 2 * offset))
+            .collect()
+    }
+}
+
+impl fmt::Debug for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Pattern[")?;
+        for (i, l) in self.lits.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.lits.is_empty() {
+            return write!(f, "⊤");
+        }
+        for (i, l) in self.lits.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The per-CSP-variable output of an encoding for a given domain size:
+/// local variables, one pattern per domain value and structural clauses.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct SchemeCnf {
+    /// Number of local Boolean variables.
+    pub num_vars: u32,
+    /// `patterns[d]` selects domain value `d`.
+    pub patterns: Vec<Pattern>,
+    /// Structural clauses over the local variables (at-least-one,
+    /// at-most-one, illegal-value exclusions, …).
+    pub structural: Vec<Vec<Lit>>,
+}
+
+impl SchemeCnf {
+    /// Domain size this scheme instance covers.
+    pub fn domain_size(&self) -> u32 {
+        self.patterns.len() as u32
+    }
+
+    /// Checks *exclusive selectability* and *totality* (see module docs) by
+    /// exhaustive enumeration over all `2^num_vars` assignments.
+    ///
+    /// Returns an error string describing the first violation. Intended for
+    /// tests; exponential in `num_vars`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars > 24` (enumeration would not terminate in
+    /// reasonable time).
+    pub fn check_correctness(&self) -> Result<(), String> {
+        assert!(self.num_vars <= 24, "domain too large for exhaustive check");
+        let n = self.num_vars;
+        let mut exclusively_selectable = vec![false; self.patterns.len()];
+
+        for bits in 0u32..(1u32 << n) {
+            let assignment =
+                Assignment::from_bools(&(0..n).map(|i| bits & (1 << i) != 0).collect::<Vec<_>>());
+            let structural_ok = self
+                .structural
+                .iter()
+                .all(|clause| clause.iter().any(|&l| assignment.satisfies(l)));
+            if !structural_ok {
+                continue;
+            }
+            let selected: Vec<usize> = self
+                .patterns
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.is_satisfied_by(&assignment))
+                .map(|(d, _)| d)
+                .collect();
+            if selected.is_empty() {
+                return Err(format!(
+                    "totality violated: assignment {bits:#b} satisfies the structural \
+                     clauses but selects no value"
+                ));
+            }
+            if selected.len() == 1 {
+                exclusively_selectable[selected[0]] = true;
+            }
+        }
+
+        if let Some(d) = exclusively_selectable.iter().position(|&ok| !ok) {
+            return Err(format!(
+                "exclusive selectability violated: no structural-satisfying assignment \
+                 selects value {d} alone"
+            ));
+        }
+        Ok(())
+    }
+
+    /// Values selected by a total assignment of the local variables
+    /// (several for multi-valued encodings).
+    pub fn selected_values(&self, assignment: &Assignment) -> Vec<u32> {
+        self.patterns
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_satisfied_by(assignment))
+            .map(|(d, _)| d as u32)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(code: i64) -> Lit {
+        Lit::from_dimacs(code)
+    }
+
+    #[test]
+    fn empty_pattern_is_always_true() {
+        let p = Pattern::empty();
+        assert!(p.is_satisfied_by(&Assignment::new(0)));
+        assert!(p.negation_clause().is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_variable_panics() {
+        let _ = Pattern::new(vec![lit(1), lit(-1)]);
+    }
+
+    #[test]
+    fn satisfaction_and_negation() {
+        let p = Pattern::new(vec![lit(1), lit(-2)]);
+        let mut a = Assignment::new(2);
+        a.assign(Var::new(0), true);
+        a.assign(Var::new(1), false);
+        assert!(p.is_satisfied_by(&a));
+        a.assign(Var::new(1), true);
+        assert!(!p.is_satisfied_by(&a));
+        assert_eq!(p.negation_clause(), vec![lit(-1), lit(2)]);
+    }
+
+    #[test]
+    fn offset_shifts_variables() {
+        let p = Pattern::new(vec![lit(1), lit(-2)]);
+        let shifted = p.offset(10);
+        assert_eq!(
+            shifted.iter().map(|l| l.to_dimacs()).collect::<Vec<_>>(),
+            vec![11, -12]
+        );
+    }
+
+    #[test]
+    fn check_correctness_accepts_direct_like_scheme() {
+        // Hand-rolled direct encoding for k = 2.
+        let scheme = SchemeCnf {
+            num_vars: 2,
+            patterns: vec![Pattern::new(vec![lit(1)]), Pattern::new(vec![lit(2)])],
+            structural: vec![vec![lit(1), lit(2)], vec![lit(-1), lit(-2)]],
+        };
+        scheme.check_correctness().unwrap();
+    }
+
+    #[test]
+    fn check_correctness_detects_totality_violation() {
+        // Two values, two vars, no structural clauses: assignment 00
+        // selects nothing.
+        let scheme = SchemeCnf {
+            num_vars: 2,
+            patterns: vec![Pattern::new(vec![lit(1)]), Pattern::new(vec![lit(2)])],
+            structural: vec![],
+        };
+        let err = scheme.check_correctness().unwrap_err();
+        assert!(err.contains("totality"));
+    }
+
+    #[test]
+    fn check_correctness_detects_exclusivity_violation() {
+        // One variable, two values with identical patterns: neither value
+        // is ever selected alone.
+        let scheme = SchemeCnf {
+            num_vars: 1,
+            patterns: vec![Pattern::new(vec![lit(1)]), Pattern::new(vec![lit(1)])],
+            structural: vec![vec![lit(1)]],
+        };
+        let err = scheme.check_correctness().unwrap_err();
+        assert!(err.contains("exclusive"));
+    }
+
+    #[test]
+    fn selected_values_reports_multi_selection() {
+        let scheme = SchemeCnf {
+            num_vars: 2,
+            patterns: vec![Pattern::new(vec![lit(1)]), Pattern::new(vec![lit(2)])],
+            structural: vec![],
+        };
+        let a = Assignment::from_bools(&[true, true]);
+        assert_eq!(scheme.selected_values(&a), vec![0, 1]);
+    }
+}

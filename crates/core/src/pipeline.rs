@@ -1,0 +1,418 @@
+//! The end-to-end FPGA detailed-routing pipeline.
+//!
+//! This is the tool flow of the paper's first contribution: FPGA global
+//! routing → graph-coloring problem (optionally via a DIMACS `.col` file) →
+//! SAT instance → detailed routing or unroutability proof.
+//!
+//! [`RoutingPipeline::find_min_width`] exercises the headline capability of
+//! SAT-based detailed routing: *"it can prove that a particular global
+//! routing does not have a detailed routing for a given number of tracks
+//! per channel, and so can guarantee optimality when a detailed routing is
+//! found for W, such that the configuration with W − 1 tracks is proven
+//! unroutable"*.
+
+use std::time::Instant;
+
+use satroute_fpga::{DetailedRouting, RoutingProblem};
+use satroute_solver::SolverConfig;
+
+use crate::strategy::{ColoringOutcome, ColoringReport, Strategy};
+
+/// The outcome of routing one problem at one channel width.
+#[derive(Clone, Debug)]
+pub struct RouteResult {
+    /// The channel width that was attempted.
+    pub width: u32,
+    /// A verified detailed routing, when one exists.
+    pub routing: Option<DetailedRouting>,
+    /// The underlying coloring report (outcome, timings including graph
+    /// generation, formula and solver statistics).
+    pub report: ColoringReport,
+}
+
+impl RouteResult {
+    /// Returns `true` if the width was proven unroutable.
+    pub fn is_unroutable(&self) -> bool {
+        matches!(self.report.outcome, ColoringOutcome::Unsat)
+    }
+}
+
+/// The trace of a minimum-width search.
+#[derive(Clone, Debug)]
+pub struct WidthSearch {
+    /// The minimum channel width with a detailed routing.
+    pub min_width: u32,
+    /// A verified routing at `min_width`.
+    pub routing: DetailedRouting,
+    /// Every width probed, with its result (including the UNSAT proof at
+    /// `min_width - 1` that certifies optimality).
+    pub probes: Vec<RouteResult>,
+}
+
+/// A machine-checkable proof that a channel width is insufficient: the CNF
+/// instance together with the solver's DRAT refutation of it.
+#[derive(Clone, Debug)]
+pub struct UnroutabilityCertificate {
+    /// The refuted channel width.
+    pub width: u32,
+    /// The CNF instance encoding "a detailed routing with `width` tracks
+    /// exists".
+    pub formula: satroute_cnf::CnfFormula,
+    /// The solver's DRAT refutation of `formula`.
+    pub proof: satroute_solver::DratProof,
+}
+
+impl UnroutabilityCertificate {
+    /// Re-verifies the certificate with the independent RUP checker.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`satroute_solver::CheckProofError`] if the proof does
+    /// not refute the formula.
+    pub fn verify(&self) -> Result<(), satroute_solver::CheckProofError> {
+        self.proof.check(&self.formula)
+    }
+}
+
+/// Errors from pipeline runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PipelineError {
+    /// The solver returned Unknown (budget exhausted / cancelled).
+    Undecided {
+        /// Width at which the run was cut short.
+        width: u32,
+    },
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Undecided { width } => {
+                write!(f, "solver gave up at channel width {width}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// The FPGA detailed-routing pipeline for a fixed strategy.
+///
+/// # Examples
+///
+/// ```
+/// use satroute_core::{RoutingPipeline, Strategy};
+/// use satroute_fpga::benchmarks;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let instance = &benchmarks::suite_tiny()[0];
+/// let pipeline = RoutingPipeline::new(Strategy::paper_best());
+/// let result = pipeline.route(&instance.problem, instance.routable_width)?;
+/// let routing = result.routing.expect("routable width");
+/// instance
+///     .problem
+///     .verify_detailed_routing(&routing, instance.routable_width)?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct RoutingPipeline {
+    strategy: Strategy,
+    config: SolverConfig,
+}
+
+impl RoutingPipeline {
+    /// Creates a pipeline with default solver settings.
+    pub fn new(strategy: Strategy) -> Self {
+        RoutingPipeline {
+            strategy,
+            config: SolverConfig::default(),
+        }
+    }
+
+    /// Replaces the solver configuration (e.g. to set a conflict budget).
+    pub fn with_solver_config(mut self, config: SolverConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The pipeline's strategy.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// Attempts a detailed routing of `problem` with `width` tracks per
+    /// channel.
+    ///
+    /// On SAT the decoded routing is verified against the problem before
+    /// being returned; on UNSAT `routing` is `None` and the width is
+    /// certified unroutable.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Undecided`] when the solver gives up (only possible
+    /// with a conflict budget).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a SAT answer fails verification — a soundness bug, not a
+    /// run-time condition.
+    pub fn route(
+        &self,
+        problem: &RoutingProblem,
+        width: u32,
+    ) -> Result<RouteResult, PipelineError> {
+        let gen_start = Instant::now();
+        let graph = problem.conflict_graph();
+        let graph_generation = gen_start.elapsed();
+
+        let mut report = self
+            .strategy
+            .solve_coloring_with(&graph, width, &self.config, None);
+        report.timing.graph_generation = graph_generation;
+
+        let routing = match &report.outcome {
+            ColoringOutcome::Colorable(coloring) => {
+                let routing = DetailedRouting::from_tracks(coloring.colors().to_vec());
+                problem
+                    .verify_detailed_routing(&routing, width)
+                    .expect("decoded routings always verify — soundness bug otherwise");
+                Some(routing)
+            }
+            ColoringOutcome::Unsat => None,
+            ColoringOutcome::Unknown => return Err(PipelineError::Undecided { width }),
+        };
+
+        Ok(RouteResult {
+            width,
+            routing,
+            report,
+        })
+    }
+
+    /// Proves that `width` tracks are insufficient for `problem`.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Undecided`] if the solver gives up.
+    ///
+    /// Returns `Ok(result)` whose [`RouteResult::is_unroutable`] tells
+    /// whether the proof succeeded (`false` means the width is actually
+    /// routable).
+    pub fn prove_unroutable(
+        &self,
+        problem: &RoutingProblem,
+        width: u32,
+    ) -> Result<RouteResult, PipelineError> {
+        self.route(problem, width)
+    }
+
+    /// Like [`RoutingPipeline::prove_unroutable`], but also returns a DRAT
+    /// certificate of the refutation together with the CNF it refutes —
+    /// auditable by [`satroute_solver::DratProof::check`] or any external
+    /// DRAT checker.
+    ///
+    /// Returns `Ok((result, None))` when the width turned out routable
+    /// (there is nothing to certify).
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Undecided`] if the solver gives up.
+    pub fn prove_unroutable_certified(
+        &self,
+        problem: &RoutingProblem,
+        width: u32,
+    ) -> Result<(RouteResult, Option<UnroutabilityCertificate>), PipelineError> {
+        use satroute_solver::{CdclSolver, SolveOutcome};
+
+        let gen_start = Instant::now();
+        let graph = problem.conflict_graph();
+        let graph_generation = gen_start.elapsed();
+
+        let encode_start = Instant::now();
+        let encoded = crate::encode::encode_coloring(
+            &graph,
+            width,
+            &self.strategy.encoding.encoding(),
+            self.strategy.symmetry,
+        );
+        let cnf_translation = encode_start.elapsed();
+        let formula_stats = encoded.formula.stats();
+
+        let solve_start = Instant::now();
+        let mut solver = CdclSolver::with_config(self.config.clone());
+        solver.enable_proof_logging();
+        solver.add_formula(&encoded.formula);
+        let outcome = solver.solve();
+        let sat_solving = solve_start.elapsed();
+        let solver_stats = *solver.stats();
+        let timing = crate::strategy::TimingBreakdown {
+            graph_generation,
+            cnf_translation,
+            sat_solving,
+        };
+
+        match outcome {
+            SolveOutcome::Sat(model) => {
+                let coloring = crate::decode::decode_coloring(&model, &encoded.decode)
+                    .expect("models of the encoding always decode");
+                let routing = DetailedRouting::from_tracks(coloring.colors().to_vec());
+                problem
+                    .verify_detailed_routing(&routing, width)
+                    .expect("decoded routings always verify");
+                let result = RouteResult {
+                    width,
+                    routing: Some(routing),
+                    report: crate::strategy::ColoringReport {
+                        outcome: ColoringOutcome::Colorable(coloring),
+                        timing,
+                        formula_stats,
+                        solver_stats,
+                    },
+                };
+                Ok((result, None))
+            }
+            SolveOutcome::Unsat => {
+                let proof = solver.take_proof().expect("logging was enabled");
+                let certificate = UnroutabilityCertificate {
+                    width,
+                    formula: encoded.formula,
+                    proof,
+                };
+                let result = RouteResult {
+                    width,
+                    routing: None,
+                    report: crate::strategy::ColoringReport {
+                        outcome: ColoringOutcome::Unsat,
+                        timing,
+                        formula_stats,
+                        solver_stats,
+                    },
+                };
+                Ok((result, Some(certificate)))
+            }
+            SolveOutcome::Unknown => Err(PipelineError::Undecided { width }),
+        }
+    }
+
+    /// Finds the minimum channel width for which `problem` has a detailed
+    /// routing, walking downward from a greedy upper bound and certifying
+    /// optimality with the final UNSAT answer.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Undecided`] if any probe gives up.
+    pub fn find_min_width(&self, problem: &RoutingProblem) -> Result<WidthSearch, PipelineError> {
+        let graph = problem.conflict_graph();
+        let upper = satroute_coloring::dsatur_coloring(&graph)
+            .max_color()
+            .map_or(1, |m| m + 1);
+
+        let mut probes = Vec::new();
+        let mut best: Option<(u32, DetailedRouting)> = None;
+        let mut width = upper;
+        loop {
+            let result = self.route(problem, width)?;
+            let routable = result.routing.is_some();
+            if let Some(r) = &result.routing {
+                best = Some((width, r.clone()));
+            }
+            probes.push(result);
+            if !routable {
+                break;
+            }
+            if width == 0 {
+                break;
+            }
+            width -= 1;
+        }
+
+        let (min_width, routing) = best
+            .expect("the DSATUR upper bound is always routable, so at least one probe succeeds");
+        Ok(WidthSearch {
+            min_width,
+            routing,
+            probes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use satroute_fpga::benchmarks;
+
+    #[test]
+    fn routes_tiny_suite_at_routable_width() {
+        for inst in benchmarks::suite_tiny() {
+            let pipeline = RoutingPipeline::new(Strategy::paper_best());
+            let result = pipeline.route(&inst.problem, inst.routable_width).unwrap();
+            let routing = result.routing.expect("routable width must route");
+            inst.problem
+                .verify_detailed_routing(&routing, inst.routable_width)
+                .unwrap();
+            assert!(result.report.timing.total() >= result.report.timing.graph_generation);
+        }
+    }
+
+    #[test]
+    fn proves_tiny_suite_unroutable_below_clique() {
+        for inst in benchmarks::suite_tiny() {
+            if inst.unroutable_width == 0 {
+                continue;
+            }
+            let pipeline = RoutingPipeline::new(Strategy::paper_best());
+            let result = pipeline
+                .prove_unroutable(&inst.problem, inst.unroutable_width)
+                .unwrap();
+            assert!(result.is_unroutable(), "{}", inst.name);
+        }
+    }
+
+    #[test]
+    fn min_width_search_is_consistent_and_certified() {
+        let inst = &benchmarks::suite_tiny()[0];
+        let pipeline = RoutingPipeline::new(Strategy::paper_best());
+        let search = pipeline.find_min_width(&inst.problem).unwrap();
+
+        // The found routing verifies at min_width.
+        inst.problem
+            .verify_detailed_routing(&search.routing, search.min_width)
+            .unwrap();
+        // min_width lies between the clique bound and the DSATUR bound.
+        assert!(search.min_width <= inst.routable_width);
+        assert!(search.min_width > inst.unroutable_width.saturating_sub(1));
+        // The last probe is the UNSAT certificate (unless min_width hit 1
+        // with an edgeless graph, which the tiny suite never produces).
+        let last = search.probes.last().unwrap();
+        assert!(last.is_unroutable());
+        assert_eq!(last.width, search.min_width - 1);
+    }
+
+    #[test]
+    fn min_width_agrees_across_strategies() {
+        let inst = &benchmarks::suite_tiny()[1];
+        let a = RoutingPipeline::new(Strategy::paper_best())
+            .find_min_width(&inst.problem)
+            .unwrap();
+        let b = RoutingPipeline::new(Strategy::paper_baseline())
+            .find_min_width(&inst.problem)
+            .unwrap();
+        assert_eq!(a.min_width, b.min_width);
+    }
+
+    #[test]
+    fn budgeted_pipeline_reports_undecided() {
+        let inst = &benchmarks::suite_tiny()[2];
+        let config = SolverConfig {
+            max_conflicts: Some(0),
+            ..SolverConfig::default()
+        };
+        let pipeline = RoutingPipeline::new(Strategy::paper_baseline()).with_solver_config(config);
+        // With a zero-conflict budget, either the instance is trivial (no
+        // conflicts needed) or we get Undecided; both must be handled.
+        match pipeline.route(&inst.problem, inst.unroutable_width.max(1)) {
+            Ok(_) | Err(PipelineError::Undecided { .. }) => {}
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Parallel portfolios of strategies (paper §6).
+//!
+//! "The availability of many SAT encodings, that can each be combined with
+//! various symmetry-breaking heuristics, opens the possibility to design
+//! portfolios of parallel strategies … run in parallel on different cores
+//! of a multicore CPU …, with the rest of the runs terminated as soon as
+//! one of them returns an answer."
+//!
+//! [`run_portfolio`] spawns one thread per strategy, all solving the same
+//! K-coloring instance. The first *decided* (SAT or UNSAT) result wins;
+//! the shared cancellation flag stops the losers at their next conflict
+//! boundary.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use satroute_coloring::CspGraph;
+use satroute_solver::SolverConfig;
+
+use crate::strategy::{ColoringReport, Strategy};
+
+/// The result of a portfolio run.
+#[derive(Clone, Debug)]
+pub struct PortfolioResult {
+    /// Index (into the strategy slice) of the strategy that answered first.
+    pub winner: usize,
+    /// The winning strategy.
+    pub strategy: Strategy,
+    /// The winner's full report.
+    pub report: ColoringReport,
+    /// Wall-clock time from launch to the first decided answer.
+    pub wall_time: Duration,
+}
+
+/// Runs `strategies` in parallel on the K-coloring problem of `graph` and
+/// returns the first decided answer.
+///
+/// Returns `None` if the strategy list is empty or every strategy returned
+/// Unknown (possible only with a conflict budget in `config`).
+///
+/// # Examples
+///
+/// ```
+/// use satroute_coloring::CspGraph;
+/// use satroute_core::{run_portfolio, ColoringOutcome, Strategy};
+/// use satroute_solver::SolverConfig;
+///
+/// let triangle = CspGraph::from_edges(3, [(0, 1), (1, 2), (0, 2)]);
+/// let portfolio = Strategy::paper_portfolio_3();
+/// let result = run_portfolio(&triangle, 2, &portfolio, &SolverConfig::default())
+///     .expect("portfolio decides");
+/// assert!(matches!(result.report.outcome, ColoringOutcome::Unsat));
+/// ```
+pub fn run_portfolio(
+    graph: &CspGraph,
+    k: u32,
+    strategies: &[Strategy],
+    config: &SolverConfig,
+) -> Option<PortfolioResult> {
+    if strategies.is_empty() {
+        return None;
+    }
+    let start = Instant::now();
+    let stop = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = mpsc::channel::<(usize, ColoringReport)>();
+
+    std::thread::scope(|scope| {
+        for (idx, strategy) in strategies.iter().enumerate() {
+            let tx = tx.clone();
+            let stop = Arc::clone(&stop);
+            let config = config.clone();
+            scope.spawn(move || {
+                let report =
+                    strategy.solve_coloring_with(graph, k, &config, Some(Arc::clone(&stop)));
+                // A send fails only if the receiver gave up; ignore.
+                let _ = tx.send((idx, report));
+            });
+        }
+        drop(tx);
+
+        let mut winner: Option<PortfolioResult> = None;
+        while let Ok((idx, report)) = rx.recv() {
+            if report.outcome.is_decided() && winner.is_none() {
+                stop.store(true, Ordering::Relaxed);
+                winner = Some(PortfolioResult {
+                    winner: idx,
+                    strategy: strategies[idx],
+                    report,
+                    wall_time: start.elapsed(),
+                });
+                // Keep draining so the scope can join quickly; remaining
+                // threads observe the flag and bail out.
+            }
+        }
+        winner
+    })
+}
+
+/// The result of a *simulated* parallel portfolio run (see
+/// [`simulate_portfolio`]).
+#[derive(Clone, Debug)]
+pub struct SimulatedPortfolio {
+    /// Index of the strategy with the smallest individual runtime.
+    pub winner: usize,
+    /// The winning strategy.
+    pub strategy: Strategy,
+    /// The winner's report.
+    pub report: ColoringReport,
+    /// Each member's individual (sequential) runtime.
+    pub member_times: Vec<Duration>,
+    /// The wall time an ideally parallel machine would achieve: the
+    /// minimum member time.
+    pub virtual_wall_time: Duration,
+}
+
+/// Simulates the paper's multicore portfolio on a machine with too few
+/// cores: runs every member **sequentially**, measures each, and reports
+/// the minimum as the virtual parallel wall time.
+///
+/// On a CPU with at least `strategies.len()` idle cores,
+/// [`run_portfolio`]'s real wall time converges to this value (plus
+/// scheduling noise); on a single core the real portfolio degrades to
+/// roughly the *sum* of member times, which is why this simulation exists
+/// (see DESIGN.md, substitution table).
+///
+/// Returns `None` for an empty strategy list or if no member decided.
+pub fn simulate_portfolio(
+    graph: &CspGraph,
+    k: u32,
+    strategies: &[Strategy],
+    config: &SolverConfig,
+) -> Option<SimulatedPortfolio> {
+    let mut member_times = Vec::with_capacity(strategies.len());
+    let mut best: Option<(usize, Duration, ColoringReport)> = None;
+    for (idx, strategy) in strategies.iter().enumerate() {
+        let start = Instant::now();
+        let report = strategy.solve_coloring_with(graph, k, config, None);
+        let elapsed = start.elapsed();
+        member_times.push(elapsed);
+        if report.outcome.is_decided() && best.as_ref().is_none_or(|(_, t, _)| elapsed < *t) {
+            best = Some((idx, elapsed, report));
+        }
+    }
+    let (winner, virtual_wall_time, report) = best?;
+    Some(SimulatedPortfolio {
+        winner,
+        strategy: strategies[winner],
+        report,
+        member_times,
+        virtual_wall_time,
+    })
+}
+
+impl Strategy {
+    /// The paper's 2-strategy portfolio (§6): ITE-linear-2+muldirect/s1 and
+    /// muldirect-3+muldirect/s1 (additional 1.84× over the best single
+    /// strategy in the paper's measurements).
+    pub fn paper_portfolio_2() -> Vec<Strategy> {
+        use crate::catalog::EncodingId::*;
+        use crate::symmetry::SymmetryHeuristic::S1;
+        vec![
+            Strategy::new(IteLinear2Muldirect, S1),
+            Strategy::new(Muldirect3Muldirect, S1),
+        ]
+    }
+
+    /// The paper's 3-strategy portfolio (§6): the 2-strategy portfolio plus
+    /// ITE-linear-2+direct/s1 (additional 2.30× in the paper).
+    pub fn paper_portfolio_3() -> Vec<Strategy> {
+        use crate::catalog::EncodingId::*;
+        use crate::symmetry::SymmetryHeuristic::S1;
+        let mut p = Strategy::paper_portfolio_2();
+        p.push(Strategy::new(IteLinear2Direct, S1));
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::ColoringOutcome;
+    use satroute_coloring::{exact, random_graph};
+
+    #[test]
+    fn empty_portfolio_returns_none() {
+        let g = CspGraph::new(2);
+        assert!(run_portfolio(&g, 1, &[], &SolverConfig::default()).is_none());
+    }
+
+    #[test]
+    fn portfolio_agrees_with_oracle_on_both_outcomes() {
+        let g = random_graph(10, 0.5, 3);
+        let chi = exact::chromatic_number(&g);
+        let portfolio = Strategy::paper_portfolio_3();
+
+        let sat = run_portfolio(&g, chi, &portfolio, &SolverConfig::default()).unwrap();
+        match &sat.report.outcome {
+            ColoringOutcome::Colorable(c) => assert!(c.is_proper(&g)),
+            other => panic!("expected colorable, got {other:?}"),
+        }
+        assert!(sat.winner < portfolio.len());
+        assert_eq!(sat.strategy, portfolio[sat.winner]);
+
+        let unsat = run_portfolio(&g, chi - 1, &portfolio, &SolverConfig::default()).unwrap();
+        assert!(matches!(unsat.report.outcome, ColoringOutcome::Unsat));
+    }
+
+    #[test]
+    fn portfolio_with_exhausted_budget_returns_none() {
+        let g = random_graph(30, 0.6, 7);
+        let config = SolverConfig {
+            max_conflicts: Some(1),
+            ..SolverConfig::default()
+        };
+        // With a 1-conflict budget on a hard instance every member returns
+        // Unknown (or, rarely, one finishes instantly — accept both).
+        let result = run_portfolio(&g, 9, &Strategy::paper_portfolio_2(), &config);
+        if let Some(r) = result {
+            assert!(r.report.outcome.is_decided());
+        }
+    }
+
+    #[test]
+    fn simulated_portfolio_picks_the_fastest_member() {
+        let g = random_graph(12, 0.5, 11);
+        let chi = exact::chromatic_number(&g);
+        let strategies = Strategy::paper_portfolio_3();
+        let sim = simulate_portfolio(&g, chi - 1, &strategies, &SolverConfig::default())
+            .expect("members decide");
+        assert!(matches!(sim.report.outcome, ColoringOutcome::Unsat));
+        assert_eq!(sim.member_times.len(), 3);
+        assert_eq!(
+            sim.virtual_wall_time,
+            *sim.member_times.iter().min().expect("non-empty")
+        );
+        assert_eq!(sim.member_times[sim.winner], sim.virtual_wall_time);
+        assert_eq!(sim.strategy, strategies[sim.winner]);
+    }
+
+    #[test]
+    fn simulated_portfolio_empty_is_none() {
+        let g = CspGraph::new(2);
+        assert!(simulate_portfolio(&g, 1, &[], &SolverConfig::default()).is_none());
+    }
+
+    #[test]
+    fn paper_portfolios_have_the_documented_members() {
+        let p2 = Strategy::paper_portfolio_2();
+        assert_eq!(p2.len(), 2);
+        assert_eq!(p2[0], Strategy::paper_best());
+        let p3 = Strategy::paper_portfolio_3();
+        assert_eq!(p3.len(), 3);
+        assert_eq!(&p3[..2], &p2[..]);
+    }
+}

@@ -1,0 +1,258 @@
+//! Symmetry-breaking heuristics (paper §5).
+//!
+//! Colors (tracks) of a coloring problem are fully interchangeable, so a
+//! K-coloring instance has K! symmetric solutions. Van Gelder's observation:
+//! pick any K−1 vertices and constrain the i-th of them (1-based) to a
+//! color `< i`. This is sound for *any* sequence of distinct vertices —
+//! given a proper coloring, walk the sequence and swap color `c(v_i)` with
+//! color `i−1` whenever `c(v_i) ≥ i`; earlier constraints are untouched
+//! because they only involve colors `< i−1`.
+//!
+//! The heuristics pick which vertices to restrict:
+//!
+//! * **b1** (Van Gelder) — the vertex of maximum degree first, then its
+//!   neighbors in descending degree order (up to K−2 of them), ties broken
+//!   by the sum of the neighbors' degrees.
+//! * **s1** (this paper's new heuristic) — the K−1 highest-degree vertices
+//!   overall, descending, same tie-break.
+
+use std::fmt;
+use std::str::FromStr;
+
+use satroute_coloring::CspGraph;
+
+/// Which symmetry-breaking heuristic to apply (or none).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum SymmetryHeuristic {
+    /// No symmetry breaking (the `—` columns of Table 2).
+    #[default]
+    None,
+    /// Van Gelder's heuristic: max-degree vertex plus its neighbors.
+    B1,
+    /// The paper's heuristic: globally highest-degree vertices.
+    S1,
+}
+
+impl SymmetryHeuristic {
+    /// All three options in Table 2's column order.
+    pub const ALL: [SymmetryHeuristic; 3] = [
+        SymmetryHeuristic::None,
+        SymmetryHeuristic::B1,
+        SymmetryHeuristic::S1,
+    ];
+
+    /// The short name used in the paper's tables (`-`, `b1`, `s1`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SymmetryHeuristic::None => "-",
+            SymmetryHeuristic::B1 => "b1",
+            SymmetryHeuristic::S1 => "s1",
+        }
+    }
+
+    /// The restricted vertex sequence for a K-coloring of `graph`.
+    ///
+    /// Position `p` (0-based) of the result may only use colors `0..=p`.
+    /// The sequence has at most `k.saturating_sub(1)` vertices (fewer on
+    /// small graphs); it is empty for [`SymmetryHeuristic::None`].
+    pub fn restricted_sequence(self, graph: &CspGraph, k: u32) -> Vec<u32> {
+        let budget = k.saturating_sub(1) as usize;
+        if budget == 0 {
+            return Vec::new();
+        }
+        match self {
+            SymmetryHeuristic::None => Vec::new(),
+            SymmetryHeuristic::B1 => b1_sequence(graph, budget),
+            SymmetryHeuristic::S1 => s1_sequence(graph, budget),
+        }
+    }
+}
+
+impl fmt::Display for SymmetryHeuristic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing an unknown heuristic name.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseSymmetryError(String);
+
+impl fmt::Display for ParseSymmetryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown symmetry heuristic `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseSymmetryError {}
+
+impl FromStr for SymmetryHeuristic {
+    type Err = ParseSymmetryError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "-" | "none" => Ok(SymmetryHeuristic::None),
+            "b1" => Ok(SymmetryHeuristic::B1),
+            "s1" => Ok(SymmetryHeuristic::S1),
+            _ => Err(ParseSymmetryError(s.to_string())),
+        }
+    }
+}
+
+/// Sort key: descending degree, ties by descending neighbor-degree sum,
+/// final tie by ascending index (determinism).
+fn degree_key(
+    graph: &CspGraph,
+    v: u32,
+) -> (std::cmp::Reverse<usize>, std::cmp::Reverse<usize>, u32) {
+    (
+        std::cmp::Reverse(graph.degree(v)),
+        std::cmp::Reverse(graph.neighbor_degree_sum(v)),
+        v,
+    )
+}
+
+fn b1_sequence(graph: &CspGraph, budget: usize) -> Vec<u32> {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let root = (0..n as u32)
+        .min_by_key(|&v| degree_key(graph, v))
+        .expect("graph is non-empty");
+    let mut seq = vec![root];
+    let mut neighbors: Vec<u32> = graph.neighbors(root).collect();
+    neighbors.sort_by_key(|&v| degree_key(graph, v));
+    // "up to the (K−2)nd of them": root + K−2 neighbors = K−1 vertices.
+    seq.extend(neighbors.into_iter().take(budget.saturating_sub(1)));
+    seq
+}
+
+fn s1_sequence(graph: &CspGraph, budget: usize) -> Vec<u32> {
+    let mut vertices: Vec<u32> = (0..graph.num_vertices() as u32).collect();
+    vertices.sort_by_key(|&v| degree_key(graph, v));
+    vertices.truncate(budget);
+    vertices
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use satroute_coloring::exact;
+
+    /// A star with extra edges: vertex 0 has degree 4, vertices 1-2 are
+    /// also connected to each other.
+    fn sample_graph() -> CspGraph {
+        CspGraph::from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4), (1, 2)])
+    }
+
+    #[test]
+    fn none_has_empty_sequence() {
+        let g = sample_graph();
+        assert!(SymmetryHeuristic::None
+            .restricted_sequence(&g, 4)
+            .is_empty());
+    }
+
+    #[test]
+    fn b1_starts_with_max_degree_vertex_then_neighbors() {
+        let g = sample_graph();
+        let seq = SymmetryHeuristic::B1.restricted_sequence(&g, 4);
+        assert_eq!(seq.len(), 3);
+        assert_eq!(seq[0], 0); // degree 4
+                               // Neighbors of 0 sorted by degree: 1 and 2 (degree 2), then 3/4
+                               // (degree 1). Tie between 1 and 2 broken by neighbor-degree sum
+                               // (equal: {0,2}/{0,1} both sum 4+2=6), then index.
+        assert_eq!(&seq[1..], &[1, 2]);
+    }
+
+    #[test]
+    fn s1_takes_globally_highest_degrees() {
+        let g = sample_graph();
+        let seq = SymmetryHeuristic::S1.restricted_sequence(&g, 4);
+        assert_eq!(seq, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn sequences_have_distinct_vertices() {
+        let g = satroute_coloring::random_graph(25, 0.4, 5);
+        for h in [SymmetryHeuristic::B1, SymmetryHeuristic::S1] {
+            for k in [2u32, 5, 10] {
+                let seq = h.restricted_sequence(&g, k);
+                assert!(seq.len() <= (k - 1) as usize);
+                let mut sorted = seq.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), seq.len(), "{h} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn k_zero_or_one_yields_no_restrictions() {
+        let g = sample_graph();
+        for h in SymmetryHeuristic::ALL {
+            assert!(h.restricted_sequence(&g, 0).is_empty());
+            assert!(h.restricted_sequence(&g, 1).is_empty());
+        }
+    }
+
+    #[test]
+    fn soundness_any_coloring_can_be_permuted_into_the_restriction() {
+        // For random graphs and both heuristics: if the graph is
+        // k-colorable, there is a proper coloring satisfying the
+        // restriction. We verify constructively with the swap argument.
+        for seed in 0..5u64 {
+            let g = satroute_coloring::random_graph(10, 0.4, seed);
+            let k = exact::chromatic_number(&g);
+            let coloring = exact::k_color(&g, k).expect("k-colorable by definition");
+            for h in [SymmetryHeuristic::B1, SymmetryHeuristic::S1] {
+                let seq = h.restricted_sequence(&g, k);
+                let mut colors = coloring.colors().to_vec();
+                for (p, &v) in seq.iter().enumerate() {
+                    let limit = p as u32 + 1;
+                    let c = colors[v as usize];
+                    if c >= limit {
+                        // Swap colors c and limit-1 globally.
+                        for x in colors.iter_mut() {
+                            if *x == c {
+                                *x = limit - 1;
+                            } else if *x == limit - 1 {
+                                *x = c;
+                            }
+                        }
+                    }
+                }
+                let permuted = satroute_coloring::Coloring::from_colors(colors.clone());
+                assert!(permuted.is_proper(&g), "swaps preserve properness");
+                for (p, &v) in seq.iter().enumerate() {
+                    assert!(
+                        colors[v as usize] <= p as u32,
+                        "{h}: position {p} vertex {v} violates its bound"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parsing_names() {
+        assert_eq!(
+            "b1".parse::<SymmetryHeuristic>().unwrap(),
+            SymmetryHeuristic::B1
+        );
+        assert_eq!(
+            "S1".parse::<SymmetryHeuristic>().unwrap(),
+            SymmetryHeuristic::S1
+        );
+        assert_eq!(
+            "-".parse::<SymmetryHeuristic>().unwrap(),
+            SymmetryHeuristic::None
+        );
+        assert_eq!(
+            "none".parse::<SymmetryHeuristic>().unwrap(),
+            SymmetryHeuristic::None
+        );
+        assert!("x1".parse::<SymmetryHeuristic>().is_err());
+    }
+}

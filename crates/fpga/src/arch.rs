@@ -1,0 +1,399 @@
+//! Island-style FPGA architecture model.
+//!
+//! The model follows the symmetric ("island-style") arrays that the paper's
+//! flow targets (paper §2, after Wu & Marek-Sadowska):
+//!
+//! * a `width × height` grid of logic blocks, each with one pin per side;
+//! * routing channels between block rows/columns, subdivided into
+//!   block-length **channel segments** of `W` parallel tracks;
+//! * a **connection block** at every channel segment, where adjacent block
+//!   pins can connect onto any of the `W` tracks;
+//! * a **switch block** at every channel crossing. Switch blocks are of the
+//!   track-preserving "subset" kind: track `i` of one segment can only
+//!   connect to track `i` of an adjacent segment. This is the property that
+//!   makes detailed routing equivalent to coloring the subnet conflict
+//!   graph with `W` colors — a 2-pin net occupies the *same* track index
+//!   along its whole path.
+//!
+//! The channel width `W` is deliberately *not* part of [`Architecture`]:
+//! the SAT flow asks "is this global routing detail-routable with `W`
+//! tracks?" for varying `W` over the same fabric.
+
+use std::error::Error;
+use std::fmt;
+
+/// One side of a logic block; each side carries one pin.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Side {
+    /// Top pin, connecting to the horizontal channel above the block.
+    North,
+    /// Bottom pin, connecting to the horizontal channel below the block.
+    South,
+    /// Right pin, connecting to the vertical channel right of the block.
+    East,
+    /// Left pin, connecting to the vertical channel left of the block.
+    West,
+}
+
+impl Side {
+    /// All four sides, in a fixed order.
+    pub const ALL: [Side; 4] = [Side::North, Side::South, Side::East, Side::West];
+}
+
+impl fmt::Display for Side {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Side::North => "N",
+            Side::South => "S",
+            Side::East => "E",
+            Side::West => "W",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A channel segment: one block-length stretch of a routing channel,
+/// together with its connection block.
+///
+/// Coordinates (for a `width × height` block grid):
+///
+/// * `Horizontal { x, y }` — runs along the top edge of row `y - 1` /
+///   bottom edge of row `y`; `0 ≤ x < width`, `0 ≤ y ≤ height`.
+/// * `Vertical { x, y }` — runs along the left edge of column `x` / right
+///   edge of column `x - 1`; `0 ≤ x ≤ width`, `0 ≤ y < height`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Segment {
+    /// A horizontal channel segment.
+    Horizontal {
+        /// Column of the segment (aligned with block column `x`).
+        x: u16,
+        /// Channel row: channel `y` lies below block row `y`.
+        y: u16,
+    },
+    /// A vertical channel segment.
+    Vertical {
+        /// Channel column: channel `x` lies left of block column `x`.
+        x: u16,
+        /// Row of the segment (aligned with block row `y`).
+        y: u16,
+    },
+}
+
+impl fmt::Display for Segment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Segment::Horizontal { x, y } => write!(f, "H({x},{y})"),
+            Segment::Vertical { x, y } => write!(f, "V({x},{y})"),
+        }
+    }
+}
+
+/// Error constructing an [`Architecture`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ArchError {
+    /// Grid dimensions must be at least 1×1.
+    EmptyGrid,
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::EmptyGrid => write!(f, "grid dimensions must be at least 1x1"),
+        }
+    }
+}
+
+impl Error for ArchError {}
+
+/// An island-style FPGA fabric: the block grid and its routing channels.
+///
+/// # Examples
+///
+/// ```
+/// use satroute_fpga::{Architecture, Segment, Side};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let arch = Architecture::new(3, 2)?;
+/// assert_eq!(arch.num_segments(), 3 * 3 + 4 * 2);
+/// // The north pin of block (1, 1) reaches the horizontal channel above it.
+/// let seg = arch.pin_segment(1, 1, Side::North);
+/// assert_eq!(seg, Segment::Horizontal { x: 1, y: 2 });
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Architecture {
+    width: u16,
+    height: u16,
+}
+
+impl Architecture {
+    /// Creates a fabric with a `width × height` logic-block grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::EmptyGrid`] if either dimension is zero.
+    pub fn new(width: u16, height: u16) -> Result<Self, ArchError> {
+        if width == 0 || height == 0 {
+            return Err(ArchError::EmptyGrid);
+        }
+        Ok(Architecture { width, height })
+    }
+
+    /// Number of block columns.
+    pub fn width(&self) -> u16 {
+        self.width
+    }
+
+    /// Number of block rows.
+    pub fn height(&self) -> u16 {
+        self.height
+    }
+
+    /// Number of logic blocks.
+    pub fn num_blocks(&self) -> usize {
+        usize::from(self.width) * usize::from(self.height)
+    }
+
+    /// Number of channel segments (horizontal + vertical).
+    pub fn num_segments(&self) -> usize {
+        let w = usize::from(self.width);
+        let h = usize::from(self.height);
+        w * (h + 1) + (w + 1) * h
+    }
+
+    /// Returns `true` if `(x, y)` is a valid block coordinate.
+    pub fn contains_block(&self, x: u16, y: u16) -> bool {
+        x < self.width && y < self.height
+    }
+
+    /// Returns `true` if `segment` exists on this fabric.
+    pub fn contains_segment(&self, segment: Segment) -> bool {
+        match segment {
+            Segment::Horizontal { x, y } => x < self.width && y <= self.height,
+            Segment::Vertical { x, y } => x <= self.width && y < self.height,
+        }
+    }
+
+    /// Dense index of a segment, suitable for array-backed lookups.
+    ///
+    /// Horizontal segments come first in row-major order, then vertical
+    /// segments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the segment is not on this fabric.
+    pub fn segment_index(&self, segment: Segment) -> usize {
+        assert!(
+            self.contains_segment(segment),
+            "segment {segment} outside {}x{} fabric",
+            self.width,
+            self.height
+        );
+        let w = usize::from(self.width);
+        match segment {
+            Segment::Horizontal { x, y } => usize::from(y) * w + usize::from(x),
+            Segment::Vertical { x, y } => {
+                let h_count = w * (usize::from(self.height) + 1);
+                h_count + usize::from(y) * (w + 1) + usize::from(x)
+            }
+        }
+    }
+
+    /// Inverse of [`Architecture::segment_index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.num_segments()`.
+    pub fn segment_at(&self, index: usize) -> Segment {
+        let w = usize::from(self.width);
+        let h_count = w * (usize::from(self.height) + 1);
+        if index < h_count {
+            Segment::Horizontal {
+                x: (index % w) as u16,
+                y: (index / w) as u16,
+            }
+        } else {
+            let rest = index - h_count;
+            let row_len = w + 1;
+            assert!(
+                rest < row_len * usize::from(self.height),
+                "segment index {index} out of range"
+            );
+            Segment::Vertical {
+                x: (rest % row_len) as u16,
+                y: (rest / row_len) as u16,
+            }
+        }
+    }
+
+    /// Iterates over every segment of the fabric.
+    pub fn segments(&self) -> impl Iterator<Item = Segment> + '_ {
+        (0..self.num_segments()).map(|i| self.segment_at(i))
+    }
+
+    /// The channel segment reached by the pin on `side` of block `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(x, y)` is not a valid block.
+    pub fn pin_segment(&self, x: u16, y: u16, side: Side) -> Segment {
+        assert!(
+            self.contains_block(x, y),
+            "block ({x}, {y}) outside {}x{} grid",
+            self.width,
+            self.height
+        );
+        match side {
+            Side::North => Segment::Horizontal { x, y: y + 1 },
+            Side::South => Segment::Horizontal { x, y },
+            Side::West => Segment::Vertical { x, y },
+            Side::East => Segment::Vertical { x: x + 1, y },
+        }
+    }
+
+    /// Segments adjacent to `segment` through a switch block.
+    ///
+    /// Two segments are adjacent when they meet at a channel crossing
+    /// (switch-block corner). A horizontal segment `H(x, y)` has corners at
+    /// `(x, y)` and `(x + 1, y)`; a vertical segment `V(x, y)` has corners
+    /// at `(x, y)` and `(x, y + 1)` — corner `(cx, cy)` touches `H(cx-1,cy)`,
+    /// `H(cx,cy)`, `V(cx,cy-1)` and `V(cx,cy)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the segment is not on this fabric.
+    pub fn neighbors(&self, segment: Segment) -> Vec<Segment> {
+        assert!(self.contains_segment(segment), "segment {segment} invalid");
+        let corners: [(u16, u16); 2] = match segment {
+            Segment::Horizontal { x, y } => [(x, y), (x + 1, y)],
+            Segment::Vertical { x, y } => [(x, y), (x, y + 1)],
+        };
+        let mut out = Vec::with_capacity(6);
+        for (cx, cy) in corners {
+            let mut push = |s: Segment| {
+                if s != segment && self.contains_segment(s) && !out.contains(&s) {
+                    out.push(s);
+                }
+            };
+            if cx > 0 {
+                push(Segment::Horizontal { x: cx - 1, y: cy });
+            }
+            push(Segment::Horizontal { x: cx, y: cy });
+            if cy > 0 {
+                push(Segment::Vertical { x: cx, y: cy - 1 });
+            }
+            push(Segment::Vertical { x: cx, y: cy });
+        }
+        out
+    }
+}
+
+impl fmt::Display for Architecture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{} island-style fabric", self.width, self.height)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_grid() {
+        assert_eq!(Architecture::new(0, 3), Err(ArchError::EmptyGrid));
+        assert_eq!(Architecture::new(3, 0), Err(ArchError::EmptyGrid));
+    }
+
+    #[test]
+    fn segment_counts() {
+        let a = Architecture::new(3, 2).unwrap();
+        // Horizontal: 3 columns x 3 channel rows = 9; vertical: 4 x 2 = 8.
+        assert_eq!(a.num_segments(), 17);
+        assert_eq!(a.segments().count(), 17);
+    }
+
+    #[test]
+    fn segment_index_roundtrips() {
+        let a = Architecture::new(4, 3).unwrap();
+        for i in 0..a.num_segments() {
+            let s = a.segment_at(i);
+            assert!(a.contains_segment(s));
+            assert_eq!(a.segment_index(s), i);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn segment_at_out_of_range_panics() {
+        let a = Architecture::new(2, 2).unwrap();
+        let _ = a.segment_at(a.num_segments());
+    }
+
+    #[test]
+    fn pin_segments_of_corner_block() {
+        let a = Architecture::new(3, 3).unwrap();
+        assert_eq!(
+            a.pin_segment(0, 0, Side::South),
+            Segment::Horizontal { x: 0, y: 0 }
+        );
+        assert_eq!(
+            a.pin_segment(0, 0, Side::North),
+            Segment::Horizontal { x: 0, y: 1 }
+        );
+        assert_eq!(
+            a.pin_segment(0, 0, Side::West),
+            Segment::Vertical { x: 0, y: 0 }
+        );
+        assert_eq!(
+            a.pin_segment(0, 0, Side::East),
+            Segment::Vertical { x: 1, y: 0 }
+        );
+    }
+
+    #[test]
+    fn pin_segments_are_always_valid() {
+        let a = Architecture::new(3, 2).unwrap();
+        for x in 0..3 {
+            for y in 0..2 {
+                for side in Side::ALL {
+                    assert!(a.contains_segment(a.pin_segment(x, y, side)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_are_symmetric_and_valid() {
+        let a = Architecture::new(3, 3).unwrap();
+        for s in a.segments() {
+            for n in a.neighbors(s) {
+                assert!(a.contains_segment(n));
+                assert_ne!(n, s);
+                assert!(
+                    a.neighbors(n).contains(&s),
+                    "adjacency must be symmetric: {s} vs {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_counts_on_1x1() {
+        let a = Architecture::new(1, 1).unwrap();
+        // Segments: H(0,0), H(0,1), V(0,0), V(1,0) — a 4-cycle around the
+        // block: each horizontal segment meets both verticals at its two
+        // corners and never the opposite horizontal.
+        for s in a.segments() {
+            assert_eq!(a.neighbors(s).len(), 2, "segment {s}");
+        }
+    }
+
+    #[test]
+    fn interior_horizontal_segment_has_six_neighbors() {
+        let a = Architecture::new(4, 4).unwrap();
+        let s = Segment::Horizontal { x: 1, y: 2 };
+        // Two corners, each contributing one collinear H and two V.
+        assert_eq!(a.neighbors(s).len(), 6);
+    }
+}

@@ -1,0 +1,319 @@
+//! Deterministic benchmark suite standing in for the MCNC circuits.
+//!
+//! The paper evaluates on eight MCNC circuits (`alu2`, `too_large`, `alu4`,
+//! `C880`, `apex7`, `C1355`, `vda`, `k2`) with global routings from
+//! SEGA-1.1. Those files are not redistributable/available here, so this
+//! module generates *synthetic stand-ins with the same names*: seeded random
+//! placements routed by [`GlobalRouter`](crate::GlobalRouter) on island
+//! fabrics of increasing size, yielding conflict graphs that span the same
+//! small→hard difficulty range (see `DESIGN.md`, substitution table).
+//!
+//! For each instance we derive two channel widths:
+//!
+//! * [`BenchmarkInstance::routable_width`] — the number of colors used by a
+//!   DSATUR coloring of the conflict graph. By construction, a detailed
+//!   routing with this many tracks exists, so SAT instances at this width
+//!   are satisfiable (the paper's "routable configurations").
+//! * [`BenchmarkInstance::unroutable_width`] — one less than the size of a
+//!   greedily grown clique. Any clique of size `c` needs `c` tracks, so
+//!   `c - 1` tracks are provably insufficient: SAT instances at this width
+//!   are unsatisfiable (the paper's "challenging unroutable
+//!   configurations"). These embed pigeonhole subproblems, the classically
+//!   hard case for clause-learning solvers — matching the paper's
+//!   observation that the unroutable configurations dominate runtime.
+
+use std::ops::RangeInclusive;
+
+use satroute_coloring::{dsatur_coloring, CspGraph};
+
+use crate::{Architecture, GlobalRouter, Netlist, RoutingProblem};
+
+/// Generation parameters of one synthetic benchmark.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BenchmarkSpec {
+    /// Benchmark name (matches the paper's circuit names in the suites).
+    pub name: &'static str,
+    /// Fabric dimensions (blocks).
+    pub grid: (u16, u16),
+    /// Number of multi-pin nets.
+    pub nets: usize,
+    /// Terminals per net (inclusive range).
+    pub terminals: RangeInclusive<usize>,
+    /// RNG seed for the placement.
+    pub seed: u64,
+    /// Rip-up-and-reroute passes of the global router. The paper suite uses
+    /// 0: shortest-path routing concentrates congestion, producing the
+    /// large track-exclusivity cliques that make the unroutable
+    /// configurations genuinely hard (the paper's Table 2 regime).
+    pub ripup_passes: usize,
+    /// Congestion weight of the global router (0 = pure shortest paths).
+    pub congestion_weight: u64,
+    /// Number of placement clusters (vertical fabric strips). 1 = uniform
+    /// random placement. Values ≥ 2 create several separate congestion
+    /// hotspots whose pigeonholes cannot all be broken by one
+    /// symmetry-restricted vertex sequence — the regime where encoding
+    /// choice matters even with symmetry breaking, as in the paper's
+    /// hardest benchmarks. `nets` must be divisible by `clusters`.
+    pub clusters: u16,
+}
+
+/// A fully built benchmark: the routing problem, its conflict graph and the
+/// calibrated channel widths.
+#[derive(Clone, Debug)]
+pub struct BenchmarkInstance {
+    /// Benchmark name.
+    pub name: String,
+    /// The detailed-routing problem (fabric + netlist + global routing).
+    pub problem: RoutingProblem,
+    /// Cached track-exclusivity graph of `problem`.
+    pub conflict_graph: CspGraph,
+    /// A channel width at which the problem is guaranteed routable.
+    pub routable_width: u32,
+    /// A channel width at which the problem is provably unroutable
+    /// (one below a known clique), or 0 if the conflict graph has no edge.
+    pub unroutable_width: u32,
+}
+
+impl BenchmarkSpec {
+    /// Builds the instance: generate the netlist, run the global router,
+    /// extract the conflict graph and calibrate the widths.
+    ///
+    /// Deterministic for a fixed spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is infeasible (fabric too small for the requested
+    /// nets) — benchmark specs are fixed data, so this indicates a bug in
+    /// the spec table rather than a runtime condition.
+    pub fn build(&self) -> BenchmarkInstance {
+        let (w, h) = self.grid;
+        let arch = Architecture::new(w, h).expect("spec grids are non-empty");
+        let netlist = if self.clusters <= 1 {
+            Netlist::random(&arch, self.nets, self.terminals.clone(), self.seed)
+        } else {
+            assert_eq!(
+                self.nets % self.clusters as usize,
+                0,
+                "nets must divide evenly across clusters"
+            );
+            Netlist::random_clustered(
+                &arch,
+                self.clusters,
+                self.nets / self.clusters as usize,
+                self.terminals.clone(),
+                self.seed,
+            )
+        }
+        .expect("spec netlists fit their fabric");
+        let routing = GlobalRouter::new()
+            .with_ripup_passes(self.ripup_passes)
+            .with_congestion_weight(self.congestion_weight)
+            .route(&arch, &netlist)
+            .expect("connected fabrics always route");
+        let problem = RoutingProblem::new(arch, netlist, routing);
+        let conflict_graph = problem.conflict_graph();
+
+        let routable_width = dsatur_coloring(&conflict_graph)
+            .max_color()
+            .map_or(1, |m| m + 1);
+        let clique = conflict_graph.greedy_clique().len() as u32;
+        let unroutable_width = clique.saturating_sub(1);
+
+        BenchmarkInstance {
+            name: self.name.to_string(),
+            problem,
+            conflict_graph,
+            routable_width,
+            unroutable_width,
+        }
+    }
+}
+
+/// The specs behind [`suite_paper`]. Grid sizes and net counts grow roughly
+/// with the relative difficulty the paper reports per circuit (Table 2:
+/// `alu2`/`too_large` solve in seconds even with the slowest encoding, while
+/// `vda`/`k2` take the longest).
+pub fn paper_specs() -> Vec<BenchmarkSpec> {
+    let spec = |name, grid, nets, clusters, seed| BenchmarkSpec {
+        name,
+        grid,
+        nets,
+        terminals: 2..=4,
+        seed,
+        ripup_passes: 0,
+        congestion_weight: 0,
+        clusters,
+    };
+    // The ladder was calibrated in two dimensions:
+    //
+    // * greedy-clique sizes grow across the suite (7, 8, 8, 9, 9, 9, 9,
+    //   10), so the W = clique − 1 UNSAT proofs for the muldirect baseline
+    //   span milliseconds (`alu2`) to tens of seconds (`k2`) — Table 2's
+    //   spread. (Clique 11 would push the uncapped baseline past 10
+    //   CPU-minutes per cell, measured, so the ladder tops out at 10.)
+    // * the three hardest instances use **two placement clusters**, giving
+    //   two congestion hotspots with near-equal cliques (9/9, 9/9, 10/10).
+    //   A single symmetry-restricted vertex sequence cannot break both
+    //   pigeonholes, so these instances stay hard under b1/s1 and the
+    //   encoding choice shows through — reproducing the paper's regime
+    //   where ITE-linear-2+muldirect/s1 wins (e.g. on `k2`:
+    //   muldirect/s1 ≈ 13 s vs ITE-linear-2+muldirect/s1 ≈ 0.2 s).
+    vec![
+        spec("alu2", (5, 5), 24, 1, 0x5EED_0000),
+        spec("too_large", (5, 5), 24, 1, 0x5EED_0002),
+        spec("alu4", (6, 6), 30, 1, 0x5EED_0003),
+        spec("C880", (5, 5), 30, 1, 0x5EED_0002),
+        spec("apex7", (7, 7), 42, 1, 0x5EED_0002),
+        spec("C1355", (12, 6), 72, 2, 0xC2_0005),
+        spec("vda", (10, 5), 60, 2, 0xC2_0012),
+        spec("k2", (10, 5), 60, 2, 0xC2_001B),
+    ]
+}
+
+/// Builds the eight paper-scale benchmarks (`alu2` … `k2`).
+///
+/// These are the workloads behind Table 2 and the portfolio experiment.
+/// Building takes a moment (global routing of ~100 nets); benches build
+/// once and reuse.
+pub fn suite_paper() -> Vec<BenchmarkInstance> {
+    paper_specs().iter().map(BenchmarkSpec::build).collect()
+}
+
+/// Three miniature instances for tests, examples and doc tests: same
+/// pipeline, seconds-not-minutes sizes.
+pub fn suite_tiny() -> Vec<BenchmarkInstance> {
+    let spec = |name, grid, nets, terminals, seed| BenchmarkSpec {
+        name,
+        grid,
+        nets,
+        terminals,
+        seed,
+        ripup_passes: 0,
+        congestion_weight: 0,
+        clusters: 1,
+    };
+    vec![
+        spec("tiny_a", (4, 4), 10, 2..=3, 0x71),
+        spec("tiny_b", (5, 4), 14, 2..=3, 0x72),
+        spec("tiny_c", (5, 5), 18, 2..=4, 0x73),
+    ]
+    .iter()
+    .map(BenchmarkSpec::build)
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DetailedRouting;
+    use satroute_coloring::exact;
+
+    #[test]
+    fn tiny_suite_builds_and_is_consistent() {
+        for inst in suite_tiny() {
+            assert_eq!(
+                inst.conflict_graph.num_vertices(),
+                inst.problem.num_subnets()
+            );
+            assert!(inst.routable_width >= 1);
+            assert!(
+                inst.unroutable_width < inst.routable_width,
+                "{}: unroutable {} must be below routable {}",
+                inst.name,
+                inst.unroutable_width,
+                inst.routable_width
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_routable_width_admits_a_verified_routing() {
+        for inst in suite_tiny() {
+            let coloring = dsatur_coloring(&inst.conflict_graph);
+            let routing = DetailedRouting::from_tracks(coloring.into_colors());
+            inst.problem
+                .verify_detailed_routing(&routing, inst.routable_width)
+                .unwrap_or_else(|e| panic!("{}: {e}", inst.name));
+        }
+    }
+
+    #[test]
+    fn tiny_unroutable_width_is_truly_unroutable() {
+        // The clique bound guarantees it; double-check with the exhaustive
+        // oracle on the clique subgraph.
+        for inst in suite_tiny() {
+            let clique = inst.conflict_graph.greedy_clique();
+            if inst.unroutable_width == 0 {
+                continue;
+            }
+            // Build the induced subgraph of the clique and show it is not
+            // colorable with clique-1 colors.
+            let k = clique.len();
+            let mut sub = CspGraph::new(k);
+            for i in 0..k {
+                for j in (i + 1)..k {
+                    assert!(inst.conflict_graph.has_edge(clique[i], clique[j]));
+                    sub.add_edge(i as u32, j as u32);
+                }
+            }
+            assert!(exact::k_color(&sub, inst.unroutable_width).is_none());
+        }
+    }
+
+    #[test]
+    fn instances_are_deterministic() {
+        let a = suite_tiny();
+        let b = suite_tiny();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.conflict_graph, y.conflict_graph);
+            assert_eq!(x.routable_width, y.routable_width);
+            assert_eq!(x.unroutable_width, y.unroutable_width);
+        }
+    }
+
+    #[test]
+    fn paper_suite_difficulty_ladder_is_pinned() {
+        // The clique sizes control how hard the W = clique - 1 UNSAT proofs
+        // are; pin them so generator changes that would silently reshape
+        // Table 2 are caught.
+        let cliques: Vec<usize> = paper_specs()
+            .iter()
+            .map(|s| s.build().conflict_graph.greedy_clique().len())
+            .collect();
+        assert_eq!(cliques, [7, 8, 8, 9, 9, 9, 9, 10]);
+    }
+
+    #[test]
+    fn paper_suite_widths_are_consistent() {
+        for inst in suite_paper() {
+            assert!(
+                inst.unroutable_width >= 1,
+                "{}: needs a non-trivial unroutable width",
+                inst.name
+            );
+            assert!(
+                inst.unroutable_width < inst.routable_width,
+                "{}: width window is inverted",
+                inst.name
+            );
+        }
+    }
+
+    #[test]
+    fn paper_suite_names_match_the_paper() {
+        let names: Vec<&str> = paper_specs().iter().map(|s| s.name).collect();
+        assert_eq!(
+            names,
+            [
+                "alu2",
+                "too_large",
+                "alu4",
+                "C880",
+                "apex7",
+                "C1355",
+                "vda",
+                "k2"
+            ]
+        );
+    }
+}

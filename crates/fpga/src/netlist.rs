@@ -1,0 +1,452 @@
+//! Netlists: multi-pin nets over logic-block pins.
+
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+use std::ops::RangeInclusive;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::{Architecture, Side};
+
+/// Identifier of a multi-pin net (its index in the [`Netlist`]).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NetId(pub u32);
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A net terminal: a specific pin of a specific logic block.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Terminal {
+    /// Block column.
+    pub x: u16,
+    /// Block row.
+    pub y: u16,
+    /// Which side's pin.
+    pub side: Side,
+}
+
+impl fmt::Display for Terminal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{}).{}", self.x, self.y, self.side)
+    }
+}
+
+/// A multi-pin net: a source terminal followed by one or more sinks.
+///
+/// `terminals[0]` is the driver; the rest are sinks (the convention used
+/// when decomposing into 2-pin subnets, paper §2).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Net {
+    terminals: Vec<Terminal>,
+}
+
+impl Net {
+    /// Creates a net from its terminals.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::TooFewTerminals`] for fewer than two
+    /// terminals and [`NetlistError::DuplicateTerminal`] if a terminal
+    /// repeats.
+    pub fn new(terminals: Vec<Terminal>) -> Result<Self, NetlistError> {
+        if terminals.len() < 2 {
+            return Err(NetlistError::TooFewTerminals(terminals.len()));
+        }
+        let mut seen = HashSet::new();
+        for &t in &terminals {
+            if !seen.insert(t) {
+                return Err(NetlistError::DuplicateTerminal(t));
+            }
+        }
+        Ok(Net { terminals })
+    }
+
+    /// The driver terminal.
+    pub fn source(&self) -> Terminal {
+        self.terminals[0]
+    }
+
+    /// The sink terminals.
+    pub fn sinks(&self) -> &[Terminal] {
+        &self.terminals[1..]
+    }
+
+    /// All terminals (driver first).
+    pub fn terminals(&self) -> &[Terminal] {
+        &self.terminals
+    }
+
+    /// Number of terminals.
+    pub fn num_terminals(&self) -> usize {
+        self.terminals.len()
+    }
+}
+
+/// Errors constructing nets and netlists.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum NetlistError {
+    /// A net needs at least two terminals.
+    TooFewTerminals(usize),
+    /// A terminal appears twice in one net.
+    DuplicateTerminal(Terminal),
+    /// A terminal references a block outside the fabric.
+    TerminalOffGrid(Terminal),
+    /// The random generator could not place the requested nets (fabric too
+    /// small for the terminal count).
+    FabricTooSmall {
+        /// Terminals requested in one net.
+        requested: usize,
+        /// Pins available on the fabric.
+        available: usize,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::TooFewTerminals(n) => {
+                write!(f, "a net needs at least 2 terminals, got {n}")
+            }
+            NetlistError::DuplicateTerminal(t) => {
+                write!(f, "terminal {t} appears twice in one net")
+            }
+            NetlistError::TerminalOffGrid(t) => {
+                write!(f, "terminal {t} is outside the fabric")
+            }
+            NetlistError::FabricTooSmall {
+                requested,
+                available,
+            } => write!(
+                f,
+                "cannot place a {requested}-terminal net on a fabric with {available} pins"
+            ),
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+/// A collection of multi-pin nets to be routed on one fabric.
+///
+/// # Examples
+///
+/// ```
+/// use satroute_fpga::{Architecture, Net, Netlist, Side, Terminal};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let arch = Architecture::new(2, 2)?;
+/// let net = Net::new(vec![
+///     Terminal { x: 0, y: 0, side: Side::East },
+///     Terminal { x: 1, y: 1, side: Side::West },
+/// ])?;
+/// let netlist = Netlist::new(&arch, vec![net])?;
+/// assert_eq!(netlist.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Netlist {
+    nets: Vec<Net>,
+}
+
+impl Netlist {
+    /// Creates a netlist, validating every terminal against the fabric.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::TerminalOffGrid`] if a terminal references a
+    /// block outside `arch`.
+    pub fn new(arch: &Architecture, nets: Vec<Net>) -> Result<Self, NetlistError> {
+        for net in &nets {
+            for &t in net.terminals() {
+                if !arch.contains_block(t.x, t.y) {
+                    return Err(NetlistError::TerminalOffGrid(t));
+                }
+            }
+        }
+        Ok(Netlist { nets })
+    }
+
+    /// Generates a seeded random netlist.
+    ///
+    /// Creates `num_nets` nets whose terminal counts are drawn uniformly
+    /// from `terminals_per_net`. Terminals within one net are distinct pins;
+    /// different nets may touch the same block but never share a pin (each
+    /// physical pin drives/receives one net), mirroring real placements.
+    ///
+    /// Deterministic for a given `(arch, num_nets, range, seed)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::FabricTooSmall`] if the fabric does not have
+    /// enough pins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `terminals_per_net` is empty or starts below 2.
+    pub fn random(
+        arch: &Architecture,
+        num_nets: usize,
+        terminals_per_net: RangeInclusive<usize>,
+        seed: u64,
+    ) -> Result<Self, NetlistError> {
+        assert!(
+            *terminals_per_net.start() >= 2,
+            "nets need at least 2 terminals"
+        );
+        assert!(
+            terminals_per_net.start() <= terminals_per_net.end(),
+            "empty terminal range"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // Pool of all pins on the fabric.
+        let mut pool: Vec<Terminal> = Vec::with_capacity(arch.num_blocks() * 4);
+        for x in 0..arch.width() {
+            for y in 0..arch.height() {
+                for side in Side::ALL {
+                    pool.push(Terminal { x, y, side });
+                }
+            }
+        }
+        pool.shuffle(&mut rng);
+
+        let mut nets = Vec::with_capacity(num_nets);
+        for _ in 0..num_nets {
+            let want = rng.gen_range(terminals_per_net.clone());
+            if pool.len() < want {
+                return Err(NetlistError::FabricTooSmall {
+                    requested: want,
+                    available: pool.len(),
+                });
+            }
+            let terminals: Vec<Terminal> = pool.drain(pool.len() - want..).collect();
+            nets.push(Net::new(terminals).expect("pool pins are distinct"));
+        }
+        Ok(Netlist { nets })
+    }
+
+    /// Generates a seeded random netlist whose nets are confined to
+    /// `clusters` vertical strips of the fabric, `nets_per_cluster` nets
+    /// each.
+    ///
+    /// Clustered placements concentrate routing congestion into several
+    /// separate hotspots, which is what makes the resulting unroutable SAT
+    /// instances resist symmetry breaking (one restricted vertex sequence
+    /// cannot break every hotspot's pigeonhole at once) — the regime where
+    /// the paper's encoding comparison is most visible.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::FabricTooSmall`] if a strip runs out of
+    /// pins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clusters` is 0 or exceeds the fabric width, or if
+    /// `terminals_per_net` is empty or starts below 2.
+    pub fn random_clustered(
+        arch: &Architecture,
+        clusters: u16,
+        nets_per_cluster: usize,
+        terminals_per_net: RangeInclusive<usize>,
+        seed: u64,
+    ) -> Result<Self, NetlistError> {
+        assert!(clusters >= 1, "need at least one cluster");
+        assert!(
+            clusters <= arch.width(),
+            "more clusters than fabric columns"
+        );
+        assert!(
+            *terminals_per_net.start() >= 2,
+            "nets need at least 2 terminals"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let strip = arch.width() / clusters;
+
+        let mut nets = Vec::with_capacity(clusters as usize * nets_per_cluster);
+        for c in 0..clusters {
+            let x_lo = c * strip;
+            let x_hi = if c + 1 == clusters {
+                arch.width()
+            } else {
+                (c + 1) * strip
+            };
+            let mut pool: Vec<Terminal> = Vec::new();
+            for x in x_lo..x_hi {
+                for y in 0..arch.height() {
+                    for side in Side::ALL {
+                        pool.push(Terminal { x, y, side });
+                    }
+                }
+            }
+            pool.shuffle(&mut rng);
+            for _ in 0..nets_per_cluster {
+                let want = rng.gen_range(terminals_per_net.clone());
+                if pool.len() < want {
+                    return Err(NetlistError::FabricTooSmall {
+                        requested: want,
+                        available: pool.len(),
+                    });
+                }
+                let terminals: Vec<Terminal> = pool.drain(pool.len() - want..).collect();
+                nets.push(Net::new(terminals).expect("pool pins are distinct"));
+            }
+        }
+        Ok(Netlist { nets })
+    }
+
+    /// Number of nets.
+    pub fn len(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Returns `true` if there are no nets.
+    pub fn is_empty(&self) -> bool {
+        self.nets.is_empty()
+    }
+
+    /// The net with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.0 as usize]
+    }
+
+    /// Iterates over `(NetId, &Net)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NetId, &Net)> {
+        self.nets
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NetId(i as u32), n))
+    }
+
+    /// Total number of terminals across all nets.
+    pub fn num_terminals(&self) -> usize {
+        self.nets.iter().map(Net::num_terminals).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(x: u16, y: u16, side: Side) -> Terminal {
+        Terminal { x, y, side }
+    }
+
+    #[test]
+    fn net_requires_two_distinct_terminals() {
+        assert!(matches!(
+            Net::new(vec![t(0, 0, Side::North)]),
+            Err(NetlistError::TooFewTerminals(1))
+        ));
+        assert!(matches!(
+            Net::new(vec![t(0, 0, Side::North), t(0, 0, Side::North)]),
+            Err(NetlistError::DuplicateTerminal(_))
+        ));
+        let net = Net::new(vec![t(0, 0, Side::North), t(1, 0, Side::South)]).unwrap();
+        assert_eq!(net.source(), t(0, 0, Side::North));
+        assert_eq!(net.sinks(), &[t(1, 0, Side::South)]);
+    }
+
+    #[test]
+    fn netlist_validates_terminals_against_fabric() {
+        let arch = Architecture::new(2, 2).unwrap();
+        let bad = Net::new(vec![t(0, 0, Side::North), t(5, 0, Side::South)]).unwrap();
+        assert!(matches!(
+            Netlist::new(&arch, vec![bad]),
+            Err(NetlistError::TerminalOffGrid(_))
+        ));
+    }
+
+    #[test]
+    fn random_netlist_is_deterministic() {
+        let arch = Architecture::new(4, 4).unwrap();
+        let a = Netlist::random(&arch, 10, 2..=4, 99).unwrap();
+        let b = Netlist::random(&arch, 10, 2..=4, 99).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, Netlist::random(&arch, 10, 2..=4, 100).unwrap());
+    }
+
+    #[test]
+    fn random_netlist_respects_parameters() {
+        let arch = Architecture::new(5, 5).unwrap();
+        let nl = Netlist::random(&arch, 12, 2..=5, 7).unwrap();
+        assert_eq!(nl.len(), 12);
+        for (_, net) in nl.iter() {
+            assert!((2..=5).contains(&net.num_terminals()));
+        }
+    }
+
+    #[test]
+    fn random_netlist_never_shares_pins_between_nets() {
+        let arch = Architecture::new(4, 4).unwrap();
+        let nl = Netlist::random(&arch, 14, 2..=4, 3).unwrap();
+        let mut seen = HashSet::new();
+        for (_, net) in nl.iter() {
+            for &term in net.terminals() {
+                assert!(seen.insert(term), "pin {term} used by two nets");
+            }
+        }
+    }
+
+    #[test]
+    fn clustered_netlist_confines_nets_to_strips() {
+        let arch = Architecture::new(8, 4).unwrap();
+        let nl = Netlist::random_clustered(&arch, 2, 6, 2..=3, 9).unwrap();
+        assert_eq!(nl.len(), 12);
+        for (id, net) in nl.iter() {
+            let in_left = net.terminals().iter().all(|t| t.x < 4);
+            let in_right = net.terminals().iter().all(|t| t.x >= 4);
+            assert!(
+                in_left || in_right,
+                "{id} spans both strips: {:?}",
+                net.terminals()
+            );
+        }
+    }
+
+    #[test]
+    fn clustered_netlist_is_deterministic_and_pin_disjoint() {
+        let arch = Architecture::new(6, 6).unwrap();
+        let a = Netlist::random_clustered(&arch, 3, 8, 2..=4, 4).unwrap();
+        let b = Netlist::random_clustered(&arch, 3, 8, 2..=4, 4).unwrap();
+        assert_eq!(a, b);
+        let mut seen = HashSet::new();
+        for (_, net) in a.iter() {
+            for &t in net.terminals() {
+                assert!(seen.insert(t));
+            }
+        }
+    }
+
+    #[test]
+    fn clustered_netlist_reports_exhausted_strip() {
+        let arch = Architecture::new(2, 1).unwrap();
+        // One strip of 1 column = 4 pins; 3 nets × 2 pins needs 6.
+        assert!(matches!(
+            Netlist::random_clustered(&arch, 2, 3, 2..=2, 0),
+            Err(NetlistError::FabricTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn random_netlist_fails_on_tiny_fabric() {
+        let arch = Architecture::new(1, 1).unwrap();
+        // 1 block = 4 pins; three 2-terminal nets need 6.
+        assert!(matches!(
+            Netlist::random(&arch, 3, 2..=2, 0),
+            Err(NetlistError::FabricTooSmall { .. })
+        ));
+    }
+}

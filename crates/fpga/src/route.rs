@@ -1,0 +1,407 @@
+//! Congestion-negotiating global router.
+//!
+//! In the paper, global routings come from the SEGA-1.1 distribution; here
+//! they are produced by a maze router of the same family: every 2-pin subnet
+//! gets a shortest path through the channel-segment graph, with segment
+//! costs that grow with present congestion, followed by rip-up-and-reroute
+//! refinement passes. The router is deterministic.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::error::Error;
+use std::fmt;
+
+use crate::{decompose, Architecture, DecompositionStyle, Netlist, Segment, Subnet};
+
+/// The global route of one 2-pin subnet: the ordered channel segments it
+/// passes through, from the source pin's connection block to the sink's.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SubnetRoute {
+    /// The routed subnet.
+    pub subnet: Subnet,
+    /// The segments traversed, in order. Never empty; consecutive segments
+    /// are switch-block adjacent.
+    pub path: Vec<Segment>,
+}
+
+/// A complete global routing: one [`SubnetRoute`] per 2-pin subnet.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct GlobalRouting {
+    routes: Vec<SubnetRoute>,
+}
+
+impl GlobalRouting {
+    /// Creates a global routing from per-subnet routes.
+    pub fn new(routes: Vec<SubnetRoute>) -> Self {
+        GlobalRouting { routes }
+    }
+
+    /// The per-subnet routes.
+    pub fn routes(&self) -> &[SubnetRoute] {
+        &self.routes
+    }
+
+    /// Number of routed subnets.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Returns `true` if no subnets are routed.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+
+    /// Checks structural validity against a fabric: every path is non-empty,
+    /// starts at the source pin's segment, ends at the sink pin's segment,
+    /// and moves only between switch-block-adjacent segments.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`RouteError`] found.
+    pub fn validate(&self, arch: &Architecture) -> Result<(), RouteError> {
+        for route in &self.routes {
+            let path = &route.path;
+            if path.is_empty() {
+                return Err(RouteError::EmptyPath(route.subnet));
+            }
+            let src = arch.pin_segment(
+                route.subnet.from.x,
+                route.subnet.from.y,
+                route.subnet.from.side,
+            );
+            let dst = arch.pin_segment(route.subnet.to.x, route.subnet.to.y, route.subnet.to.side);
+            if path[0] != src || *path.last().expect("non-empty") != dst {
+                return Err(RouteError::EndpointMismatch(route.subnet));
+            }
+            for w in path.windows(2) {
+                if !arch.neighbors(w[0]).contains(&w[1]) {
+                    return Err(RouteError::Disconnected(route.subnet));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Maximum number of *distinct nets* passing through any one segment —
+    /// a lower bound on the channel width required by this global routing.
+    pub fn max_segment_congestion(&self, arch: &Architecture) -> usize {
+        let mut nets_per_segment: Vec<std::collections::BTreeSet<u32>> =
+            vec![std::collections::BTreeSet::new(); arch.num_segments()];
+        for route in &self.routes {
+            for &seg in &route.path {
+                nets_per_segment[arch.segment_index(seg)].insert(route.subnet.net.0);
+            }
+        }
+        nets_per_segment.iter().map(|s| s.len()).max().unwrap_or(0)
+    }
+}
+
+/// Errors produced by routing or validating routes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RouteError {
+    /// A subnet has an empty path.
+    EmptyPath(Subnet),
+    /// A path does not start/end at the subnet's pins.
+    EndpointMismatch(Subnet),
+    /// Consecutive path segments are not switch-block adjacent.
+    Disconnected(Subnet),
+    /// The maze search found no path (cannot happen on a connected fabric;
+    /// kept for API honesty).
+    NoPath(Subnet),
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::EmptyPath(s) => write!(f, "subnet {s} has an empty path"),
+            RouteError::EndpointMismatch(s) => {
+                write!(f, "subnet {s} path does not connect its pins")
+            }
+            RouteError::Disconnected(s) => {
+                write!(f, "subnet {s} path jumps between non-adjacent segments")
+            }
+            RouteError::NoPath(s) => write!(f, "no path found for subnet {s}"),
+        }
+    }
+}
+
+impl Error for RouteError {}
+
+/// A deterministic congestion-negotiating maze router.
+///
+/// # Examples
+///
+/// ```
+/// use satroute_fpga::{Architecture, GlobalRouter, Netlist};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let arch = Architecture::new(4, 4)?;
+/// let netlist = Netlist::random(&arch, 6, 2..=3, 11)?;
+/// let routing = GlobalRouter::new().route(&arch, &netlist)?;
+/// routing.validate(&arch)?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct GlobalRouter {
+    style: DecompositionStyle,
+    ripup_passes: usize,
+    congestion_weight: u64,
+}
+
+impl Default for GlobalRouter {
+    fn default() -> Self {
+        GlobalRouter {
+            style: DecompositionStyle::Star,
+            ripup_passes: 2,
+            congestion_weight: 3,
+        }
+    }
+}
+
+impl GlobalRouter {
+    /// Creates a router with default parameters (star decomposition, two
+    /// rip-up passes, congestion weight 3).
+    pub fn new() -> Self {
+        GlobalRouter::default()
+    }
+
+    /// Sets the multi-pin decomposition style.
+    pub fn with_decomposition(mut self, style: DecompositionStyle) -> Self {
+        self.style = style;
+        self
+    }
+
+    /// Sets the number of rip-up-and-reroute refinement passes.
+    pub fn with_ripup_passes(mut self, passes: usize) -> Self {
+        self.ripup_passes = passes;
+        self
+    }
+
+    /// Sets the extra cost per net already occupying a segment.
+    pub fn with_congestion_weight(mut self, weight: u64) -> Self {
+        self.congestion_weight = weight;
+        self
+    }
+
+    /// Routes every subnet of `netlist` on `arch`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::NoPath`] if the maze search fails (impossible
+    /// on a connected fabric, but surfaced rather than panicking).
+    pub fn route(
+        &self,
+        arch: &Architecture,
+        netlist: &Netlist,
+    ) -> Result<GlobalRouting, RouteError> {
+        let subnets = decompose(netlist, self.style);
+        let n_seg = arch.num_segments();
+        // usage[s] = number of subnets currently routed through segment s.
+        let mut usage: Vec<u64> = vec![0; n_seg];
+        let mut paths: Vec<Option<Vec<Segment>>> = vec![None; subnets.len()];
+
+        // Route longer subnets first: they have fewer detour options.
+        let mut order: Vec<usize> = (0..subnets.len()).collect();
+        order.sort_by_key(|&i| {
+            let s = subnets[i];
+            let dx = (i32::from(s.from.x) - i32::from(s.to.x)).unsigned_abs();
+            let dy = (i32::from(s.from.y) - i32::from(s.to.y)).unsigned_abs();
+            (Reverse(dx + dy), i)
+        });
+
+        for pass in 0..=self.ripup_passes {
+            for &i in &order {
+                if pass > 0 {
+                    if let Some(old) = paths[i].take() {
+                        for seg in &old {
+                            usage[arch.segment_index(*seg)] -= 1;
+                        }
+                    }
+                }
+                let path = self.maze_route(arch, subnets[i], &usage)?;
+                for seg in &path {
+                    usage[arch.segment_index(*seg)] += 1;
+                }
+                paths[i] = Some(path);
+            }
+        }
+
+        let routes = subnets
+            .into_iter()
+            .zip(paths)
+            .map(|(subnet, path)| SubnetRoute {
+                subnet,
+                path: path.expect("all subnets routed"),
+            })
+            .collect();
+        Ok(GlobalRouting::new(routes))
+    }
+
+    /// Dijkstra over the segment graph with congestion-aware costs.
+    fn maze_route(
+        &self,
+        arch: &Architecture,
+        subnet: Subnet,
+        usage: &[u64],
+    ) -> Result<Vec<Segment>, RouteError> {
+        let src = arch.pin_segment(subnet.from.x, subnet.from.y, subnet.from.side);
+        let dst = arch.pin_segment(subnet.to.x, subnet.to.y, subnet.to.side);
+        let src_idx = arch.segment_index(src);
+        let dst_idx = arch.segment_index(dst);
+
+        let n = arch.num_segments();
+        let mut dist: Vec<u64> = vec![u64::MAX; n];
+        let mut prev: Vec<usize> = vec![usize::MAX; n];
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+
+        let enter_cost = |idx: usize| 1 + self.congestion_weight * usage[idx];
+        dist[src_idx] = enter_cost(src_idx);
+        heap.push(Reverse((dist[src_idx], src_idx)));
+
+        while let Some(Reverse((d, idx))) = heap.pop() {
+            if d > dist[idx] {
+                continue;
+            }
+            if idx == dst_idx {
+                break;
+            }
+            let seg = arch.segment_at(idx);
+            for next in arch.neighbors(seg) {
+                let next_idx = arch.segment_index(next);
+                let nd = d + enter_cost(next_idx);
+                if nd < dist[next_idx] {
+                    dist[next_idx] = nd;
+                    prev[next_idx] = idx;
+                    heap.push(Reverse((nd, next_idx)));
+                }
+            }
+        }
+
+        if dist[dst_idx] == u64::MAX {
+            return Err(RouteError::NoPath(subnet));
+        }
+        let mut path = Vec::new();
+        let mut cur = dst_idx;
+        loop {
+            path.push(arch.segment_at(cur));
+            if cur == src_idx {
+                break;
+            }
+            cur = prev[cur];
+            debug_assert_ne!(cur, usize::MAX, "broken predecessor chain");
+        }
+        path.reverse();
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Net, Side, Terminal};
+
+    fn t(x: u16, y: u16, side: Side) -> Terminal {
+        Terminal { x, y, side }
+    }
+
+    #[test]
+    fn routes_single_straight_net() {
+        let arch = Architecture::new(3, 1).unwrap();
+        let net = Net::new(vec![t(0, 0, Side::South), t(2, 0, Side::South)]).unwrap();
+        let nl = Netlist::new(&arch, vec![net]).unwrap();
+        let routing = GlobalRouter::new().route(&arch, &nl).unwrap();
+        routing.validate(&arch).unwrap();
+        assert_eq!(routing.len(), 1);
+        // Straight shot along the bottom channel: 3 segments.
+        assert_eq!(routing.routes()[0].path.len(), 3);
+    }
+
+    #[test]
+    fn same_segment_pins_yield_single_segment_path() {
+        let arch = Architecture::new(2, 1).unwrap();
+        // South pins of horizontally adjacent blocks share no segment, but
+        // the North pin of (0,0) and South of... use two pins on the same
+        // block-edge channel segment: block (0,0) South and... only one pin
+        // per side per block, so use a net whose two pins map to the same
+        // segment: impossible on distinct blocks here — instead verify a
+        // minimal two-block route validates.
+        let net = Net::new(vec![t(0, 0, Side::East), t(1, 0, Side::West)]).unwrap();
+        let nl = Netlist::new(&arch, vec![net]).unwrap();
+        let routing = GlobalRouter::new().route(&arch, &nl).unwrap();
+        routing.validate(&arch).unwrap();
+        // Both pins connect to V(1,0): a single-segment path.
+        assert_eq!(routing.routes()[0].path.len(), 1);
+    }
+
+    #[test]
+    fn routing_is_deterministic() {
+        let arch = Architecture::new(5, 5).unwrap();
+        let nl = Netlist::random(&arch, 15, 2..=4, 42).unwrap();
+        let r1 = GlobalRouter::new().route(&arch, &nl).unwrap();
+        let r2 = GlobalRouter::new().route(&arch, &nl).unwrap();
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn all_routes_validate_on_random_netlists() {
+        for seed in 0..5u64 {
+            let arch = Architecture::new(6, 4).unwrap();
+            let nl = Netlist::random(&arch, 12, 2..=4, seed).unwrap();
+            let routing = GlobalRouter::new().route(&arch, &nl).unwrap();
+            routing.validate(&arch).unwrap();
+            assert_eq!(
+                routing.len(),
+                nl.iter().map(|(_, n)| n.num_terminals() - 1).sum::<usize>()
+            );
+        }
+    }
+
+    #[test]
+    fn congestion_weight_spreads_traffic() {
+        // Many nets crossing the same column; a congestion-aware router
+        // should not exceed the uncongested router's peak usage.
+        let arch = Architecture::new(6, 6).unwrap();
+        let nl = Netlist::random(&arch, 20, 2..=2, 8).unwrap();
+        let flat = GlobalRouter::new()
+            .with_congestion_weight(0)
+            .with_ripup_passes(0)
+            .route(&arch, &nl)
+            .unwrap();
+        let spread = GlobalRouter::new().route(&arch, &nl).unwrap();
+        assert!(
+            spread.max_segment_congestion(&arch) <= flat.max_segment_congestion(&arch),
+            "negotiation should not make congestion worse"
+        );
+    }
+
+    #[test]
+    fn validate_rejects_corrupted_paths() {
+        let arch = Architecture::new(3, 3).unwrap();
+        let nl = Netlist::random(&arch, 4, 2..=2, 2).unwrap();
+        let routing = GlobalRouter::new().route(&arch, &nl).unwrap();
+
+        let mut broken = routing.routes().to_vec();
+        broken[0].path.clear();
+        assert!(matches!(
+            GlobalRouting::new(broken).validate(&arch),
+            Err(RouteError::EmptyPath(_))
+        ));
+
+        let mut broken = routing.routes().to_vec();
+        broken[0].path.remove(0);
+        let res = GlobalRouting::new(broken).validate(&arch);
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn chain_decomposition_also_routes() {
+        let arch = Architecture::new(5, 5).unwrap();
+        let nl = Netlist::random(&arch, 8, 3..=5, 21).unwrap();
+        let routing = GlobalRouter::new()
+            .with_decomposition(DecompositionStyle::Chain)
+            .route(&arch, &nl)
+            .unwrap();
+        routing.validate(&arch).unwrap();
+    }
+}

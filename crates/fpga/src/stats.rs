@@ -1,0 +1,214 @@
+//! Routing statistics: wirelength, congestion and utilization reports.
+//!
+//! These are the numbers a routing engineer reads next to the SAT flow's
+//! answers: how long the routes are, where the congestion sits, and how
+//! much of the fabric a global routing occupies. Used by the benchmark
+//! suite for calibration and by the CLI/examples for reporting.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::{Architecture, GlobalRouting, RoutingProblem, Segment};
+
+/// Aggregate statistics of a global routing on a fabric.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RoutingStats {
+    /// Total wirelength: segments traversed, summed over subnets
+    /// (a segment traversed by two subnets counts twice).
+    pub total_wirelength: usize,
+    /// Longest single subnet route, in segments.
+    pub max_route_length: usize,
+    /// Number of fabric segments used by at least one subnet.
+    pub used_segments: usize,
+    /// Total number of fabric segments.
+    pub total_segments: usize,
+    /// Per-segment occupancy histogram: `histogram[c]` = number of
+    /// segments traversed by exactly `c` distinct nets (index 0 counts
+    /// idle segments).
+    pub congestion_histogram: Vec<usize>,
+    /// Maximum number of distinct nets through one segment — the channel
+    /// width any detailed routing must at least provide.
+    pub max_congestion: usize,
+}
+
+impl RoutingStats {
+    /// Computes statistics for `routing` on `arch`.
+    pub fn new(arch: &Architecture, routing: &GlobalRouting) -> Self {
+        let mut nets_per_segment: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); arch.num_segments()];
+        let mut total_wirelength = 0;
+        let mut max_route_length = 0;
+        for route in routing.routes() {
+            total_wirelength += route.path.len();
+            max_route_length = max_route_length.max(route.path.len());
+            for &seg in &route.path {
+                nets_per_segment[arch.segment_index(seg)].insert(route.subnet.net.0);
+            }
+        }
+        let max_congestion = nets_per_segment
+            .iter()
+            .map(BTreeSet::len)
+            .max()
+            .unwrap_or(0);
+        let mut congestion_histogram = vec![0usize; max_congestion + 1];
+        let mut used_segments = 0;
+        for nets in &nets_per_segment {
+            congestion_histogram[nets.len()] += 1;
+            if !nets.is_empty() {
+                used_segments += 1;
+            }
+        }
+        RoutingStats {
+            total_wirelength,
+            max_route_length,
+            used_segments,
+            total_segments: arch.num_segments(),
+            congestion_histogram,
+            max_congestion,
+        }
+    }
+
+    /// Fraction of fabric segments carrying at least one net (0.0–1.0).
+    pub fn utilization(&self) -> f64 {
+        if self.total_segments == 0 {
+            0.0
+        } else {
+            self.used_segments as f64 / self.total_segments as f64
+        }
+    }
+
+    /// The most congested segments (those at `max_congestion`), handy for
+    /// diagnosing why a width is unroutable.
+    pub fn hotspots(arch: &Architecture, routing: &GlobalRouting) -> Vec<Segment> {
+        let mut nets_per_segment: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); arch.num_segments()];
+        for route in routing.routes() {
+            for &seg in &route.path {
+                nets_per_segment[arch.segment_index(seg)].insert(route.subnet.net.0);
+            }
+        }
+        let max = nets_per_segment
+            .iter()
+            .map(BTreeSet::len)
+            .max()
+            .unwrap_or(0);
+        if max == 0 {
+            return Vec::new();
+        }
+        nets_per_segment
+            .iter()
+            .enumerate()
+            .filter(|(_, nets)| nets.len() == max)
+            .map(|(i, _)| arch.segment_at(i))
+            .collect()
+    }
+}
+
+impl fmt::Display for RoutingStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "wirelength {} segs (max route {}), utilization {:.1}% ({}/{})",
+            self.total_wirelength,
+            self.max_route_length,
+            self.utilization() * 100.0,
+            self.used_segments,
+            self.total_segments
+        )?;
+        write!(
+            f,
+            "congestion: max {} nets/segment, histogram",
+            self.max_congestion
+        )?;
+        for (c, &n) in self.congestion_histogram.iter().enumerate() {
+            write!(f, " {c}:{n}")?;
+        }
+        Ok(())
+    }
+}
+
+impl RoutingProblem {
+    /// Computes the routing statistics of this problem's global routing.
+    pub fn stats(&self) -> RoutingStats {
+        RoutingStats::new(self.arch(), self.global_routing())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GlobalRouter, Net, Netlist, Side, Terminal};
+
+    fn t(x: u16, y: u16, side: Side) -> Terminal {
+        Terminal { x, y, side }
+    }
+
+    #[test]
+    fn single_straight_net_statistics() {
+        let arch = Architecture::new(3, 1).unwrap();
+        let net = Net::new(vec![t(0, 0, Side::South), t(2, 0, Side::South)]).unwrap();
+        let netlist = Netlist::new(&arch, vec![net]).unwrap();
+        let routing = GlobalRouter::new().route(&arch, &netlist).unwrap();
+        let stats = RoutingStats::new(&arch, &routing);
+        assert_eq!(stats.total_wirelength, 3);
+        assert_eq!(stats.max_route_length, 3);
+        assert_eq!(stats.used_segments, 3);
+        assert_eq!(stats.max_congestion, 1);
+        assert_eq!(stats.congestion_histogram[1], 3);
+        assert_eq!(stats.congestion_histogram[0], arch.num_segments() - 3);
+    }
+
+    #[test]
+    fn histogram_counts_sum_to_segment_count() {
+        let arch = Architecture::new(5, 5).unwrap();
+        let netlist = Netlist::random(&arch, 15, 2..=4, 3).unwrap();
+        let routing = GlobalRouter::new().route(&arch, &netlist).unwrap();
+        let stats = RoutingStats::new(&arch, &routing);
+        assert_eq!(
+            stats.congestion_histogram.iter().sum::<usize>(),
+            stats.total_segments
+        );
+        assert!(stats.utilization() > 0.0 && stats.utilization() <= 1.0);
+        assert_eq!(stats.max_congestion, routing.max_segment_congestion(&arch));
+    }
+
+    #[test]
+    fn hotspots_have_maximum_congestion() {
+        let arch = Architecture::new(4, 4).unwrap();
+        let netlist = Netlist::random(&arch, 12, 2..=3, 8).unwrap();
+        let routing = GlobalRouter::new()
+            .with_congestion_weight(0)
+            .route(&arch, &netlist)
+            .unwrap();
+        let hotspots = RoutingStats::hotspots(&arch, &routing);
+        assert!(!hotspots.is_empty());
+        let stats = RoutingStats::new(&arch, &routing);
+        // Recount the first hotspot by hand.
+        let seg = hotspots[0];
+        let nets: BTreeSet<u32> = routing
+            .routes()
+            .iter()
+            .filter(|r| r.path.contains(&seg))
+            .map(|r| r.subnet.net.0)
+            .collect();
+        assert_eq!(nets.len(), stats.max_congestion);
+    }
+
+    #[test]
+    fn empty_routing_statistics() {
+        let arch = Architecture::new(2, 2).unwrap();
+        let stats = RoutingStats::new(&arch, &GlobalRouting::default());
+        assert_eq!(stats.total_wirelength, 0);
+        assert_eq!(stats.max_congestion, 0);
+        assert_eq!(stats.utilization(), 0.0);
+        assert!(RoutingStats::hotspots(&arch, &GlobalRouting::default()).is_empty());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let arch = Architecture::new(3, 3).unwrap();
+        let netlist = Netlist::random(&arch, 5, 2..=3, 1).unwrap();
+        let routing = GlobalRouter::new().route(&arch, &netlist).unwrap();
+        let text = RoutingStats::new(&arch, &routing).to_string();
+        assert!(text.contains("wirelength"));
+        assert!(text.contains("congestion"));
+    }
+}

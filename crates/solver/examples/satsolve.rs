@@ -1,0 +1,93 @@
+//! A minimal DIMACS SAT-solver front end, in the spirit of the MiniSat /
+//! siege binaries the paper drove its flow with.
+//!
+//! Usage: `cargo run --release -p satroute-solver --example satsolve -- <file.cnf> [--proof <out.drat>]`
+//!
+//! Prints `s SATISFIABLE` with a `v` model line, or `s UNSATISFIABLE`
+//! (optionally writing a DRAT certificate).
+
+use std::fs::File;
+use std::process::ExitCode;
+
+use satroute_cnf::dimacs;
+use satroute_solver::{CdclSolver, SolveOutcome};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path: Option<&str> = None;
+    let mut proof_path: Option<&str> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--proof" => {
+                i += 1;
+                proof_path = args.get(i).map(|s| s.as_str());
+            }
+            other => path = Some(other),
+        }
+        i += 1;
+    }
+    let Some(path) = path else {
+        eprintln!("usage: satsolve <file.cnf> [--proof <out.drat>]");
+        return ExitCode::from(2);
+    };
+
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot open {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let formula = match dimacs::parse_cnf(file) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot parse {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "c parsed {} vars, {} clauses",
+        formula.num_vars(),
+        formula.num_clauses()
+    );
+
+    let mut solver = CdclSolver::new();
+    if proof_path.is_some() {
+        solver.enable_proof_logging();
+    }
+    solver.add_formula(&formula);
+    match solver.solve() {
+        SolveOutcome::Sat(model) => {
+            println!("s SATISFIABLE");
+            print!("v");
+            for (var, value) in model.iter() {
+                print!(
+                    " {}",
+                    if value {
+                        var.to_dimacs()
+                    } else {
+                        -var.to_dimacs()
+                    }
+                );
+            }
+            println!(" 0");
+            ExitCode::from(10)
+        }
+        SolveOutcome::Unsat => {
+            println!("s UNSATISFIABLE");
+            if let Some(out) = proof_path {
+                let proof = solver.take_proof().expect("logging enabled");
+                match File::create(out).and_then(|f| proof.write_drat(f)) {
+                    Ok(()) => println!("c DRAT proof written to {out}"),
+                    Err(e) => eprintln!("cannot write proof to {out}: {e}"),
+                }
+            }
+            ExitCode::from(20)
+        }
+        SolveOutcome::Unknown => {
+            println!("s UNKNOWN");
+            ExitCode::from(0)
+        }
+    }
+}

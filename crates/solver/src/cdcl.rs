@@ -1,0 +1,1248 @@
+//! A conflict-driven clause-learning (CDCL) SAT solver.
+//!
+//! Implements the standard modern architecture (MiniSat lineage, the same
+//! family as the paper's siege_v4 / MiniSat):
+//!
+//! * two-watched-literal unit propagation with blocker literals,
+//! * first-UIP conflict analysis with recursive clause minimization,
+//! * VSIDS variable activities with an indexed max-heap and phase saving,
+//! * Luby-sequence restarts,
+//! * activity-driven learnt-clause database reduction.
+//!
+//! The solver is deterministic: the same formula always produces the same
+//! search, which makes the benchmark tables reproducible run to run.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use satroute_cnf::{Assignment, CnfFormula, Lit, Var};
+
+use crate::heap::VarHeap;
+use crate::luby::luby;
+use crate::outcome::SolveOutcome;
+use crate::proof::DratProof;
+
+/// Tunable parameters of the [`CdclSolver`].
+#[derive(Clone, Debug)]
+pub struct SolverConfig {
+    /// Multiplicative decay applied to variable activities per conflict
+    /// (MiniSat default 0.95).
+    pub var_decay: f64,
+    /// Multiplicative decay applied to clause activities per conflict
+    /// (MiniSat default 0.999).
+    pub clause_decay: f64,
+    /// Conflicts per Luby restart unit (MiniSat default 100).
+    pub restart_base: u64,
+    /// Initial learnt-clause limit as a fraction of problem clauses.
+    pub learnt_ratio: f64,
+    /// Growth factor of the learnt-clause limit at each database reduction.
+    pub learnt_growth: f64,
+    /// Abort with [`SolveOutcome::Unknown`] after this many conflicts.
+    pub max_conflicts: Option<u64>,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            var_decay: 0.95,
+            clause_decay: 0.999,
+            restart_base: 100,
+            learnt_ratio: 1.0 / 3.0,
+            learnt_growth: 1.1,
+            max_conflicts: None,
+        }
+    }
+}
+
+/// Counters describing the work a [`CdclSolver`] performed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of literals propagated.
+    pub propagations: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of clauses learnt.
+    pub learnt_clauses: u64,
+    /// Number of learnt clauses deleted by database reduction.
+    pub deleted_clauses: u64,
+    /// Literals removed by conflict-clause minimization.
+    pub minimized_literals: u64,
+}
+
+const NO_REASON: u32 = u32::MAX;
+
+/// Truth-value codes for the internal assignment array.
+const UNDEF: u8 = 0;
+const FALSE: u8 = 1;
+const TRUE: u8 = 2;
+
+#[derive(Clone, Debug)]
+struct ClauseData {
+    lits: Vec<Lit>,
+    activity: f64,
+    learnt: bool,
+    deleted: bool,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Watcher {
+    cref: u32,
+    blocker: Lit,
+}
+
+/// A conflict-driven clause-learning SAT solver.
+///
+/// Load clauses with [`CdclSolver::add_formula`] or
+/// [`CdclSolver::add_clause`], then call [`CdclSolver::solve`].
+///
+/// # Examples
+///
+/// ```
+/// use satroute_cnf::{CnfFormula, Lit};
+/// use satroute_solver::{CdclSolver, SolveOutcome};
+///
+/// let mut f = CnfFormula::new();
+/// let a = f.new_var();
+/// f.add_clause([Lit::positive(a)]);
+/// f.add_clause([Lit::negative(a)]);
+///
+/// let mut s = CdclSolver::new();
+/// s.add_formula(&f);
+/// assert_eq!(s.solve(), SolveOutcome::Unsat);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CdclSolver {
+    config: SolverConfig,
+    stats: SolverStats,
+
+    clauses: Vec<ClauseData>,
+    /// Indices into `clauses` of learnt clauses (may include deleted ones
+    /// until the next compaction of this list).
+    learnts: Vec<u32>,
+    watches: Vec<Vec<Watcher>>,
+
+    assigns: Vec<u8>,
+    level: Vec<u32>,
+    reason: Vec<u32>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+
+    activity: Vec<f64>,
+    var_inc: f64,
+    order: VarHeap,
+    phase: Vec<bool>,
+    cla_inc: f64,
+
+    /// Scratch space for conflict analysis.
+    seen: Vec<bool>,
+    analyze_stack: Vec<Lit>,
+    analyze_clear: Vec<Lit>,
+
+    /// False once a top-level conflict has been derived.
+    ok: bool,
+    terminate: Option<Arc<AtomicBool>>,
+    /// DRAT proof log (learnt additions + deletions) when enabled.
+    proof: Option<DratProof>,
+    /// Set when the last `solve_with_assumptions` failed only because of
+    /// the assumptions (the formula itself may still be satisfiable).
+    unsat_under_assumptions: bool,
+}
+
+impl Default for CdclSolver {
+    fn default() -> Self {
+        CdclSolver::new()
+    }
+}
+
+impl CdclSolver {
+    /// Creates a solver with default configuration.
+    pub fn new() -> Self {
+        CdclSolver::with_config(SolverConfig::default())
+    }
+
+    /// Creates a solver with the given configuration.
+    pub fn with_config(config: SolverConfig) -> Self {
+        CdclSolver {
+            config,
+            stats: SolverStats::default(),
+            clauses: Vec::new(),
+            learnts: Vec::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            order: VarHeap::new(),
+            phase: Vec::new(),
+            cla_inc: 1.0,
+            seen: Vec::new(),
+            analyze_stack: Vec::new(),
+            analyze_clear: Vec::new(),
+            ok: true,
+            terminate: None,
+            proof: None,
+            unsat_under_assumptions: false,
+        }
+    }
+
+    /// Starts recording a DRAT proof of the refutation (see
+    /// [`crate::DratProof`]). Must be called before adding clauses for the
+    /// proof to be checkable against the original formula.
+    ///
+    /// Proofs are meaningful for plain [`CdclSolver::solve`] runs; under
+    /// assumptions the log still contains only implied clauses but never
+    /// the final empty clause.
+    pub fn enable_proof_logging(&mut self) {
+        if self.proof.is_none() {
+            self.proof = Some(DratProof::new());
+        }
+    }
+
+    /// Takes the recorded proof, leaving logging disabled.
+    pub fn take_proof(&mut self) -> Option<DratProof> {
+        self.proof.take()
+    }
+
+    /// Returns `true` if the last solve returned [`SolveOutcome::Unsat`]
+    /// only because of the supplied assumptions; the formula itself has not
+    /// been refuted and further solves may still succeed.
+    pub fn unsat_under_assumptions(&self) -> bool {
+        self.unsat_under_assumptions
+    }
+
+    /// Installs a cooperative cancellation flag.
+    ///
+    /// When the flag becomes `true`, [`CdclSolver::solve`] returns
+    /// [`SolveOutcome::Unknown`] at the next conflict boundary. Used by the
+    /// parallel portfolio runner to stop losing strategies.
+    pub fn set_terminate_flag(&mut self, flag: Arc<AtomicBool>) {
+        self.terminate = Some(flag);
+    }
+
+    /// Work counters accumulated so far.
+    pub fn stats(&self) -> &SolverStats {
+        &self.stats
+    }
+
+    /// Number of variables known to the solver.
+    pub fn num_vars(&self) -> u32 {
+        self.assigns.len() as u32
+    }
+
+    /// Ensures the solver knows about variables `0..n`.
+    pub fn ensure_vars(&mut self, n: u32) {
+        let n = n as usize;
+        if self.assigns.len() >= n {
+            return;
+        }
+        self.assigns.resize(n, UNDEF);
+        self.level.resize(n, 0);
+        self.reason.resize(n, NO_REASON);
+        self.activity.resize(n, 0.0);
+        self.phase.resize(n, false);
+        self.seen.resize(n, false);
+        self.watches.resize(n * 2, Vec::new());
+        self.order.grow(n);
+        for v in 0..n as u32 {
+            if self.assigns[v as usize] == UNDEF && !self.order.contains(v) {
+                self.order.insert(v, &self.activity);
+            }
+        }
+    }
+
+    /// Adds every clause of `formula`.
+    pub fn add_formula(&mut self, formula: &CnfFormula) {
+        self.ensure_vars(formula.num_vars());
+        for clause in formula {
+            self.add_clause(clause.lits());
+        }
+    }
+
+    /// Adds a single clause.
+    ///
+    /// Duplicate literals are removed and tautological clauses are dropped.
+    /// An empty (or immediately falsified) clause marks the solver
+    /// unsatisfiable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after `solve` left decisions on the trail (the
+    /// solver always backtracks fully, so this cannot happen through the
+    /// public API).
+    pub fn add_clause(&mut self, lits: &[Lit]) {
+        assert!(
+            self.trail_lim.is_empty(),
+            "clauses must be added at decision level 0"
+        );
+        if !self.ok {
+            return;
+        }
+        let max_var = lits.iter().map(|l| l.var().index() + 1).max().unwrap_or(0);
+        self.ensure_vars(max_var);
+
+        // Normalize: sort/dedup, drop falsified-at-level-0 literals, detect
+        // tautologies and satisfied clauses.
+        let mut normalized: Vec<Lit> = Vec::with_capacity(lits.len());
+        let mut sorted = lits.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut i = 0;
+        while i < sorted.len() {
+            let lit = sorted[i];
+            if i + 1 < sorted.len() && sorted[i + 1] == !lit {
+                return; // tautology
+            }
+            match self.lit_value(lit) {
+                TRUE => return, // already satisfied at level 0
+                FALSE => {}     // drop falsified literal
+                _ => normalized.push(lit),
+            }
+            i += 1;
+        }
+
+        match normalized.len() {
+            0 => {
+                self.ok = false;
+            }
+            1 => {
+                self.enqueue(normalized[0], NO_REASON);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+            }
+            _ => {
+                self.attach_clause(normalized, false);
+            }
+        }
+        if !self.ok {
+            if let Some(proof) = &mut self.proof {
+                proof.push_add(Vec::new());
+            }
+        }
+    }
+
+    /// Solves the loaded formula.
+    ///
+    /// Returns [`SolveOutcome::Sat`] with a total model over the solver's
+    /// variables, [`SolveOutcome::Unsat`], or [`SolveOutcome::Unknown`] if
+    /// the conflict budget ran out or cancellation was requested.
+    pub fn solve(&mut self) -> SolveOutcome {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Solves the loaded formula under `assumptions` — literals forced true
+    /// for this call only (MiniSat-style incremental interface).
+    ///
+    /// On [`SolveOutcome::Unsat`], [`CdclSolver::unsat_under_assumptions`]
+    /// distinguishes "the formula plus assumptions is contradictory" (the
+    /// solver remains usable, e.g. for the incremental channel-width
+    /// search) from a refutation of the formula itself. Learnt clauses are
+    /// retained across calls, which is the point of the interface.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveOutcome {
+        self.unsat_under_assumptions = false;
+        if !self.ok {
+            return SolveOutcome::Unsat;
+        }
+        for lit in assumptions {
+            self.ensure_vars(lit.var().index() + 1);
+        }
+        if self.propagate().is_some() {
+            self.ok = false;
+            if let Some(proof) = &mut self.proof {
+                proof.push_add(Vec::new());
+            }
+            return SolveOutcome::Unsat;
+        }
+
+        let mut max_learnts = ((self.clauses.len() as f64) * self.config.learnt_ratio).max(1000.0);
+        let mut restart_number: u64 = 1;
+        let mut conflicts_until_restart =
+            luby(restart_number).saturating_mul(self.config.restart_base);
+
+        loop {
+            match self.search(assumptions, &mut conflicts_until_restart, &mut max_learnts) {
+                SearchResult::Sat => {
+                    let model = self.extract_model();
+                    self.backtrack(0);
+                    return SolveOutcome::Sat(model);
+                }
+                SearchResult::Unsat => {
+                    self.ok = false;
+                    if let Some(proof) = &mut self.proof {
+                        proof.push_add(Vec::new());
+                    }
+                    return SolveOutcome::Unsat;
+                }
+                SearchResult::UnsatUnderAssumptions => {
+                    self.backtrack(0);
+                    self.unsat_under_assumptions = true;
+                    return SolveOutcome::Unsat;
+                }
+                SearchResult::Restart => {
+                    self.backtrack(0);
+                    self.stats.restarts += 1;
+                    restart_number += 1;
+                    conflicts_until_restart =
+                        luby(restart_number).saturating_mul(self.config.restart_base);
+                }
+                SearchResult::Interrupted => {
+                    self.backtrack(0);
+                    return SolveOutcome::Unknown;
+                }
+            }
+        }
+    }
+
+    /// Runs search until SAT, UNSAT, restart or interruption.
+    fn search(
+        &mut self,
+        assumptions: &[Lit],
+        conflicts_left: &mut u64,
+        max_learnts: &mut f64,
+    ) -> SearchResult {
+        loop {
+            if let Some(conflict) = self.propagate() {
+                self.stats.conflicts += 1;
+                if self.decision_level() == 0 {
+                    return SearchResult::Unsat;
+                }
+                let (learnt, backtrack_level) = self.analyze(conflict);
+                self.backtrack(backtrack_level);
+                self.record_learnt(learnt);
+                self.decay_activities();
+
+                if *conflicts_left == 0 {
+                    return SearchResult::Restart;
+                }
+                *conflicts_left -= 1;
+
+                if self.stats.conflicts % 256 == 0 && self.should_stop() {
+                    return SearchResult::Interrupted;
+                }
+            } else {
+                // Establish pending assumptions, one decision level each.
+                let mut assumption_enqueued = false;
+                while (self.decision_level() as usize) < assumptions.len() {
+                    let p = assumptions[self.decision_level() as usize];
+                    match self.lit_value(p) {
+                        TRUE => {
+                            // Already satisfied: open a dummy level so the
+                            // position in `assumptions` keeps advancing.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        FALSE => return SearchResult::UnsatUnderAssumptions,
+                        _ => {
+                            self.trail_lim.push(self.trail.len());
+                            self.enqueue(p, NO_REASON);
+                            assumption_enqueued = true;
+                            break;
+                        }
+                    }
+                }
+                if assumption_enqueued {
+                    continue; // propagate the assumption before deciding
+                }
+
+                if self.learnts.len() as f64 >= *max_learnts + self.num_assigned() as f64 {
+                    self.reduce_db();
+                    *max_learnts *= self.config.learnt_growth;
+                }
+                match self.pick_branch_var() {
+                    None => return SearchResult::Sat,
+                    Some(var) => {
+                        self.stats.decisions += 1;
+                        let lit = Lit::new(var, self.phase[usize::from(var)]);
+                        self.trail_lim.push(self.trail.len());
+                        self.enqueue(lit, NO_REASON);
+                    }
+                }
+            }
+        }
+    }
+
+    fn should_stop(&self) -> bool {
+        if let Some(max) = self.config.max_conflicts {
+            if self.stats.conflicts >= max {
+                return true;
+            }
+        }
+        if let Some(flag) = &self.terminate {
+            if flag.load(Ordering::Relaxed) {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn num_assigned(&self) -> usize {
+        self.trail.len()
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    #[inline]
+    fn lit_value(&self, lit: Lit) -> u8 {
+        let v = self.assigns[usize::from(lit.var())];
+        if v == UNDEF {
+            UNDEF
+        } else if (v == TRUE) == lit.is_positive() {
+            TRUE
+        } else {
+            FALSE
+        }
+    }
+
+    fn enqueue(&mut self, lit: Lit, reason: u32) {
+        debug_assert_eq!(self.lit_value(lit), UNDEF);
+        let var = usize::from(lit.var());
+        self.assigns[var] = if lit.is_positive() { TRUE } else { FALSE };
+        self.level[var] = self.decision_level();
+        self.reason[var] = reason;
+        self.trail.push(lit);
+    }
+
+    /// Unit propagation. Returns the conflicting clause reference, if any.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+
+            let watch_idx = (!p).code() as usize;
+            let mut watchers = std::mem::take(&mut self.watches[watch_idx]);
+            let mut kept = 0;
+            let mut conflict: Option<u32> = None;
+
+            let mut i = 0;
+            'watchers: while i < watchers.len() {
+                let w = watchers[i];
+                i += 1;
+
+                // Fast path: blocker already satisfied.
+                if self.lit_value(w.blocker) == TRUE {
+                    watchers[kept] = w;
+                    kept += 1;
+                    continue;
+                }
+
+                let cref = w.cref as usize;
+                if self.clauses[cref].deleted {
+                    continue; // lazily drop watcher of deleted clause
+                }
+
+                let false_lit = !p;
+                // Ensure the falsified literal is in slot 1.
+                {
+                    let lits = &mut self.clauses[cref].lits;
+                    if lits[0] == false_lit {
+                        lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(lits[1], false_lit);
+                }
+                let first = self.clauses[cref].lits[0];
+                if first != w.blocker && self.lit_value(first) == TRUE {
+                    watchers[kept] = Watcher {
+                        cref: w.cref,
+                        blocker: first,
+                    };
+                    kept += 1;
+                    continue;
+                }
+
+                // Look for a new literal to watch.
+                let clause_len = self.clauses[cref].lits.len();
+                for k in 2..clause_len {
+                    let lk = self.clauses[cref].lits[k];
+                    if self.lit_value(lk) != FALSE {
+                        self.clauses[cref].lits.swap(1, k);
+                        self.watches[lk.code() as usize].push(Watcher {
+                            cref: w.cref,
+                            blocker: first,
+                        });
+                        continue 'watchers;
+                    }
+                }
+
+                // No new watch: the clause is unit or conflicting.
+                watchers[kept] = Watcher {
+                    cref: w.cref,
+                    blocker: first,
+                };
+                kept += 1;
+                if self.lit_value(first) == FALSE {
+                    // Conflict: keep the remaining watchers and stop.
+                    while i < watchers.len() {
+                        watchers[kept] = watchers[i];
+                        kept += 1;
+                        i += 1;
+                    }
+                    self.qhead = self.trail.len();
+                    conflict = Some(w.cref);
+                } else {
+                    self.enqueue(first, w.cref);
+                }
+            }
+
+            watchers.truncate(kept);
+            self.watches[watch_idx] = watchers;
+            if conflict.is_some() {
+                return conflict;
+            }
+        }
+        None
+    }
+
+    /// First-UIP conflict analysis with recursive minimization.
+    ///
+    /// Returns the learnt clause (asserting literal first) and the level to
+    /// backtrack to.
+    fn analyze(&mut self, conflict: u32) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit::from_code(0)]; // slot for UIP
+        let mut path_count: u32 = 0;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let mut confl = conflict;
+        let current_level = self.decision_level();
+
+        loop {
+            self.bump_clause(confl);
+            let start = usize::from(p.is_some());
+            for k in start..self.clauses[confl as usize].lits.len() {
+                let q = self.clauses[confl as usize].lits[k];
+                let var = usize::from(q.var());
+                if !self.seen[var] && self.level[var] > 0 {
+                    self.seen[var] = true;
+                    self.bump_var(q.var());
+                    if self.level[var] >= current_level {
+                        path_count += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+
+            // Walk back to the next marked trail literal.
+            loop {
+                index -= 1;
+                if self.seen[usize::from(self.trail[index].var())] {
+                    break;
+                }
+            }
+            let lit = self.trail[index];
+            let var = usize::from(lit.var());
+            self.seen[var] = false;
+            path_count -= 1;
+            if path_count == 0 {
+                learnt[0] = !lit;
+                break;
+            }
+            p = Some(lit);
+            confl = self.reason[var];
+            debug_assert_ne!(confl, NO_REASON, "non-decision literal must have a reason");
+        }
+
+        // `seen` is still set for learnt[1..]; reuse it for minimization.
+        for &l in &learnt {
+            self.analyze_clear.push(l);
+        }
+        self.seen[usize::from(learnt[0].var())] = true;
+
+        let abstract_levels = learnt[1..]
+            .iter()
+            .fold(0u64, |acc, l| acc | self.abstract_level(l.var()));
+        let original_len = learnt.len();
+        let mut kept = 1;
+        for idx in 1..learnt.len() {
+            let l = learnt[idx];
+            if self.reason[usize::from(l.var())] == NO_REASON
+                || !self.lit_redundant(l, abstract_levels)
+            {
+                learnt[kept] = l;
+                kept += 1;
+            }
+        }
+        learnt.truncate(kept);
+        self.stats.minimized_literals += (original_len - kept) as u64;
+
+        // Clear the `seen` markers.
+        while let Some(l) = self.analyze_clear.pop() {
+            self.seen[usize::from(l.var())] = false;
+        }
+
+        // Compute backtrack level and move the corresponding literal to
+        // slot 1 (second watch).
+        let backtrack_level = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[usize::from(learnt[i].var())]
+                    > self.level[usize::from(learnt[max_i].var())]
+                {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[usize::from(learnt[1].var())]
+        };
+
+        (learnt, backtrack_level)
+    }
+
+    fn abstract_level(&self, var: Var) -> u64 {
+        1u64 << (self.level[usize::from(var)] & 63)
+    }
+
+    /// Checks whether `lit` is implied by the remaining learnt literals
+    /// (i.e. removable from the learnt clause), by exploring its reason
+    /// clauses depth-first.
+    fn lit_redundant(&mut self, lit: Lit, abstract_levels: u64) -> bool {
+        self.analyze_stack.clear();
+        self.analyze_stack.push(lit);
+        let clear_start = self.analyze_clear.len();
+
+        while let Some(l) = self.analyze_stack.pop() {
+            let reason = self.reason[usize::from(l.var())];
+            debug_assert_ne!(reason, NO_REASON);
+            let clause_len = self.clauses[reason as usize].lits.len();
+            for k in 1..clause_len {
+                let q = self.clauses[reason as usize].lits[k];
+                let var = usize::from(q.var());
+                if self.seen[var] || self.level[var] == 0 {
+                    continue;
+                }
+                if self.reason[var] == NO_REASON
+                    || (self.abstract_level(q.var()) & abstract_levels) == 0
+                {
+                    // Not removable: undo the markers added in this call.
+                    for cleared in self.analyze_clear.drain(clear_start..) {
+                        self.seen[usize::from(cleared.var())] = false;
+                    }
+                    return false;
+                }
+                self.seen[var] = true;
+                self.analyze_stack.push(q);
+                self.analyze_clear.push(q);
+            }
+        }
+        true
+    }
+
+    fn record_learnt(&mut self, learnt: Vec<Lit>) {
+        self.stats.learnt_clauses += 1;
+        if let Some(proof) = &mut self.proof {
+            proof.push_add(learnt.clone());
+        }
+        match learnt.len() {
+            0 => unreachable!("learnt clauses are never empty"),
+            1 => {
+                self.enqueue(learnt[0], NO_REASON);
+            }
+            _ => {
+                let asserting = learnt[0];
+                let cref = self.attach_clause(learnt, true);
+                self.bump_clause(cref);
+                self.enqueue(asserting, cref);
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> u32 {
+        debug_assert!(lits.len() >= 2);
+        let cref = self.clauses.len() as u32;
+        self.watches[lits[0].code() as usize].push(Watcher {
+            cref,
+            blocker: lits[1],
+        });
+        self.watches[lits[1].code() as usize].push(Watcher {
+            cref,
+            blocker: lits[0],
+        });
+        self.clauses.push(ClauseData {
+            lits,
+            activity: 0.0,
+            learnt,
+            deleted: false,
+        });
+        if learnt {
+            self.learnts.push(cref);
+        }
+        cref
+    }
+
+    fn backtrack(&mut self, target_level: u32) {
+        if self.decision_level() <= target_level {
+            return;
+        }
+        let trail_start = self.trail_lim[target_level as usize];
+        for idx in (trail_start..self.trail.len()).rev() {
+            let lit = self.trail[idx];
+            let var = usize::from(lit.var());
+            self.phase[var] = lit.is_positive();
+            self.assigns[var] = UNDEF;
+            self.reason[var] = NO_REASON;
+            if !self.order.contains(lit.var().index()) {
+                self.order.insert(lit.var().index(), &self.activity);
+            }
+        }
+        self.trail.truncate(trail_start);
+        self.trail_lim.truncate(target_level as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        while let Some(v) = self.order.pop_max(&self.activity) {
+            if self.assigns[v as usize] == UNDEF {
+                return Some(Var::new(v));
+            }
+        }
+        None
+    }
+
+    fn bump_var(&mut self, var: Var) {
+        let idx = usize::from(var);
+        self.activity[idx] += self.var_inc;
+        if self.activity[idx] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+            self.order.rescaled();
+        }
+        self.order
+            .decreased_key_of_others_or_increased_own(var.index(), &self.activity);
+    }
+
+    fn bump_clause(&mut self, cref: u32) {
+        let c = &mut self.clauses[cref as usize];
+        if !c.learnt {
+            return;
+        }
+        c.activity += self.cla_inc;
+        if c.activity > 1e20 {
+            for &l in &self.learnts {
+                self.clauses[l as usize].activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    fn decay_activities(&mut self) {
+        self.var_inc /= self.config.var_decay;
+        self.cla_inc /= self.config.clause_decay;
+    }
+
+    fn is_locked(&self, cref: u32) -> bool {
+        let first = self.clauses[cref as usize].lits[0];
+        self.lit_value(first) == TRUE && self.reason[usize::from(first.var())] == cref
+    }
+
+    /// Removes roughly half of the learnt clauses, keeping the most active
+    /// ones, binary clauses and clauses that are reasons for current
+    /// assignments.
+    fn reduce_db(&mut self) {
+        self.learnts.retain(|&c| !self.clauses[c as usize].deleted);
+        let mut sorted: Vec<u32> = self.learnts.clone();
+        sorted.sort_by(|&a, &b| {
+            self.clauses[a as usize]
+                .activity
+                .partial_cmp(&self.clauses[b as usize].activity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let target = sorted.len() / 2;
+        let mut removed = 0;
+        for &cref in &sorted {
+            if removed >= target {
+                break;
+            }
+            let c = &self.clauses[cref as usize];
+            if c.lits.len() <= 2 || self.is_locked(cref) {
+                continue;
+            }
+            let c = &mut self.clauses[cref as usize];
+            c.deleted = true;
+            let lits = std::mem::take(&mut c.lits);
+            if let Some(proof) = &mut self.proof {
+                proof.push_delete(lits);
+            }
+            removed += 1;
+        }
+        self.stats.deleted_clauses += removed as u64;
+        self.learnts.retain(|&c| !self.clauses[c as usize].deleted);
+    }
+
+    fn extract_model(&self) -> Assignment {
+        let mut model = Assignment::new(self.num_vars());
+        for (i, &v) in self.assigns.iter().enumerate() {
+            // Any variable never touched by a clause gets an arbitrary but
+            // defined value so callers receive a total model.
+            model.assign(Var::new(i as u32), v == TRUE);
+        }
+        model
+    }
+}
+
+enum SearchResult {
+    Sat,
+    Unsat,
+    UnsatUnderAssumptions,
+    Restart,
+    Interrupted,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(d: i64) -> Lit {
+        Lit::from_dimacs(d)
+    }
+
+    fn solve_clauses(clauses: &[Vec<i64>]) -> SolveOutcome {
+        let mut f = CnfFormula::new();
+        for c in clauses {
+            f.add_clause(c.iter().map(|&d| Lit::from_dimacs(d)));
+        }
+        let mut s = CdclSolver::new();
+        s.add_formula(&f);
+        let out = s.solve();
+        if let SolveOutcome::Sat(m) = &out {
+            assert!(f.is_satisfied_by(m), "returned model must satisfy formula");
+        }
+        out
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        assert!(solve_clauses(&[]).is_sat());
+    }
+
+    #[test]
+    fn single_unit_is_sat() {
+        let out = solve_clauses(&[vec![1]]);
+        assert_eq!(out.model().unwrap().value(Var::new(0)), Some(true));
+    }
+
+    #[test]
+    fn contradictory_units_are_unsat() {
+        assert!(solve_clauses(&[vec![1], vec![-1]]).is_unsat());
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        assert!(solve_clauses(&[vec![]]).is_unsat());
+    }
+
+    #[test]
+    fn simple_implication_chain() {
+        // a, a->b, b->c, and require c.
+        let out = solve_clauses(&[vec![1], vec![-1, 2], vec![-2, 3], vec![3]]);
+        let m = out.model().unwrap();
+        assert_eq!(m.value(Var::new(2)), Some(true));
+    }
+
+    #[test]
+    fn all_eight_combinations_blocked_is_unsat() {
+        // Block every assignment of 3 variables.
+        let mut clauses = Vec::new();
+        for mask in 0..8i64 {
+            let c: Vec<i64> = (0..3)
+                .map(|b| {
+                    let v = b as i64 + 1;
+                    if mask & (1 << b) != 0 {
+                        -v
+                    } else {
+                        v
+                    }
+                })
+                .collect();
+            clauses.push(c);
+        }
+        assert!(solve_clauses(&clauses).is_unsat());
+    }
+
+    #[test]
+    fn seven_of_eight_blocked_is_sat() {
+        let mut clauses = Vec::new();
+        for mask in 0..7i64 {
+            let c: Vec<i64> = (0..3)
+                .map(|b| {
+                    let v = b as i64 + 1;
+                    if mask & (1 << b) != 0 {
+                        -v
+                    } else {
+                        v
+                    }
+                })
+                .collect();
+            clauses.push(c);
+        }
+        let out = solve_clauses(&clauses);
+        let m = out.model().unwrap();
+        // The only surviving assignment is all-true (mask 7).
+        assert_eq!(m.value(Var::new(0)), Some(true));
+        assert_eq!(m.value(Var::new(1)), Some(true));
+        assert_eq!(m.value(Var::new(2)), Some(true));
+    }
+
+    #[test]
+    fn tautologies_are_ignored() {
+        let out = solve_clauses(&[vec![1, -1], vec![2]]);
+        assert!(out.is_sat());
+    }
+
+    #[test]
+    fn duplicate_literals_are_deduped() {
+        let out = solve_clauses(&[vec![1, 1, 1]]);
+        assert_eq!(out.model().unwrap().value(Var::new(0)), Some(true));
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // p_{i,j}: pigeon i in hole j. Vars: 1..=6, p(i,j) = 2*i + j + 1.
+        let p = |i: i64, j: i64| 2 * i + j + 1;
+        let mut clauses: Vec<Vec<i64>> = Vec::new();
+        for i in 0..3 {
+            clauses.push(vec![p(i, 0), p(i, 1)]);
+        }
+        for j in 0..2 {
+            for a in 0..3 {
+                for b in (a + 1)..3 {
+                    clauses.push(vec![-p(a, j), -p(b, j)]);
+                }
+            }
+        }
+        assert!(solve_clauses(&clauses).is_unsat());
+    }
+
+    #[test]
+    fn pigeonhole_5_into_4_is_unsat_and_counts_conflicts() {
+        let n = 5i64;
+        let h = 4i64;
+        let p = |i: i64, j: i64| h * i + j + 1;
+        let mut f = CnfFormula::new();
+        for i in 0..n {
+            f.add_clause((0..h).map(|j| Lit::from_dimacs(p(i, j))));
+        }
+        for j in 0..h {
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    f.add_clause([Lit::from_dimacs(-p(a, j)), Lit::from_dimacs(-p(b, j))]);
+                }
+            }
+        }
+        let mut s = CdclSolver::new();
+        s.add_formula(&f);
+        assert!(s.solve().is_unsat());
+        assert!(s.stats().conflicts > 0);
+        assert!(s.stats().learnt_clauses > 0);
+    }
+
+    #[test]
+    fn conflict_budget_yields_unknown() {
+        // A hard-enough pigeonhole with a tiny budget.
+        let n = 8i64;
+        let h = 7i64;
+        let p = |i: i64, j: i64| h * i + j + 1;
+        let mut f = CnfFormula::new();
+        for i in 0..n {
+            f.add_clause((0..h).map(|j| Lit::from_dimacs(p(i, j))));
+        }
+        for j in 0..h {
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    f.add_clause([Lit::from_dimacs(-p(a, j)), Lit::from_dimacs(-p(b, j))]);
+                }
+            }
+        }
+        let mut s = CdclSolver::with_config(SolverConfig {
+            max_conflicts: Some(10),
+            ..SolverConfig::default()
+        });
+        s.add_formula(&f);
+        assert_eq!(s.solve(), SolveOutcome::Unknown);
+    }
+
+    #[test]
+    fn cancellation_flag_yields_unknown() {
+        let n = 9i64;
+        let h = 8i64;
+        let p = |i: i64, j: i64| h * i + j + 1;
+        let mut f = CnfFormula::new();
+        for i in 0..n {
+            f.add_clause((0..h).map(|j| Lit::from_dimacs(p(i, j))));
+        }
+        for j in 0..h {
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    f.add_clause([Lit::from_dimacs(-p(a, j)), Lit::from_dimacs(-p(b, j))]);
+                }
+            }
+        }
+        let mut s = CdclSolver::new();
+        let flag = Arc::new(AtomicBool::new(true));
+        s.set_terminate_flag(Arc::clone(&flag));
+        s.add_formula(&f);
+        assert_eq!(s.solve(), SolveOutcome::Unknown);
+    }
+
+    #[test]
+    fn solver_is_reusable_after_sat() {
+        let mut f = CnfFormula::new();
+        let a = f.new_var();
+        let b = f.new_var();
+        f.add_clause([Lit::positive(a), Lit::positive(b)]);
+        let mut s = CdclSolver::new();
+        s.add_formula(&f);
+        assert!(s.solve().is_sat());
+        // Add a constraint and re-solve (incremental use).
+        s.add_clause(&[Lit::negative(a)]);
+        s.add_clause(&[Lit::negative(b)]);
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn assumptions_restrict_without_refuting() {
+        let mut f = CnfFormula::new();
+        let a = f.new_var();
+        let b = f.new_var();
+        f.add_clause([Lit::positive(a), Lit::positive(b)]);
+        let mut s = CdclSolver::new();
+        s.add_formula(&f);
+
+        // Assume ¬a: forces b.
+        let out = s.solve_with_assumptions(&[Lit::negative(a)]);
+        let m = out.model().expect("satisfiable under ¬a");
+        assert_eq!(m.value(a), Some(false));
+        assert_eq!(m.value(b), Some(true));
+
+        // Assume ¬a ∧ ¬b: contradiction under assumptions only.
+        let out = s.solve_with_assumptions(&[Lit::negative(a), Lit::negative(b)]);
+        assert_eq!(out, SolveOutcome::Unsat);
+        assert!(s.unsat_under_assumptions());
+
+        // The solver is still usable and the formula still satisfiable.
+        assert!(s.solve().is_sat());
+        assert!(!s.unsat_under_assumptions());
+    }
+
+    #[test]
+    fn contradictory_assumption_pair_is_unsat_under_assumptions() {
+        let mut s = CdclSolver::new();
+        s.ensure_vars(1);
+        let v = Var::new(0);
+        let out = s.solve_with_assumptions(&[Lit::positive(v), Lit::negative(v)]);
+        assert_eq!(out, SolveOutcome::Unsat);
+        assert!(s.unsat_under_assumptions());
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn duplicate_assumptions_are_harmless() {
+        let mut f = CnfFormula::new();
+        let a = f.new_var();
+        f.add_clause([Lit::positive(a)]);
+        let mut s = CdclSolver::new();
+        s.add_formula(&f);
+        let assumptions = vec![Lit::positive(a); 5];
+        assert!(s.solve_with_assumptions(&assumptions).is_sat());
+    }
+
+    #[test]
+    fn incremental_solving_keeps_learnt_clauses() {
+        // Pigeonhole 4→3 with "hole-disable" assumption variables: assuming
+        // all holes open is SAT; closing one hole is UNSAT-under-assumptions.
+        let n = 4i64;
+        let h = 4i64;
+        let p = |i: i64, j: i64| h * i + j + 1;
+        let disable = |j: i64| n * h + j + 1; // d_j true = hole j closed
+        let mut f = CnfFormula::new();
+        for i in 0..n {
+            f.add_clause((0..h).map(|j| Lit::from_dimacs(p(i, j))));
+        }
+        for j in 0..h {
+            for a in 0..n {
+                f.add_clause([Lit::from_dimacs(-disable(j)), Lit::from_dimacs(-p(a, j))]);
+                for b in (a + 1)..n {
+                    f.add_clause([Lit::from_dimacs(-p(a, j)), Lit::from_dimacs(-p(b, j))]);
+                }
+            }
+        }
+        let mut s = CdclSolver::new();
+        s.add_formula(&f);
+
+        let open: Vec<Lit> = (0..h).map(|j| Lit::from_dimacs(-disable(j))).collect();
+        assert!(s.solve_with_assumptions(&open).is_sat());
+
+        let mut close_one = open.clone();
+        close_one[0] = !close_one[0];
+        assert_eq!(s.solve_with_assumptions(&close_one), SolveOutcome::Unsat);
+        assert!(s.unsat_under_assumptions());
+
+        // Back to all-open: still SAT; solver reusable throughout.
+        assert!(s.solve_with_assumptions(&open).is_sat());
+    }
+
+    #[test]
+    fn unsat_proofs_verify_with_the_checker() {
+        // Pigeonhole 4 into 3 — forces real learning and DB activity.
+        let n = 4i64;
+        let h = 3i64;
+        let p = |i: i64, j: i64| h * i + j + 1;
+        let mut f = CnfFormula::new();
+        for i in 0..n {
+            f.add_clause((0..h).map(|j| Lit::from_dimacs(p(i, j))));
+        }
+        for j in 0..h {
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    f.add_clause([Lit::from_dimacs(-p(a, j)), Lit::from_dimacs(-p(b, j))]);
+                }
+            }
+        }
+        let mut s = CdclSolver::new();
+        s.enable_proof_logging();
+        s.add_formula(&f);
+        assert!(s.solve().is_unsat());
+        let proof = s.take_proof().expect("logging enabled");
+        assert!(!proof.is_empty());
+        proof.check(&f).expect("solver proofs must verify");
+    }
+
+    #[test]
+    fn proof_of_trivial_top_level_conflict() {
+        let mut f = CnfFormula::new();
+        let a = f.new_var();
+        f.add_clause([Lit::positive(a)]);
+        f.add_clause([Lit::negative(a)]);
+        let mut s = CdclSolver::new();
+        s.enable_proof_logging();
+        s.add_formula(&f);
+        assert!(s.solve().is_unsat());
+        let proof = s.take_proof().expect("logging enabled");
+        proof.check(&f).expect("trivial refutation verifies");
+    }
+
+    #[test]
+    fn model_is_total_even_for_unconstrained_vars() {
+        let mut f = CnfFormula::with_vars(5);
+        f.add_clause([lit(1)]);
+        let mut s = CdclSolver::new();
+        s.add_formula(&f);
+        let out = s.solve();
+        let m = out.model().unwrap();
+        assert!(m.is_total());
+        assert_eq!(m.num_vars(), 5);
+    }
+}

@@ -1,0 +1,235 @@
+//! Indexed max-heap ordering variables by activity (the VSIDS order).
+
+/// An indexed binary max-heap over variable indices `0..n`, keyed by an
+/// external activity array.
+///
+/// Used by the CDCL solver to pick the unassigned variable with the highest
+/// VSIDS activity in `O(log n)`. The heap stores variable indices; activities
+/// live in the solver and are passed to each operation, which keeps the heap
+/// free of borrow-checker entanglement with the solver state.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct VarHeap {
+    /// Heap array of variable indices.
+    heap: Vec<u32>,
+    /// `position[v]` = index of `v` in `heap`, or `NONE` if absent.
+    position: Vec<u32>,
+}
+
+const NONE: u32 = u32::MAX;
+
+impl VarHeap {
+    pub fn new() -> Self {
+        VarHeap::default()
+    }
+
+    /// Grows the position table to cover `n` variables.
+    pub fn grow(&mut self, n: usize) {
+        if self.position.len() < n {
+            self.position.resize(n, NONE);
+        }
+    }
+
+    #[allow(dead_code)]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    pub fn contains(&self, var: u32) -> bool {
+        self.position.get(var as usize).is_some_and(|&p| p != NONE)
+    }
+
+    /// Inserts a variable (no-op if already present).
+    pub fn insert(&mut self, var: u32, activity: &[f64]) {
+        self.grow(var as usize + 1);
+        if self.contains(var) {
+            return;
+        }
+        let pos = self.heap.len() as u32;
+        self.heap.push(var);
+        self.position[var as usize] = pos;
+        self.sift_up(pos as usize, activity);
+    }
+
+    /// Removes and returns the variable with maximum activity.
+    pub fn pop_max(&mut self, activity: &[f64]) -> Option<u32> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        let last = self.heap.pop().expect("heap not empty");
+        self.position[top as usize] = NONE;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.position[last as usize] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    /// Restores heap order for `var` after its activity increased.
+    pub fn decreased_key_of_others_or_increased_own(&mut self, var: u32, activity: &[f64]) {
+        if let Some(&pos) = self.position.get(var as usize) {
+            if pos != NONE {
+                self.sift_up(pos as usize, activity);
+            }
+        }
+    }
+
+    /// Rebuilds the heap after a global activity rescale (order unchanged,
+    /// so this is a no-op kept for clarity of intent at call sites).
+    pub fn rescaled(&mut self) {}
+
+    fn sift_up(&mut self, mut i: usize, activity: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if activity[self.heap[i] as usize] > activity[self.heap[parent] as usize] {
+                self.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, activity: &[f64]) {
+        loop {
+            let left = 2 * i + 1;
+            let right = 2 * i + 2;
+            let mut best = i;
+            if left < self.heap.len()
+                && activity[self.heap[left] as usize] > activity[self.heap[best] as usize]
+            {
+                best = left;
+            }
+            if right < self.heap.len()
+                && activity[self.heap[right] as usize] > activity[self.heap[best] as usize]
+            {
+                best = right;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.position[self.heap[a] as usize] = a as u32;
+        self.position[self.heap[b] as usize] = b as u32;
+    }
+
+    #[cfg(test)]
+    fn check_invariants(&self, activity: &[f64]) {
+        for i in 1..self.heap.len() {
+            let parent = (i - 1) / 2;
+            assert!(
+                activity[self.heap[parent] as usize] >= activity[self.heap[i] as usize],
+                "heap property violated at {i}"
+            );
+        }
+        for (i, &v) in self.heap.iter().enumerate() {
+            assert_eq!(self.position[v as usize], i as u32);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_descending_activity_order() {
+        let activity = vec![0.5, 3.0, 1.0, 2.0, 0.1];
+        let mut h = VarHeap::new();
+        for v in 0..5 {
+            h.insert(v, &activity);
+            h.check_invariants(&activity);
+        }
+        let mut order = Vec::new();
+        while let Some(v) = h.pop_max(&activity) {
+            order.push(v);
+        }
+        assert_eq!(order, vec![1, 3, 2, 0, 4]);
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let activity = vec![1.0, 2.0];
+        let mut h = VarHeap::new();
+        h.insert(0, &activity);
+        h.insert(0, &activity);
+        h.insert(1, &activity);
+        assert_eq!(h.pop_max(&activity), Some(1));
+        assert_eq!(h.pop_max(&activity), Some(0));
+        assert_eq!(h.pop_max(&activity), None);
+    }
+
+    #[test]
+    fn bump_restores_order() {
+        let mut activity = vec![1.0, 2.0, 3.0];
+        let mut h = VarHeap::new();
+        for v in 0..3 {
+            h.insert(v, &activity);
+        }
+        activity[0] = 10.0;
+        h.decreased_key_of_others_or_increased_own(0, &activity);
+        h.check_invariants(&activity);
+        assert_eq!(h.pop_max(&activity), Some(0));
+    }
+
+    #[test]
+    fn contains_tracks_membership() {
+        let activity = vec![1.0; 4];
+        let mut h = VarHeap::new();
+        assert!(!h.contains(2));
+        h.insert(2, &activity);
+        assert!(h.contains(2));
+        h.pop_max(&activity);
+        assert!(!h.contains(2));
+    }
+
+    #[test]
+    fn randomized_against_sort() {
+        use std::collections::HashSet;
+        let mut seed = 0x1234_5678_u64;
+        let mut rng = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..50 {
+            let n = 1 + (rng() % 40) as usize;
+            let activity: Vec<f64> = (0..n).map(|_| (rng() % 1000) as f64).collect();
+            let mut h = VarHeap::new();
+            let mut members = HashSet::new();
+            for _ in 0..n * 2 {
+                let v = (rng() % n as u64) as u32;
+                if rng() % 3 == 0 {
+                    if let Some(top) = h.pop_max(&activity) {
+                        members.remove(&top);
+                    }
+                } else {
+                    h.insert(v, &activity);
+                    members.insert(v);
+                }
+                h.check_invariants(&activity);
+            }
+            let mut drained = Vec::new();
+            while let Some(v) = h.pop_max(&activity) {
+                drained.push(v);
+            }
+            let mut expected: Vec<u32> = members.into_iter().collect();
+            expected.sort_by(|a, b| {
+                activity[*b as usize]
+                    .partial_cmp(&activity[*a as usize])
+                    .unwrap()
+            });
+            let drained_acts: Vec<f64> = drained.iter().map(|&v| activity[v as usize]).collect();
+            let expected_acts: Vec<f64> = expected.iter().map(|&v| activity[v as usize]).collect();
+            assert_eq!(drained_acts, expected_acts);
+        }
+    }
+}

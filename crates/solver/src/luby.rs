@@ -1,0 +1,67 @@
+//! The Luby restart sequence.
+
+/// Returns the `i`-th element (1-based) of the Luby sequence:
+/// 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, ...
+///
+/// The CDCL solver restarts after `luby(i) * restart_base` conflicts, the
+/// universally used strategy introduced by Luby, Sinclair and Zuckerman for
+/// Las Vegas algorithms.
+///
+/// # Panics
+///
+/// Panics if `i == 0` (the sequence is 1-based).
+///
+/// # Examples
+///
+/// ```
+/// use satroute_solver::luby;
+///
+/// let prefix: Vec<u64> = (1..=15).map(luby).collect();
+/// assert_eq!(prefix, [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+/// ```
+pub fn luby(i: u64) -> u64 {
+    assert!(i > 0, "the Luby sequence is 1-based");
+    // Find k such that i == 2^k - 1 => luby(i) = 2^(k-1).
+    let mut k = 1u32;
+    loop {
+        let boundary = (1u64 << k) - 1;
+        match i.cmp(&boundary) {
+            std::cmp::Ordering::Equal => return 1 << (k - 1),
+            std::cmp::Ordering::Less => {
+                // Recurse: luby(i) = luby(i - 2^(k-1) + 1).
+                return luby(i - (1 << (k - 1)) + 1);
+            }
+            std::cmp::Ordering::Greater => k += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_prefix() {
+        let expected = [
+            1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2,
+            4, 8, 16,
+        ];
+        for (i, &e) in expected.iter().enumerate() {
+            assert_eq!(luby(i as u64 + 1), e, "luby({})", i + 1);
+        }
+    }
+
+    #[test]
+    fn powers_of_two_at_boundaries() {
+        // luby(2^k - 1) == 2^(k-1)
+        for k in 1..20u32 {
+            assert_eq!(luby((1u64 << k) - 1), 1u64 << (k - 1));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_panics() {
+        let _ = luby(0);
+    }
+}

@@ -1,0 +1,64 @@
+//! Solver outcomes.
+
+use satroute_cnf::Assignment;
+
+/// The result of a solving attempt.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SolveOutcome {
+    /// The formula is satisfiable; a model is attached.
+    Sat(Assignment),
+    /// The formula is unsatisfiable.
+    Unsat,
+    /// The solver gave up before reaching an answer (conflict budget
+    /// exhausted or cooperative cancellation requested).
+    Unknown,
+}
+
+impl SolveOutcome {
+    /// Returns `true` for [`SolveOutcome::Sat`].
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SolveOutcome::Sat(_))
+    }
+
+    /// Returns `true` for [`SolveOutcome::Unsat`].
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, SolveOutcome::Unsat)
+    }
+
+    /// Returns `true` if the solver reached a definite answer.
+    pub fn is_decided(&self) -> bool {
+        !matches!(self, SolveOutcome::Unknown)
+    }
+
+    /// Returns the model if satisfiable.
+    pub fn model(&self) -> Option<&Assignment> {
+        match self {
+            SolveOutcome::Sat(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Consumes the outcome, returning the model if satisfiable.
+    pub fn into_model(self) -> Option<Assignment> {
+        match self {
+            SolveOutcome::Sat(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicates() {
+        let sat = SolveOutcome::Sat(Assignment::new(0));
+        assert!(sat.is_sat() && sat.is_decided() && !sat.is_unsat());
+        assert!(sat.model().is_some());
+        assert!(SolveOutcome::Unsat.is_unsat());
+        assert!(SolveOutcome::Unsat.is_decided());
+        assert!(SolveOutcome::Unsat.model().is_none());
+        assert!(!SolveOutcome::Unknown.is_decided());
+    }
+}

@@ -1,0 +1,59 @@
+//! Compare all 15 encodings on one benchmark — a miniature of the paper's
+//! Table 2 experiment.
+//!
+//! For the chosen benchmark (default `tiny_c`, pass a paper name like
+//! `alu2` for the full-size version) the example solves the unroutable
+//! configuration with every encoding and symmetry heuristic, printing the
+//! total time and solver work for each.
+//!
+//! Run with: `cargo run --release --example encoding_comparison [bench]`
+
+use satroute::core::{EncodingId, Strategy, SymmetryHeuristic};
+use satroute::fpga::benchmarks;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "tiny_c".into());
+    let instance = benchmarks::suite_tiny()
+        .into_iter()
+        .chain(benchmarks::suite_paper())
+        .find(|b| b.name == which)
+        .ok_or_else(|| format!("unknown benchmark `{which}`"))?;
+
+    let width = instance.unroutable_width;
+    println!(
+        "benchmark {} at W = {width} (unroutable): {} vertices, {} edges",
+        instance.name,
+        instance.conflict_graph.num_vertices(),
+        instance.conflict_graph.num_edges()
+    );
+    println!(
+        "{:<28} {:>8} {:>8} {:>8} {:>10} {:>10}",
+        "encoding", "-", "b1", "s1", "vars", "clauses"
+    );
+
+    for encoding in EncodingId::ALL {
+        let mut times = Vec::new();
+        let mut stats = None;
+        for symmetry in SymmetryHeuristic::ALL {
+            let report =
+                Strategy::new(encoding, symmetry).solve_coloring(&instance.conflict_graph, width);
+            assert!(
+                !report.outcome.is_colorable(),
+                "{encoding}/{symmetry}: UNSAT instance reported colorable"
+            );
+            times.push(format!("{:.3}", report.timing.total().as_secs_f64()));
+            stats = Some(report.formula_stats);
+        }
+        let stats = stats.expect("at least one run");
+        println!(
+            "{:<28} {:>8} {:>8} {:>8} {:>10} {:>10}",
+            encoding.name(),
+            times[0],
+            times[1],
+            times[2],
+            stats.num_vars,
+            stats.num_clauses
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Machine-checkable unroutability certificates.
+//!
+//! The paper's selling point for SAT-based detailed routing is that "no"
+//! answers are proofs. This example makes the proof explicit: it logs the
+//! solver's DRAT refutation of an unroutable configuration, re-verifies it
+//! with the independent RUP checker, and writes the certificate next to
+//! the DIMACS CNF so any external DRAT checker can audit it too.
+//!
+//! Run with: `cargo run --release --example unsat_certificate`
+
+use std::fs;
+
+use satroute::cnf::dimacs;
+use satroute::core::{encode_coloring, EncodingId, SymmetryHeuristic};
+use satroute::fpga::benchmarks;
+use satroute::solver::{CdclSolver, SolveOutcome};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let instance = &benchmarks::suite_tiny()[2];
+    let width = instance.unroutable_width;
+    println!(
+        "benchmark {}: proving no detailed routing exists with {width} tracks",
+        instance.name
+    );
+
+    let enc = encode_coloring(
+        &instance.conflict_graph,
+        width,
+        &EncodingId::IteLinear2Muldirect.encoding(),
+        SymmetryHeuristic::S1,
+    );
+
+    let mut solver = CdclSolver::new();
+    solver.enable_proof_logging();
+    solver.add_formula(&enc.formula);
+    match solver.solve() {
+        SolveOutcome::Unsat => {}
+        other => panic!("expected UNSAT at the unroutable width, got {other:?}"),
+    }
+    let proof = solver.take_proof().expect("logging was enabled");
+    println!(
+        "UNSAT in {} conflicts; DRAT certificate has {} steps",
+        solver.stats().conflicts,
+        proof.len()
+    );
+
+    // Independent verification with the RUP checker.
+    proof.check(&enc.formula)?;
+    println!("certificate verified by the independent RUP checker");
+
+    // Persist the instance + certificate for external auditing.
+    let dir = std::env::temp_dir().join("satroute_certificates");
+    fs::create_dir_all(&dir)?;
+    let cnf_path = dir.join(format!("{}_w{width}.cnf", instance.name));
+    let drat_path = dir.join(format!("{}_w{width}.drat", instance.name));
+    fs::write(&cnf_path, dimacs::to_cnf_string(&enc.formula))?;
+    fs::write(&drat_path, proof.to_drat_string())?;
+    println!("wrote {} and {}", cnf_path.display(), drat_path.display());
+    println!(
+        "(any DRAT checker can now confirm that {} tracks are insufficient)",
+        width
+    );
+    Ok(())
+}

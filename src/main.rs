@@ -1,0 +1,322 @@
+//! `satroute` — command-line front end for the SAT-based FPGA
+//! detailed-routing flow.
+//!
+//! ```text
+//! satroute gen --bench <name> --out <problem.txt>      export a suite benchmark
+//! satroute route <problem.txt> --width <W> [...]       find a detailed routing
+//! satroute prove <problem.txt> --width <W> [...]       prove unroutability (+DRAT)
+//! satroute min-width <problem.txt> [...]               certified minimum width
+//! satroute encode <problem.txt|.col> --width <W> [...] emit DIMACS CNF
+//! satroute solve <file.cnf> [--proof <out.drat>]       run the CDCL solver
+//! satroute encodings                                   list the 15 encodings
+//! ```
+//!
+//! Options: `--encoding <name>` (paper spelling, default
+//! ITE-linear-2+muldirect), `--symmetry -|b1|s1` (default s1),
+//! `--certificate <out.drat>`, `--out <path>`.
+
+use std::fs;
+use std::process::ExitCode;
+
+use satroute::cnf::dimacs as cnf_dimacs;
+use satroute::coloring::dimacs as col_dimacs;
+use satroute::coloring::CspGraph;
+use satroute::core::{encode_coloring, EncodingId, RoutingPipeline, Strategy, SymmetryHeuristic};
+use satroute::fpga::{benchmarks, io as fpga_io, RoutingProblem};
+use satroute::solver::{CdclSolver, SolveOutcome};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+struct Options {
+    positional: Vec<String>,
+    encoding: EncodingId,
+    symmetry: SymmetryHeuristic,
+    width: Option<u32>,
+    out: Option<String>,
+    bench: Option<String>,
+    proof: Option<String>,
+    certificate: Option<String>,
+    incremental: bool,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        positional: Vec::new(),
+        encoding: EncodingId::IteLinear2Muldirect,
+        symmetry: SymmetryHeuristic::S1,
+        width: None,
+        out: None,
+        bench: None,
+        proof: None,
+        certificate: None,
+        incremental: false,
+    };
+    let mut i = 0;
+    let take_value = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--encoding" => {
+                let v = take_value(args, &mut i, "--encoding")?;
+                opts.encoding = v.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--symmetry" => {
+                let v = take_value(args, &mut i, "--symmetry")?;
+                opts.symmetry = v.parse().map_err(|_| format!("unknown symmetry `{v}`"))?;
+            }
+            "--width" => {
+                let v = take_value(args, &mut i, "--width")?;
+                opts.width = Some(v.parse().map_err(|_| format!("bad width `{v}`"))?);
+            }
+            "--out" => opts.out = Some(take_value(args, &mut i, "--out")?),
+            "--bench" => opts.bench = Some(take_value(args, &mut i, "--bench")?),
+            "--proof" => opts.proof = Some(take_value(args, &mut i, "--proof")?),
+            "--certificate" => opts.certificate = Some(take_value(args, &mut i, "--certificate")?),
+            "--incremental" => opts.incremental = true,
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            positional => opts.positional.push(positional.to_string()),
+        }
+        i += 1;
+    }
+    Ok(opts)
+}
+
+fn load_problem(path: &str) -> Result<RoutingProblem, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    fpga_io::parse_problem_str(&text).map_err(|e| format!("{e}"))
+}
+
+fn find_benchmark(name: &str) -> Result<benchmarks::BenchmarkInstance, String> {
+    benchmarks::suite_tiny()
+        .into_iter()
+        .chain(benchmarks::suite_paper())
+        .find(|b| b.name == name)
+        .ok_or_else(|| format!("unknown benchmark `{name}` (try tiny_a..tiny_c, alu2..k2)"))
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let Some(command) = args.first() else {
+        print_usage();
+        return Ok(ExitCode::from(2));
+    };
+    let opts = parse_options(&args[1..])?;
+
+    match command.as_str() {
+        "gen" => {
+            let name = opts.bench.ok_or("gen needs --bench <name>")?;
+            let instance = find_benchmark(&name)?;
+            let text = fpga_io::to_problem_string(&instance.problem);
+            match &opts.out {
+                Some(path) => {
+                    fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+                    println!(
+                        "wrote {path} ({} subnets; routable at W={}, unroutable at W={})",
+                        instance.problem.num_subnets(),
+                        instance.routable_width,
+                        instance.unroutable_width
+                    );
+                }
+                None => print!("{text}"),
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "route" | "prove" => {
+            let path = opts
+                .positional
+                .first()
+                .ok_or("route/prove need a problem file")?;
+            let width = opts.width.ok_or("route/prove need --width <W>")?;
+            let problem = load_problem(path)?;
+            let pipeline = RoutingPipeline::new(Strategy::new(opts.encoding, opts.symmetry));
+
+            if let Some(cert_path) = &opts.certificate {
+                let (result, certificate) = pipeline
+                    .prove_unroutable_certified(&problem, width)
+                    .map_err(|e| format!("{e}"))?;
+                return finish_route(result, Some((cert_path, certificate)));
+            }
+            let result = pipeline
+                .route(&problem, width)
+                .map_err(|e| format!("{e}"))?;
+            finish_route(result, None)
+        }
+        "min-width" => {
+            let path = opts
+                .positional
+                .first()
+                .ok_or("min-width needs a problem file")?;
+            let problem = load_problem(path)?;
+            if opts.incremental {
+                use satroute::core::incremental::IncrementalColoring;
+                let graph = problem.conflict_graph();
+                let upper = satroute::coloring::dsatur_coloring(&graph)
+                    .max_color()
+                    .map_or(1, |m| m + 1);
+                let mut inc = IncrementalColoring::new(&graph, upper, opts.symmetry);
+                let (min, _) = inc
+                    .find_min_colors()
+                    .ok_or("solver gave up or bound was uncolorable")?;
+                println!(
+                    "minimum channel width: {min} (incremental, {} conflicts)",
+                    inc.solver_stats().conflicts
+                );
+            } else {
+                let pipeline = RoutingPipeline::new(Strategy::new(opts.encoding, opts.symmetry));
+                let search = pipeline
+                    .find_min_width(&problem)
+                    .map_err(|e| format!("{e}"))?;
+                println!("minimum channel width: {}", search.min_width);
+                for probe in &search.probes {
+                    println!(
+                        "  W = {:>2}: {}",
+                        probe.width,
+                        if probe.routing.is_some() {
+                            "SAT"
+                        } else {
+                            "UNSAT"
+                        }
+                    );
+                }
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "encode" => {
+            let path = opts
+                .positional
+                .first()
+                .ok_or("encode needs an input file")?;
+            let width = opts.width.ok_or("encode needs --width <W>")?;
+            let graph: CspGraph = if path.ends_with(".col") {
+                let text =
+                    fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+                col_dimacs::parse_col_str(&text).map_err(|e| format!("{e}"))?
+            } else {
+                load_problem(path)?.conflict_graph()
+            };
+            let enc = encode_coloring(&graph, width, &opts.encoding.encoding(), opts.symmetry);
+            let text = cnf_dimacs::to_cnf_string(&enc.formula);
+            match &opts.out {
+                Some(out) => {
+                    fs::write(out, text).map_err(|e| format!("cannot write {out}: {e}"))?;
+                    println!(
+                        "wrote {out} ({} vars, {} clauses, {}/{})",
+                        enc.formula.num_vars(),
+                        enc.formula.num_clauses(),
+                        opts.encoding,
+                        opts.symmetry
+                    );
+                }
+                None => print!("{text}"),
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "solve" => {
+            let path = opts.positional.first().ok_or("solve needs a .cnf file")?;
+            let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let formula = cnf_dimacs::parse_cnf_str(&text).map_err(|e| format!("{e}"))?;
+            let mut solver = CdclSolver::new();
+            if opts.proof.is_some() {
+                solver.enable_proof_logging();
+            }
+            solver.add_formula(&formula);
+            match solver.solve() {
+                SolveOutcome::Sat(model) => {
+                    println!("s SATISFIABLE");
+                    print!("v");
+                    for (var, value) in model.iter() {
+                        print!(
+                            " {}",
+                            if value {
+                                var.to_dimacs()
+                            } else {
+                                -var.to_dimacs()
+                            }
+                        );
+                    }
+                    println!(" 0");
+                    Ok(ExitCode::from(10))
+                }
+                SolveOutcome::Unsat => {
+                    println!("s UNSATISFIABLE");
+                    if let Some(out) = &opts.proof {
+                        let proof = solver.take_proof().expect("logging enabled");
+                        fs::write(out, proof.to_drat_string())
+                            .map_err(|e| format!("cannot write {out}: {e}"))?;
+                        println!("c DRAT proof written to {out}");
+                    }
+                    Ok(ExitCode::from(20))
+                }
+                SolveOutcome::Unknown => {
+                    println!("s UNKNOWN");
+                    Ok(ExitCode::SUCCESS)
+                }
+            }
+        }
+        "encodings" => {
+            println!("previously used for FPGA routing:");
+            for id in EncodingId::PREVIOUS {
+                println!("  {id}");
+            }
+            println!("introduced by the paper:");
+            for id in EncodingId::NEW {
+                println!("  {id}");
+            }
+            println!("also available: direct");
+            Ok(ExitCode::SUCCESS)
+        }
+        other => {
+            print_usage();
+            Err(format!("unknown command `{other}`"))
+        }
+    }
+}
+
+fn finish_route(
+    result: satroute::core::RouteResult,
+    certificate: Option<(&String, Option<satroute::core::UnroutabilityCertificate>)>,
+) -> Result<ExitCode, String> {
+    match &result.routing {
+        Some(routing) => {
+            println!("ROUTABLE with {} tracks", result.width);
+            for (i, track) in routing.tracks().iter().enumerate() {
+                println!("  subnet {i}: track {track}");
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        None => {
+            println!(
+                "UNROUTABLE with {} tracks ({} conflicts)",
+                result.width, result.report.solver_stats.conflicts
+            );
+            if let Some((path, Some(cert))) = certificate {
+                cert.verify()
+                    .map_err(|e| format!("certificate failed: {e}"))?;
+                fs::write(path, cert.proof.to_drat_string())
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                println!("verified DRAT certificate written to {path}");
+            }
+            Ok(ExitCode::from(20))
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: satroute <command> [options]\n\
+         commands: gen, route, prove, min-width, encode, solve, encodings\n\
+         see the crate README for details"
+    );
+}

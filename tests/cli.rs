@@ -1,0 +1,184 @@
+//! Integration tests driving the `satroute` CLI binary end to end.
+
+use std::process::Command;
+
+fn satroute() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_satroute"))
+}
+
+fn tempdir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("satroute_cli_{name}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("can create temp dir");
+    dir
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let out = satroute().output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = satroute().arg("frobnicate").output().expect("binary runs");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn encodings_lists_all_fifteen() {
+    let out = satroute().arg("encodings").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("ITE-linear-2+muldirect"));
+    assert!(text.contains("muldirect-3+direct"));
+    assert!(text.contains("log"));
+}
+
+#[test]
+fn gen_route_prove_roundtrip() {
+    let dir = tempdir("roundtrip");
+    let problem = dir.join("tiny.txt");
+
+    // Export a benchmark problem.
+    let out = satroute()
+        .args(["gen", "--bench", "tiny_a", "--out"])
+        .arg(&problem)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Routable at a generous width: exit code 0 and track assignments.
+    let out = satroute()
+        .arg("route")
+        .arg(&problem)
+        .args(["--width", "12"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("ROUTABLE"));
+
+    // Provably unroutable at width 1 (tiny_a has conflicting subnets):
+    // exit code 20, with a verified DRAT certificate.
+    let cert = dir.join("w1.drat");
+    let out = satroute()
+        .arg("prove")
+        .arg(&problem)
+        .args(["--width", "1", "--certificate"])
+        .arg(&cert)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(20));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("UNROUTABLE"), "{text}");
+    assert!(text.contains("verified DRAT certificate"), "{text}");
+    assert!(cert.exists());
+}
+
+#[test]
+fn min_width_matches_incremental() {
+    let dir = tempdir("minwidth");
+    let problem = dir.join("tiny.txt");
+    satroute()
+        .args(["gen", "--bench", "tiny_b", "--out"])
+        .arg(&problem)
+        .status()
+        .expect("binary runs");
+
+    let classic = satroute()
+        .arg("min-width")
+        .arg(&problem)
+        .output()
+        .expect("binary runs");
+    assert!(classic.status.success());
+    let classic_text = String::from_utf8_lossy(&classic.stdout).to_string();
+
+    let incr = satroute()
+        .arg("min-width")
+        .arg(&problem)
+        .arg("--incremental")
+        .output()
+        .expect("binary runs");
+    assert!(incr.status.success());
+    let incr_text = String::from_utf8_lossy(&incr.stdout).to_string();
+
+    let grab = |s: &str| -> u32 {
+        s.lines()
+            .find(|l| l.contains("minimum channel width"))
+            .and_then(|l| l.split(':').nth(1)?.split_whitespace().next()?.parse().ok())
+            .expect("width line present")
+    };
+    assert_eq!(grab(&classic_text), grab(&incr_text));
+}
+
+#[test]
+fn encode_then_solve_pipeline() {
+    let dir = tempdir("encode");
+    let problem = dir.join("tiny.txt");
+    satroute()
+        .args(["gen", "--bench", "tiny_c", "--out"])
+        .arg(&problem)
+        .status()
+        .expect("binary runs");
+
+    let cnf = dir.join("instance.cnf");
+    let out = satroute()
+        .arg("encode")
+        .arg(&problem)
+        .args([
+            "--width",
+            "2",
+            "--encoding",
+            "muldirect",
+            "--symmetry",
+            "b1",
+            "--out",
+        ])
+        .arg(&cnf)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // tiny_c is unroutable at width 2 → solver exit code 20 + proof.
+    let proof = dir.join("instance.drat");
+    let out = satroute()
+        .arg("solve")
+        .arg(&cnf)
+        .arg("--proof")
+        .arg(&proof)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(20));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("s UNSATISFIABLE"));
+    assert!(proof.exists());
+}
+
+#[test]
+fn bad_inputs_produce_errors_not_panics() {
+    let out = satroute()
+        .args(["route", "/nonexistent/problem.txt", "--width", "3"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+
+    let out = satroute()
+        .args(["encode", "x.col", "--width"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+
+    let out = satroute()
+        .args(["gen", "--bench", "not_a_bench"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}

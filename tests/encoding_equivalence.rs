@@ -1,0 +1,100 @@
+//! Property tests: all 15 encodings are equivalent decision procedures for
+//! k-colorability, with or without symmetry breaking, with either solver.
+
+use proptest::prelude::*;
+// `satroute::core::Strategy` shadows the proptest trait of the same name;
+// re-import the trait anonymously so `.prop_map` stays available.
+use proptest::strategy::Strategy as _;
+
+use satroute::coloring::{exact, random_graph, CspGraph};
+use satroute::core::{encode_coloring, ColoringOutcome, EncodingId, Strategy, SymmetryHeuristic};
+use satroute::solver::{CdclSolver, DpllSolver, SolveOutcome};
+
+/// A small random graph strategy: (n, p, seed) → deterministic graph.
+fn graph_strategy() -> impl proptest::strategy::Strategy<Value = CspGraph> {
+    (2usize..9, 0u64..1000, 10u32..90)
+        .prop_map(|(n, seed, pct)| random_graph(n, f64::from(pct) / 100.0, seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn encodings_agree_with_exact_oracle(g in graph_strategy(), k in 1u32..5) {
+        let expected = exact::k_color(&g, k).is_some();
+        for id in EncodingId::ALL {
+            let report = Strategy::new(id, SymmetryHeuristic::None).solve_coloring(&g, k);
+            match report.outcome {
+                ColoringOutcome::Colorable(c) => {
+                    prop_assert!(expected, "{id}: SAT but oracle says UNSAT");
+                    prop_assert!(c.is_proper(&g));
+                    prop_assert!(c.max_color().unwrap_or(0) < k);
+                }
+                ColoringOutcome::Unsat => prop_assert!(!expected, "{id}: UNSAT but oracle says SAT"),
+                ColoringOutcome::Unknown => prop_assert!(false, "no budget set"),
+            }
+        }
+    }
+
+    #[test]
+    fn symmetry_breaking_never_changes_the_verdict(g in graph_strategy(), k in 1u32..5) {
+        let baseline = Strategy::new(EncodingId::Muldirect, SymmetryHeuristic::None)
+            .solve_coloring(&g, k)
+            .outcome
+            .is_colorable();
+        for sym in [SymmetryHeuristic::B1, SymmetryHeuristic::S1] {
+            for id in [EncodingId::Muldirect, EncodingId::IteLog, EncodingId::Direct3Muldirect] {
+                let got = Strategy::new(id, sym).solve_coloring(&g, k).outcome.is_colorable();
+                prop_assert_eq!(got, baseline, "{}/{} flipped the verdict", id, sym);
+            }
+        }
+    }
+
+    #[test]
+    fn cdcl_and_dpll_agree_on_encoded_formulas(g in graph_strategy(), k in 1u32..4) {
+        let enc = encode_coloring(
+            &g,
+            k,
+            &EncodingId::IteLinear.encoding(),
+            SymmetryHeuristic::None,
+        );
+        let mut cdcl = CdclSolver::new();
+        cdcl.add_formula(&enc.formula);
+        let cdcl_sat = matches!(cdcl.solve(), SolveOutcome::Sat(_));
+        let dpll_sat = matches!(DpllSolver::new().solve(&enc.formula), SolveOutcome::Sat(_));
+        prop_assert_eq!(cdcl_sat, dpll_sat);
+    }
+
+    #[test]
+    fn scheme_shapes_are_consistent(k in 1u32..14) {
+        for id in EncodingId::ALL {
+            let scheme = id.emit(k);
+            prop_assert_eq!(scheme.domain_size(), k);
+            // Every pattern's variables fit in the declared local space.
+            for p in &scheme.patterns {
+                for lit in p.lits() {
+                    prop_assert!(lit.var().index() < scheme.num_vars.max(1) || p.is_empty());
+                }
+            }
+            for clause in &scheme.structural {
+                for lit in clause {
+                    prop_assert!(lit.var().index() < scheme.num_vars);
+                }
+            }
+        }
+    }
+}
+
+/// The exhaustive semantic check (exclusive selectability + totality) over
+/// every encoding, for all domain sizes up to 12 — heavier than the
+/// unit-test sweep in `satroute-core`, run once here.
+#[test]
+fn all_encodings_correct_up_to_domain_12() {
+    for id in EncodingId::ALL {
+        for k in 1..=12 {
+            id.emit(k)
+                .check_correctness()
+                .unwrap_or_else(|e| panic!("{id} k={k}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests for the SAT-solver substrate: the CDCL solver is checked
+//! against brute-force enumeration and the DPLL oracle on random formulas.
+
+use proptest::prelude::*;
+
+use satroute::cnf::{Assignment, CnfFormula, Lit, Var};
+use satroute::solver::{CdclSolver, DpllSolver, SolveOutcome, SolverConfig};
+
+/// Random CNF: up to 8 variables, up to 24 clauses of 1–4 literals.
+fn formula_strategy() -> impl proptest::strategy::Strategy<Value = CnfFormula> {
+    let clause = proptest::collection::vec((0u32..8, any::<bool>()), 1..5);
+    proptest::collection::vec(clause, 0..25).prop_map(|clauses| {
+        let mut f = CnfFormula::with_vars(8);
+        for c in clauses {
+            f.add_clause(c.into_iter().map(|(v, pos)| Lit::new(Var::new(v), pos)));
+        }
+        f
+    })
+}
+
+/// Ground truth by enumerating all 2^8 assignments.
+fn brute_force_sat(f: &CnfFormula) -> bool {
+    let n = f.num_vars();
+    (0u32..(1 << n)).any(|bits| {
+        let assignment =
+            Assignment::from_bools(&(0..n).map(|i| bits & (1 << i) != 0).collect::<Vec<_>>());
+        f.is_satisfied_by(&assignment)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn cdcl_matches_brute_force(f in formula_strategy()) {
+        let expected = brute_force_sat(&f);
+        let mut solver = CdclSolver::new();
+        solver.add_formula(&f);
+        match solver.solve() {
+            SolveOutcome::Sat(model) => {
+                prop_assert!(expected, "CDCL returned SAT on an UNSAT formula");
+                prop_assert!(f.is_satisfied_by(&model), "model must satisfy the formula");
+                prop_assert!(model.is_total());
+            }
+            SolveOutcome::Unsat => prop_assert!(!expected, "CDCL returned UNSAT on a SAT formula"),
+            SolveOutcome::Unknown => prop_assert!(false, "no budget was configured"),
+        }
+    }
+
+    #[test]
+    fn dpll_matches_brute_force(f in formula_strategy()) {
+        let expected = brute_force_sat(&f);
+        match DpllSolver::new().solve(&f) {
+            SolveOutcome::Sat(model) => {
+                prop_assert!(expected);
+                prop_assert!(f.is_satisfied_by(&model));
+            }
+            SolveOutcome::Unsat => prop_assert!(!expected),
+            SolveOutcome::Unknown => prop_assert!(false, "no budget was configured"),
+        }
+    }
+
+    #[test]
+    fn solver_is_deterministic(f in formula_strategy()) {
+        let run = || {
+            let mut s = CdclSolver::new();
+            s.add_formula(&f);
+            s.solve()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn dimacs_roundtrip_preserves_satisfiability(f in formula_strategy()) {
+        use satroute::cnf::dimacs;
+        let f2 = dimacs::parse_cnf_str(&dimacs::to_cnf_string(&f)).expect("own output parses");
+        let solve = |f: &CnfFormula| {
+            let mut s = CdclSolver::new();
+            s.add_formula(f);
+            matches!(s.solve(), SolveOutcome::Sat(_))
+        };
+        prop_assert_eq!(solve(&f), solve(&f2));
+    }
+
+    #[test]
+    fn restart_and_decay_settings_do_not_change_verdicts(f in formula_strategy()) {
+        let expected = brute_force_sat(&f);
+        for config in [
+            SolverConfig { restart_base: 1, ..SolverConfig::default() },
+            SolverConfig { var_decay: 0.5, clause_decay: 0.5, ..SolverConfig::default() },
+            SolverConfig { learnt_ratio: 0.0, learnt_growth: 1.0, ..SolverConfig::default() },
+        ] {
+            let mut s = CdclSolver::with_config(config);
+            s.add_formula(&f);
+            match s.solve() {
+                SolveOutcome::Sat(m) => {
+                    prop_assert!(expected);
+                    prop_assert!(f.is_satisfied_by(&m));
+                }
+                SolveOutcome::Unsat => prop_assert!(!expected),
+                SolveOutcome::Unknown => prop_assert!(false),
+            }
+        }
+    }
+}
