@@ -50,10 +50,16 @@ fn main() {
         print!("{side}x{side}/{nets} clique={clique} W={w}: ");
         std::io::stdout().flush().ok();
         let t = Instant::now();
-        let r = Strategy::paper_baseline().solve_coloring_with(&g, w, &config, None);
+        let r = Strategy::paper_baseline()
+            .solve(&g, w)
+            .config(config.clone())
+            .run();
         let base = t.elapsed();
         let t = Instant::now();
-        let r2 = Strategy::paper_best().solve_coloring_with(&g, w, &config, None);
+        let r2 = Strategy::paper_best()
+            .solve(&g, w)
+            .config(config.clone())
+            .run();
         let best = t.elapsed();
         println!(
             "base {:.2}s{} ({} conf), best {:.2}s{} ({} conf)",

@@ -11,17 +11,31 @@
 //! parallel machine achieves — alongside the single-core threaded wall
 //! time for transparency.
 //!
-//! Run with: `cargo run --release -p satroute-bench --bin portfolio_table [--tiny]`
+//! Run with:
+//! `cargo run --release -p satroute-bench --bin portfolio_table [--tiny] [--json]`
 
 use std::time::{Duration, Instant};
 
-use satroute_bench::{fmt_secs, fmt_speedup};
-use satroute_core::{simulate_portfolio, Strategy};
+use satroute_bench::json::Value;
+use satroute_bench::{fmt_secs, fmt_speedup, metrics_json};
+use satroute_core::{simulate_portfolio, SimulatedPortfolio, Strategy};
 use satroute_fpga::benchmarks;
 use satroute_solver::SolverConfig;
 
+fn members_json(sim: &SimulatedPortfolio) -> Value {
+    Value::array(sim.members.iter().map(|m| {
+        Value::object([
+            ("strategy", Value::from(m.strategy.to_string())),
+            ("wall_time_s", Value::from(m.wall_time.as_secs_f64())),
+            ("decided", Value::Bool(m.is_decided())),
+            ("metrics", metrics_json(&m.report.metrics)),
+        ])
+    }))
+}
+
 fn main() {
     let tiny = std::env::args().any(|a| a == "--tiny");
+    let json = std::env::args().any(|a| a == "--json");
     let suite = if tiny {
         benchmarks::suite_tiny()
     } else {
@@ -33,16 +47,19 @@ fn main() {
     let p2 = Strategy::paper_portfolio_2();
     let p3 = Strategy::paper_portfolio_3();
 
-    println!("Portfolio experiment on unroutable configurations [s]");
-    println!("(portfolio times = simulated multicore wall time: min over members)\n");
-    println!(
-        "{:<12} {:>12} {:>14} {:>14}  winner(3-strategy)",
-        "benchmark", "single", "portfolio-2", "portfolio-3"
-    );
+    if !json {
+        println!("Portfolio experiment on unroutable configurations [s]");
+        println!("(portfolio times = simulated multicore wall time: min over members)\n");
+        println!(
+            "{:<12} {:>12} {:>14} {:>14}  winner(3-strategy)",
+            "benchmark", "single", "portfolio-2", "portfolio-3"
+        );
+    }
 
     let mut t_single = Duration::ZERO;
     let mut t_p2 = Duration::ZERO;
     let mut t_p3 = Duration::ZERO;
+    let mut json_rows: Vec<Value> = Vec::new();
 
     for instance in &suite {
         let width = instance.unroutable_width;
@@ -56,21 +73,53 @@ fn main() {
         let d_single = start.elapsed();
         assert!(!r.outcome.is_colorable());
 
-        let s2 = simulate_portfolio(g, width, &p2, &config).expect("decides");
-        let s3 = simulate_portfolio(g, width, &p3, &config).expect("decides");
+        let s2 = simulate_portfolio(g, width, &p2, &config);
+        let s3 = simulate_portfolio(g, width, &p3, &config);
+        let winner3 = s3.strategy().expect("portfolio decides");
 
         t_single += d_single;
         t_p2 += s2.virtual_wall_time;
         t_p3 += s3.virtual_wall_time;
 
-        println!(
-            "{:<12} {:>12} {:>14} {:>14}  {}",
-            instance.name,
-            fmt_secs(d_single),
-            fmt_secs(s2.virtual_wall_time),
-            fmt_secs(s3.virtual_wall_time),
-            s3.strategy,
-        );
+        if json {
+            json_rows.push(Value::object([
+                ("benchmark", Value::from(instance.name.as_str())),
+                ("single_s", Value::from(d_single.as_secs_f64())),
+                (
+                    "portfolio2_s",
+                    Value::from(s2.virtual_wall_time.as_secs_f64()),
+                ),
+                (
+                    "portfolio3_s",
+                    Value::from(s3.virtual_wall_time.as_secs_f64()),
+                ),
+                ("winner3", Value::from(winner3.to_string())),
+                ("portfolio2_members", members_json(&s2)),
+                ("portfolio3_members", members_json(&s3)),
+            ]));
+        } else {
+            println!(
+                "{:<12} {:>12} {:>14} {:>14}  {}",
+                instance.name,
+                fmt_secs(d_single),
+                fmt_secs(s2.virtual_wall_time),
+                fmt_secs(s3.virtual_wall_time),
+                winner3,
+            );
+        }
+    }
+
+    if json {
+        let doc = Value::object([
+            ("table", Value::from("portfolio")),
+            ("suite", Value::from(if tiny { "tiny" } else { "paper" })),
+            ("rows", Value::Array(json_rows)),
+            ("total_single_s", Value::from(t_single.as_secs_f64())),
+            ("total_portfolio2_s", Value::from(t_p2.as_secs_f64())),
+            ("total_portfolio3_s", Value::from(t_p3.as_secs_f64())),
+        ]);
+        println!("{}", doc.to_json());
+        return;
     }
 
     println!(

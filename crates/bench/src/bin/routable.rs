@@ -5,25 +5,30 @@
 //! Runs all 15 encodings (×{-, b1, s1}) on every suite benchmark at its
 //! routable width (SAT instances) and prints the total time per strategy.
 //!
-//! Run with: `cargo run --release -p satroute-bench --bin routable [--tiny]`
+//! Run with: `cargo run --release -p satroute-bench --bin routable [--tiny] [--json]`
 
 use std::time::Duration;
 
-use satroute_bench::{fmt_secs, run_cell};
+use satroute_bench::json::Value;
+use satroute_bench::{cell_json, fmt_secs, run_cell};
 use satroute_core::{EncodingId, Strategy, SymmetryHeuristic};
 use satroute_fpga::benchmarks;
 
 fn main() {
     let tiny = std::env::args().any(|a| a == "--tiny");
+    let json = std::env::args().any(|a| a == "--json");
     let suite = if tiny {
         benchmarks::suite_tiny()
     } else {
         benchmarks::suite_paper()
     };
 
-    println!("Routable configurations (W = W_sat): time [s] to find a verified routing\n");
-    println!("{:<28} {:>9} {:>9} {:>9}", "encoding", "-", "b1", "s1");
+    if !json {
+        println!("Routable configurations (W = W_sat): time [s] to find a verified routing\n");
+        println!("{:<28} {:>9} {:>9} {:>9}", "encoding", "-", "b1", "s1");
+    }
 
+    let mut json_cells: Vec<Value> = Vec::new();
     for encoding in EncodingId::ALL {
         let mut row = format!("{:<28}", encoding.name());
         for symmetry in SymmetryHeuristic::ALL {
@@ -37,11 +42,27 @@ fn main() {
                     instance.name
                 );
                 total += cell.total;
+                if json {
+                    json_cells.push(cell_json(&cell));
+                }
             }
             row.push_str(&format!(" {:>9}", fmt_secs(total)));
         }
-        println!("{row}");
+        if !json {
+            println!("{row}");
+        }
     }
+
+    if json {
+        let doc = Value::object([
+            ("table", Value::from("routable")),
+            ("suite", Value::from(if tiny { "tiny" } else { "paper" })),
+            ("cells", Value::Array(json_cells)),
+        ]);
+        println!("{}", doc.to_json());
+        return;
+    }
+
     println!(
         "\n({} benchmarks; every cell is a satisfiable instance and every decoded",
         suite.len()

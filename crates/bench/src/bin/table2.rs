@@ -7,17 +7,21 @@
 //! Layout matches the paper's columns: muldirect gets {-, b1, s1}, the six
 //! best new encodings get {b1, s1}.
 //!
-//! Run with: `cargo run --release -p satroute-bench --bin table2 [--tiny]`
-//! (`--tiny` runs the miniature suite for a fast smoke check.)
+//! Run with: `cargo run --release -p satroute-bench --bin table2 [--tiny] [--json]`
+//! (`--tiny` runs the miniature suite for a fast smoke check; `--json`
+//! emits one machine-readable JSON document on stdout instead of the
+//! formatted table.)
 
 use std::time::Duration;
 
-use satroute_bench::{fmt_secs, fmt_speedup, run_cell};
+use satroute_bench::json::Value;
+use satroute_bench::{cell_json, fmt_secs, fmt_speedup, run_cell};
 use satroute_core::{ColoringOutcome, EncodingId, Strategy, SymmetryHeuristic};
 use satroute_fpga::benchmarks;
 
 fn main() {
     let tiny = std::env::args().any(|a| a == "--tiny");
+    let json = std::env::args().any(|a| a == "--json");
     let suite = if tiny {
         benchmarks::suite_tiny()
     } else {
@@ -44,19 +48,24 @@ fn main() {
         Strategy::new(Direct3Muldirect, S1),
     ];
 
-    println!("Table 2: total CPU time [s] on unroutable configurations (W = W_min - 1)");
-    println!(
-        "suite: {}\n",
-        if tiny { "tiny (smoke)" } else { "paper-scale" }
-    );
+    if !json {
+        println!("Table 2: total CPU time [s] on unroutable configurations (W = W_min - 1)");
+        println!(
+            "suite: {}\n",
+            if tiny { "tiny (smoke)" } else { "paper-scale" }
+        );
+    }
 
     let header: Vec<String> = std::iter::once("benchmark".to_string())
         .chain(columns.iter().map(|s| s.to_string()))
         .collect();
     let widths: Vec<usize> = header.iter().map(|h| h.len().max(9)).collect();
-    println!("{}", satroute_bench::row(&header, &widths));
+    if !json {
+        println!("{}", satroute_bench::row(&header, &widths));
+    }
 
     let mut totals: Vec<Duration> = vec![Duration::ZERO; columns.len()];
+    let mut json_cells: Vec<Value> = Vec::new();
     for instance in &suite {
         let width = instance.unroutable_width;
         if width == 0 {
@@ -72,15 +81,47 @@ fn main() {
             );
             totals[c] += cell.total;
             cells.push(fmt_secs(cell.total));
+            if json {
+                json_cells.push(cell_json(&cell));
+            }
         }
-        println!("{}", satroute_bench::row(&cells, &widths));
+        if !json {
+            println!("{}", satroute_bench::row(&cells, &widths));
+        }
+    }
+
+    let baseline = totals[0];
+    if json {
+        let doc = Value::object([
+            ("table", Value::from("table2")),
+            ("suite", Value::from(if tiny { "tiny" } else { "paper" })),
+            ("cells", Value::Array(json_cells)),
+            (
+                "totals",
+                Value::array(columns.iter().zip(&totals).map(|(s, t)| {
+                    Value::object([
+                        ("strategy", Value::from(s.to_string())),
+                        ("total_s", Value::from(t.as_secs_f64())),
+                        (
+                            "speedup_vs_baseline",
+                            if t.is_zero() {
+                                Value::Null
+                            } else {
+                                Value::from(baseline.as_secs_f64() / t.as_secs_f64())
+                            },
+                        ),
+                    ])
+                })),
+            ),
+        ]);
+        println!("{}", doc.to_json());
+        return;
     }
 
     let mut total_row: Vec<String> = vec!["Total".to_string()];
     total_row.extend(totals.iter().map(|t| fmt_secs(*t)));
     println!("{}", satroute_bench::row(&total_row, &widths));
 
-    let baseline = totals[0];
     let mut speedup_row: Vec<String> = vec!["Speedup".to_string()];
     speedup_row.extend(totals.iter().map(|t| fmt_speedup(baseline, *t)));
     println!("{}", satroute_bench::row(&speedup_row, &widths));

@@ -15,10 +15,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
+
 use std::time::Duration;
 
-use satroute_core::{ColoringOutcome, ColoringReport, Strategy};
+use satroute_core::{ColoringOutcome, ColoringReport, RunMetrics, Strategy};
 use satroute_fpga::benchmarks::BenchmarkInstance;
+
+use crate::json::Value;
 
 /// One measured cell of a results table.
 #[derive(Clone, Debug)]
@@ -31,6 +35,8 @@ pub struct Cell {
     pub total: Duration,
     /// The outcome.
     pub outcome: ColoringOutcome,
+    /// Solver-run metrics (wall time, work counters, stop reason).
+    pub metrics: RunMetrics,
     /// Full report.
     pub report: ColoringReport,
 }
@@ -47,8 +53,56 @@ pub fn run_cell(instance: &BenchmarkInstance, strategy: Strategy, width: u32) ->
         benchmark: instance.name.clone(),
         total: report.timing.total(),
         outcome: report.outcome.clone(),
+        metrics: report.metrics,
         report,
     }
+}
+
+/// Serializes a [`RunMetrics`] snapshot as a JSON object — the common
+/// per-run payload of every `--json` bench emitter.
+pub fn metrics_json(metrics: &RunMetrics) -> Value {
+    Value::object([
+        ("wall_time_s", Value::from(metrics.wall_time.as_secs_f64())),
+        ("conflicts", Value::from(metrics.stats.conflicts)),
+        ("decisions", Value::from(metrics.stats.decisions)),
+        ("propagations", Value::from(metrics.stats.propagations)),
+        ("restarts", Value::from(metrics.restarts)),
+        ("reductions", Value::from(metrics.reductions)),
+        ("learnt_clauses", Value::from(metrics.stats.learnt_clauses)),
+        ("mean_lbd", Value::from(metrics.mean_lbd())),
+        (
+            "sat",
+            match metrics.sat {
+                Some(b) => Value::Bool(b),
+                None => Value::Null,
+            },
+        ),
+        (
+            "stop_reason",
+            match metrics.stop_reason {
+                Some(r) => Value::from(r.to_string()),
+                None => Value::Null,
+            },
+        ),
+    ])
+}
+
+/// Serializes one table cell as a JSON object.
+pub fn cell_json(cell: &Cell) -> Value {
+    Value::object([
+        ("benchmark", Value::from(cell.benchmark.as_str())),
+        ("strategy", Value::from(cell.strategy.to_string())),
+        ("total_s", Value::from(cell.total.as_secs_f64())),
+        (
+            "outcome",
+            Value::from(match &cell.outcome {
+                ColoringOutcome::Colorable(_) => "sat".to_string(),
+                ColoringOutcome::Unsat => "unsat".to_string(),
+                ColoringOutcome::Unknown(reason) => format!("unknown:{reason}"),
+            }),
+        ),
+        ("metrics", metrics_json(&cell.metrics)),
+    ])
 }
 
 /// Formats a duration like the paper's tables: seconds with two decimals.

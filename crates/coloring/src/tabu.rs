@@ -216,7 +216,7 @@ mod tests {
             let dsatur = crate::dsatur_coloring(&g).max_color().unwrap() + 1;
             let tabu = tabu_upper_bound(&g, 20_000, seed);
             assert!(tabu.is_proper(&g));
-            assert!(tabu.max_color().unwrap() + 1 <= dsatur);
+            assert!(tabu.max_color().unwrap() < dsatur);
         }
     }
 

@@ -13,9 +13,13 @@
 //! single positive literals, making "value d is forbidden" expressible as
 //! one assumption literal.
 
+use std::sync::Arc;
+
 use satroute_cnf::Lit;
 use satroute_coloring::{Coloring, CspGraph};
-use satroute_solver::{CdclSolver, SolveOutcome, SolverConfig};
+use satroute_solver::{
+    CancellationToken, CdclSolver, RunBudget, RunObserver, SolveOutcome, SolverConfig,
+};
 
 use crate::catalog::EncodingId;
 use crate::decode::decode_coloring;
@@ -88,6 +92,24 @@ impl IncrementalColoring {
         }
     }
 
+    /// Imposes a [`RunBudget`] on every subsequent probe. Integer caps
+    /// apply to the solver's cumulative counters (conflicts accumulate
+    /// across probes); a shared `deadline_at` bounds the whole search.
+    pub fn set_budget(&mut self, budget: RunBudget) {
+        self.solver.set_budget(budget);
+    }
+
+    /// Attaches a cooperative cancellation token to every subsequent
+    /// probe.
+    pub fn set_cancellation(&mut self, token: CancellationToken) {
+        self.solver.set_cancellation(token);
+    }
+
+    /// Attaches an observer receiving each probe's event stream.
+    pub fn set_observer(&mut self, observer: Arc<dyn RunObserver>) {
+        self.solver.set_observer(observer);
+    }
+
     /// The encoded upper bound.
     pub fn upper(&self) -> u32 {
         self.upper
@@ -128,7 +150,7 @@ impl IncrementalColoring {
                 ColoringOutcome::Colorable(coloring)
             }
             SolveOutcome::Unsat => ColoringOutcome::Unsat,
-            SolveOutcome::Unknown => ColoringOutcome::Unknown,
+            SolveOutcome::Unknown(reason) => ColoringOutcome::Unknown(reason),
         }
     }
 
@@ -152,7 +174,7 @@ impl IncrementalColoring {
                     k -= 1;
                 }
                 ColoringOutcome::Unsat => return best,
-                ColoringOutcome::Unknown => return None,
+                ColoringOutcome::Unknown(_) => return None,
             }
         }
     }
@@ -209,9 +231,23 @@ mod tests {
         assert_eq!(down_rev, up, "answers must not depend on probe order");
         // Colorability is monotone in k.
         for w in up.windows(2) {
-            assert!(w[1] || !w[0] || w[0] == w[1] || !w[0] & w[1]);
-            assert!(!(w[0] && !w[1]), "monotonicity violated");
+            assert!(!w[0] || w[1], "monotonicity violated");
         }
+    }
+
+    #[test]
+    fn cancelled_probe_returns_unknown_and_search_gives_up() {
+        use satroute_solver::StopReason;
+        let g = random_graph(12, 0.5, 4);
+        let mut inc = IncrementalColoring::new(&g, 6, SymmetryHeuristic::None);
+        let token = CancellationToken::new();
+        inc.set_cancellation(token.clone());
+        token.cancel();
+        assert_eq!(
+            inc.solve_at(3),
+            ColoringOutcome::Unknown(StopReason::Cancelled)
+        );
+        assert!(inc.find_min_colors().is_none());
     }
 
     #[test]

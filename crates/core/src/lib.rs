@@ -23,11 +23,17 @@
 //! * [`encode`] / [`decode`] — graph-coloring CSP → CNF and SAT model →
 //!   coloring.
 //! * [`strategy`] — one (encoding, symmetry) combination run end to end
-//!   with the Table 2 time breakdown.
+//!   with the Table 2 time breakdown, configured through the
+//!   [`SolveRequest`] builder (budget, cancellation, observer).
 //! * [`portfolio`] — parallel first-answer-wins execution of several
-//!   strategies (§6).
+//!   strategies (§6), with per-member reports and a shared deadline.
 //! * [`pipeline`] — the full FPGA flow: global routing → conflict graph →
 //!   SAT → detailed routing / unroutability proof.
+//! * [`incremental`] — assumption-based incremental width search.
+//!
+//! Run control (budgets, cancellation tokens, observers) comes from
+//! [`satroute_solver::run`] and is threaded through every entry point;
+//! the commonly used types are re-exported here.
 //!
 //! # Examples
 //!
@@ -68,8 +74,20 @@ pub use encode::{encode_coloring, DecodeMap, EncodedColoring};
 pub use hier::TopScheme;
 pub use ite::IteTree;
 pub use pattern::{Pattern, SchemeCnf};
-pub use pipeline::{RouteResult, RoutingPipeline, UnroutabilityCertificate, WidthSearch};
-pub use portfolio::{run_portfolio, simulate_portfolio, PortfolioResult, SimulatedPortfolio};
+pub use pipeline::{
+    PipelineError, RouteResult, RoutingPipeline, UnroutabilityCertificate, WidthSearch,
+};
+pub use portfolio::{
+    run_portfolio, run_portfolio_with, simulate_portfolio, simulate_portfolio_with, MemberReport,
+    PortfolioResult, SimulatedPortfolio,
+};
 pub use scheme::SimpleScheme;
-pub use strategy::{ColoringOutcome, ColoringReport, Strategy, TimingBreakdown};
+pub use strategy::{ColoringOutcome, ColoringReport, SolveRequest, Strategy, TimingBreakdown};
 pub use symmetry::SymmetryHeuristic;
+
+// Run-control vocabulary used throughout this crate's APIs, re-exported
+// so downstream code does not need a direct `satroute_solver` dependency.
+pub use satroute_solver::{
+    CancellationToken, MetricsRecorder, NullObserver, ProgressLogger, RunBudget, RunMetrics,
+    RunObserver, SolverEvent, StopReason,
+};

@@ -11,10 +11,14 @@
 //! found for W, such that the configuration with W − 1 tracks is proven
 //! unroutable"*.
 
+use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 
 use satroute_fpga::{DetailedRouting, RoutingProblem};
-use satroute_solver::SolverConfig;
+use satroute_solver::{
+    CancellationToken, MetricsRecorder, RunBudget, RunObserver, SolverConfig, StopReason,
+};
 
 use crate::strategy::{ColoringOutcome, ColoringReport, Strategy};
 
@@ -81,14 +85,16 @@ pub enum PipelineError {
     Undecided {
         /// Width at which the run was cut short.
         width: u32,
+        /// Which budget limit or cancellation stopped the run.
+        reason: StopReason,
     },
 }
 
 impl std::fmt::Display for PipelineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            PipelineError::Undecided { width } => {
-                write!(f, "solver gave up at channel width {width}")
+            PipelineError::Undecided { width, reason } => {
+                write!(f, "solver stopped ({reason}) at channel width {width}")
             }
         }
     }
@@ -115,10 +121,24 @@ impl std::error::Error for PipelineError {}
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct RoutingPipeline {
     strategy: Strategy,
     config: SolverConfig,
+    budget: RunBudget,
+    cancel: Option<CancellationToken>,
+    observer: Option<Arc<dyn RunObserver>>,
+}
+
+impl fmt::Debug for RoutingPipeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RoutingPipeline")
+            .field("strategy", &self.strategy)
+            .field("config", &self.config)
+            .field("budget", &self.budget)
+            .field("observed", &self.observer.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl RoutingPipeline {
@@ -127,12 +147,35 @@ impl RoutingPipeline {
         RoutingPipeline {
             strategy,
             config: SolverConfig::default(),
+            budget: RunBudget::default(),
+            cancel: None,
+            observer: None,
         }
     }
 
-    /// Replaces the solver configuration (e.g. to set a conflict budget).
+    /// Replaces the solver configuration.
     pub fn with_solver_config(mut self, config: SolverConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Imposes a [`RunBudget`] on every solve the pipeline performs. Each
+    /// probe of a width search gets the budget individually; a shared
+    /// absolute `deadline_at` bounds the whole search.
+    pub fn with_budget(mut self, budget: RunBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Attaches a cooperative cancellation token to every solve.
+    pub fn with_cancellation(mut self, token: CancellationToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Attaches an observer receiving every solve's event stream.
+    pub fn with_observer(mut self, observer: Arc<dyn RunObserver>) -> Self {
+        self.observer = Some(observer);
         self
     }
 
@@ -166,9 +209,18 @@ impl RoutingPipeline {
         let graph = problem.conflict_graph();
         let graph_generation = gen_start.elapsed();
 
-        let mut report = self
+        let mut request = self
             .strategy
-            .solve_coloring_with(&graph, width, &self.config, None);
+            .solve(&graph, width)
+            .config(self.config.clone())
+            .budget(self.budget);
+        if let Some(token) = &self.cancel {
+            request = request.cancel(token.clone());
+        }
+        if let Some(observer) = &self.observer {
+            request = request.observe(observer.clone());
+        }
+        let mut report = request.run();
         report.timing.graph_generation = graph_generation;
 
         let routing = match &report.outcome {
@@ -180,7 +232,12 @@ impl RoutingPipeline {
                 Some(routing)
             }
             ColoringOutcome::Unsat => None,
-            ColoringOutcome::Unknown => return Err(PipelineError::Undecided { width }),
+            ColoringOutcome::Unknown(reason) => {
+                return Err(PipelineError::Undecided {
+                    width,
+                    reason: *reason,
+                })
+            }
         };
 
         Ok(RouteResult {
@@ -239,9 +296,22 @@ impl RoutingPipeline {
         let cnf_translation = encode_start.elapsed();
         let formula_stats = encoded.formula.stats();
 
+        let recorder = Arc::new(MetricsRecorder::new());
         let solve_start = Instant::now();
         let mut solver = CdclSolver::with_config(self.config.clone());
         solver.enable_proof_logging();
+        solver.set_budget(self.budget);
+        if let Some(token) = &self.cancel {
+            solver.set_cancellation(token.clone());
+        }
+        match &self.observer {
+            Some(user) => solver.set_observer(Arc::new(
+                satroute_solver::FanoutObserver::new()
+                    .with(recorder.clone())
+                    .with(user.clone()),
+            )),
+            None => solver.set_observer(recorder.clone()),
+        }
         solver.add_formula(&encoded.formula);
         let outcome = solver.solve();
         let sat_solving = solve_start.elapsed();
@@ -268,6 +338,7 @@ impl RoutingPipeline {
                         timing,
                         formula_stats,
                         solver_stats,
+                        metrics: recorder.snapshot(),
                     },
                 };
                 Ok((result, None))
@@ -287,11 +358,12 @@ impl RoutingPipeline {
                         timing,
                         formula_stats,
                         solver_stats,
+                        metrics: recorder.snapshot(),
                     },
                 };
                 Ok((result, Some(certificate)))
             }
-            SolveOutcome::Unknown => Err(PipelineError::Undecided { width }),
+            SolveOutcome::Unknown(reason) => Err(PipelineError::Undecided { width, reason }),
         }
     }
 
@@ -414,5 +486,45 @@ mod tests {
         match pipeline.route(&inst.problem, inst.unroutable_width.max(1)) {
             Ok(_) | Err(PipelineError::Undecided { .. }) => {}
         }
+    }
+
+    #[test]
+    fn expired_deadline_reports_undecided_with_reason() {
+        use std::time::Duration;
+        let inst = &benchmarks::suite_tiny()[0];
+        let pipeline = RoutingPipeline::new(Strategy::paper_best())
+            .with_budget(RunBudget::new().with_wall(Duration::ZERO));
+        match pipeline.route(&inst.problem, inst.routable_width) {
+            Err(PipelineError::Undecided { width, reason }) => {
+                assert_eq!(width, inst.routable_width);
+                assert_eq!(reason, StopReason::Deadline);
+            }
+            Ok(_) => panic!("zero wall budget cannot decide"),
+        }
+    }
+
+    #[test]
+    fn cancelled_pipeline_reports_undecided() {
+        let inst = &benchmarks::suite_tiny()[0];
+        let token = CancellationToken::new();
+        token.cancel();
+        let pipeline = RoutingPipeline::new(Strategy::paper_best()).with_cancellation(token);
+        match pipeline.route(&inst.problem, inst.routable_width) {
+            Err(PipelineError::Undecided { reason, .. }) => {
+                assert_eq!(reason, StopReason::Cancelled);
+            }
+            Ok(_) => panic!("pre-cancelled pipeline cannot decide"),
+        }
+    }
+
+    #[test]
+    fn pipeline_observer_sees_every_probe() {
+        let inst = &benchmarks::suite_tiny()[0];
+        let recorder = Arc::new(MetricsRecorder::new());
+        let pipeline = RoutingPipeline::new(Strategy::paper_best()).with_observer(recorder.clone());
+        let search = pipeline.find_min_width(&inst.problem).unwrap();
+        // The recorder saw at least the last probe's Finished event.
+        assert!(search.probes.len() >= 2);
+        assert!(recorder.snapshot().sat.is_some());
     }
 }

@@ -8,37 +8,91 @@
 //!
 //! [`run_portfolio`] spawns one thread per strategy, all solving the same
 //! K-coloring instance. The first *decided* (SAT or UNSAT) result wins;
-//! the shared cancellation flag stops the losers at their next conflict
-//! boundary.
+//! a shared [`CancellationToken`] stops the losers at their next conflict
+//! boundary. Every member's report — including the losers' partial
+//! [`SolverStats`](satroute_solver::SolverStats) and
+//! [`StopReason`] — is retained in the returned [`PortfolioResult`].
+//!
+//! [`run_portfolio_with`] additionally accepts a [`RunBudget`] imposed on
+//! the whole portfolio: a relative wall limit is converted to one shared
+//! absolute deadline, so members that start a few microseconds apart still
+//! race the same instant.
 
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use satroute_coloring::CspGraph;
-use satroute_solver::SolverConfig;
+use satroute_solver::{CancellationToken, RunBudget, SolverConfig, StopReason};
 
 use crate::strategy::{ColoringReport, Strategy};
 
-/// The result of a portfolio run.
+/// One portfolio member's contribution: its strategy, its full report
+/// (partial if it was stopped), and its own wall time.
 #[derive(Clone, Debug)]
-pub struct PortfolioResult {
-    /// Index (into the strategy slice) of the strategy that answered first.
-    pub winner: usize,
-    /// The winning strategy.
+pub struct MemberReport {
+    /// The strategy this member ran.
     pub strategy: Strategy,
-    /// The winner's full report.
+    /// The member's report; for losers this carries the partial solver
+    /// stats and the [`StopReason`] it was stopped with.
     pub report: ColoringReport,
-    /// Wall-clock time from launch to the first decided answer.
+    /// This member's own wall time (encode + solve + decode).
     pub wall_time: Duration,
 }
 
+impl MemberReport {
+    /// Why this member stopped early, if it did.
+    pub fn stop_reason(&self) -> Option<StopReason> {
+        self.report.outcome.stop_reason()
+    }
+
+    /// `true` if this member reached a SAT/UNSAT answer.
+    pub fn is_decided(&self) -> bool {
+        self.report.outcome.is_decided()
+    }
+}
+
+/// The result of a portfolio run: the winner (if any member decided) plus
+/// every member's report.
+#[derive(Clone, Debug)]
+pub struct PortfolioResult {
+    /// Index (into `members` and the input strategy slice) of the member
+    /// that answered first, or `None` if every member returned Unknown.
+    pub winner: Option<usize>,
+    /// All members, in input order, each with its (possibly partial)
+    /// report.
+    pub members: Vec<MemberReport>,
+    /// Wall-clock time from launch to the first decided answer, or to the
+    /// last member stopping when nothing was decided.
+    pub wall_time: Duration,
+}
+
+impl PortfolioResult {
+    /// `true` if some member reached a SAT/UNSAT answer.
+    pub fn is_decided(&self) -> bool {
+        self.winner.is_some()
+    }
+
+    /// The winning member, if any.
+    pub fn winning_member(&self) -> Option<&MemberReport> {
+        self.winner.map(|i| &self.members[i])
+    }
+
+    /// The winning member's report, if any.
+    pub fn report(&self) -> Option<&ColoringReport> {
+        self.winning_member().map(|m| &m.report)
+    }
+
+    /// The winning strategy, if any.
+    pub fn strategy(&self) -> Option<Strategy> {
+        self.winning_member().map(|m| m.strategy)
+    }
+}
+
 /// Runs `strategies` in parallel on the K-coloring problem of `graph` and
-/// returns the first decided answer.
+/// returns the first decided answer plus every member's report.
 ///
-/// Returns `None` if the strategy list is empty or every strategy returned
-/// Unknown (possible only with a conflict budget in `config`).
+/// Equivalent to [`run_portfolio_with`] with an unlimited budget and no
+/// external cancellation.
 ///
 /// # Examples
 ///
@@ -49,108 +103,202 @@ pub struct PortfolioResult {
 ///
 /// let triangle = CspGraph::from_edges(3, [(0, 1), (1, 2), (0, 2)]);
 /// let portfolio = Strategy::paper_portfolio_3();
-/// let result = run_portfolio(&triangle, 2, &portfolio, &SolverConfig::default())
-///     .expect("portfolio decides");
-/// assert!(matches!(result.report.outcome, ColoringOutcome::Unsat));
+/// let result = run_portfolio(&triangle, 2, &portfolio, &SolverConfig::default());
+/// let report = result.report().expect("portfolio decides");
+/// assert!(matches!(report.outcome, ColoringOutcome::Unsat));
+/// assert_eq!(result.members.len(), portfolio.len());
 /// ```
 pub fn run_portfolio(
     graph: &CspGraph,
     k: u32,
     strategies: &[Strategy],
     config: &SolverConfig,
-) -> Option<PortfolioResult> {
-    if strategies.is_empty() {
-        return None;
-    }
+) -> PortfolioResult {
+    run_portfolio_with(graph, k, strategies, config, RunBudget::default(), None)
+}
+
+/// Runs a portfolio under a shared [`RunBudget`] and an optional external
+/// [`CancellationToken`].
+///
+/// A relative wall limit (`budget.wall`) is resolved once, at launch, into
+/// an absolute deadline shared by all members; each member additionally
+/// honours the budget's conflict/decision/memory caps individually.
+/// Cancelling `cancel` (from any thread) stops every member at its next
+/// poll point; the same token is used internally to stop losers once a
+/// winner is known.
+pub fn run_portfolio_with(
+    graph: &CspGraph,
+    k: u32,
+    strategies: &[Strategy],
+    config: &SolverConfig,
+    budget: RunBudget,
+    cancel: Option<CancellationToken>,
+) -> PortfolioResult {
     let start = Instant::now();
-    let stop = Arc::new(AtomicBool::new(false));
-    let (tx, rx) = mpsc::channel::<(usize, ColoringReport)>();
+    // Convert a relative wall limit into one absolute deadline so members
+    // that start at slightly different times race the same instant.
+    let mut budget = budget;
+    if let Some(deadline) = budget.deadline(start) {
+        budget.deadline_at = Some(deadline);
+        budget.wall = None;
+    }
+    let stop = cancel.unwrap_or_default();
+    let (tx, rx) = mpsc::channel::<(usize, ColoringReport, Duration)>();
 
     std::thread::scope(|scope| {
         for (idx, strategy) in strategies.iter().enumerate() {
             let tx = tx.clone();
-            let stop = Arc::clone(&stop);
+            let stop = stop.clone();
             let config = config.clone();
             scope.spawn(move || {
-                let report =
-                    strategy.solve_coloring_with(graph, k, &config, Some(Arc::clone(&stop)));
+                let member_start = Instant::now();
+                let report = strategy
+                    .solve(graph, k)
+                    .config(config)
+                    .budget(budget)
+                    .cancel(stop)
+                    .run();
                 // A send fails only if the receiver gave up; ignore.
-                let _ = tx.send((idx, report));
+                let _ = tx.send((idx, report, member_start.elapsed()));
             });
         }
         drop(tx);
 
-        let mut winner: Option<PortfolioResult> = None;
-        while let Ok((idx, report)) = rx.recv() {
+        let mut winner: Option<usize> = None;
+        let mut first_answer: Option<Duration> = None;
+        let mut slots: Vec<Option<MemberReport>> = vec![None; strategies.len()];
+        while let Ok((idx, report, wall_time)) = rx.recv() {
             if report.outcome.is_decided() && winner.is_none() {
-                stop.store(true, Ordering::Relaxed);
-                winner = Some(PortfolioResult {
-                    winner: idx,
-                    strategy: strategies[idx],
-                    report,
-                    wall_time: start.elapsed(),
-                });
-                // Keep draining so the scope can join quickly; remaining
-                // threads observe the flag and bail out.
+                winner = Some(idx);
+                first_answer = Some(start.elapsed());
+                // Losers observe the token and bail out at their next poll
+                // point; keep draining so the scope joins quickly.
+                stop.cancel();
             }
+            slots[idx] = Some(MemberReport {
+                strategy: strategies[idx],
+                report,
+                wall_time,
+            });
         }
-        winner
+        let members: Vec<MemberReport> = slots
+            .into_iter()
+            .map(|m| m.expect("every spawned member sends exactly one report"))
+            .collect();
+        PortfolioResult {
+            winner,
+            members,
+            wall_time: first_answer.unwrap_or_else(|| start.elapsed()),
+        }
     })
 }
 
 /// The result of a *simulated* parallel portfolio run (see
-/// [`simulate_portfolio`]).
+/// [`simulate_portfolio`]), built from the same [`MemberReport`]s as the
+/// real runner.
 #[derive(Clone, Debug)]
 pub struct SimulatedPortfolio {
-    /// Index of the strategy with the smallest individual runtime.
-    pub winner: usize,
-    /// The winning strategy.
-    pub strategy: Strategy,
-    /// The winner's report.
-    pub report: ColoringReport,
-    /// Each member's individual (sequential) runtime.
-    pub member_times: Vec<Duration>,
+    /// Index of the decided member with the smallest individual runtime,
+    /// or `None` if no member decided.
+    pub winner: Option<usize>,
+    /// All members, in input order, each measured sequentially.
+    pub members: Vec<MemberReport>,
     /// The wall time an ideally parallel machine would achieve: the
-    /// minimum member time.
+    /// fastest decided member's time, or the slowest member's time when
+    /// nothing decided (all cores run to exhaustion).
     pub virtual_wall_time: Duration,
+}
+
+impl SimulatedPortfolio {
+    /// `true` if some member reached a SAT/UNSAT answer.
+    pub fn is_decided(&self) -> bool {
+        self.winner.is_some()
+    }
+
+    /// The winning member, if any.
+    pub fn winning_member(&self) -> Option<&MemberReport> {
+        self.winner.map(|i| &self.members[i])
+    }
+
+    /// The winning member's report, if any.
+    pub fn report(&self) -> Option<&ColoringReport> {
+        self.winning_member().map(|m| &m.report)
+    }
+
+    /// The winning strategy, if any.
+    pub fn strategy(&self) -> Option<Strategy> {
+        self.winning_member().map(|m| m.strategy)
+    }
+
+    /// Each member's individual (sequential) runtime, in input order.
+    pub fn member_times(&self) -> Vec<Duration> {
+        self.members.iter().map(|m| m.wall_time).collect()
+    }
 }
 
 /// Simulates the paper's multicore portfolio on a machine with too few
 /// cores: runs every member **sequentially**, measures each, and reports
-/// the minimum as the virtual parallel wall time.
+/// the minimum decided time as the virtual parallel wall time.
 ///
 /// On a CPU with at least `strategies.len()` idle cores,
 /// [`run_portfolio`]'s real wall time converges to this value (plus
 /// scheduling noise); on a single core the real portfolio degrades to
 /// roughly the *sum* of member times, which is why this simulation exists
 /// (see DESIGN.md, substitution table).
-///
-/// Returns `None` for an empty strategy list or if no member decided.
 pub fn simulate_portfolio(
     graph: &CspGraph,
     k: u32,
     strategies: &[Strategy],
     config: &SolverConfig,
-) -> Option<SimulatedPortfolio> {
-    let mut member_times = Vec::with_capacity(strategies.len());
-    let mut best: Option<(usize, Duration, ColoringReport)> = None;
+) -> SimulatedPortfolio {
+    simulate_portfolio_with(graph, k, strategies, config, RunBudget::default())
+}
+
+/// Simulates a portfolio with a per-member [`RunBudget`].
+///
+/// Because members run sequentially here, the budget (including a `wall`
+/// limit) applies to each member individually — that is what each member
+/// would get on an ideal parallel machine. An absolute `deadline_at` is
+/// almost certainly wrong for a simulation and is left untouched.
+pub fn simulate_portfolio_with(
+    graph: &CspGraph,
+    k: u32,
+    strategies: &[Strategy],
+    config: &SolverConfig,
+    budget: RunBudget,
+) -> SimulatedPortfolio {
+    let mut members = Vec::with_capacity(strategies.len());
+    let mut winner: Option<(usize, Duration)> = None;
     for (idx, strategy) in strategies.iter().enumerate() {
         let start = Instant::now();
-        let report = strategy.solve_coloring_with(graph, k, config, None);
+        let report = strategy
+            .solve(graph, k)
+            .config(config.clone())
+            .budget(budget)
+            .run();
         let elapsed = start.elapsed();
-        member_times.push(elapsed);
-        if report.outcome.is_decided() && best.as_ref().is_none_or(|(_, t, _)| elapsed < *t) {
-            best = Some((idx, elapsed, report));
+        if report.outcome.is_decided() && winner.is_none_or(|(_, t)| elapsed < t) {
+            winner = Some((idx, elapsed));
         }
+        members.push(MemberReport {
+            strategy: *strategy,
+            report,
+            wall_time: elapsed,
+        });
     }
-    let (winner, virtual_wall_time, report) = best?;
-    Some(SimulatedPortfolio {
-        winner,
-        strategy: strategies[winner],
-        report,
-        member_times,
+    let virtual_wall_time = match winner {
+        Some((_, t)) => t,
+        None => members
+            .iter()
+            .map(|m| m.wall_time)
+            .max()
+            .unwrap_or_default(),
+    };
+    SimulatedPortfolio {
+        winner: winner.map(|(i, _)| i),
+        members,
         virtual_wall_time,
-    })
+    }
 }
 
 impl Strategy {
@@ -184,9 +332,12 @@ mod tests {
     use satroute_coloring::{exact, random_graph};
 
     #[test]
-    fn empty_portfolio_returns_none() {
+    fn empty_portfolio_is_undecided() {
         let g = CspGraph::new(2);
-        assert!(run_portfolio(&g, 1, &[], &SolverConfig::default()).is_none());
+        let result = run_portfolio(&g, 1, &[], &SolverConfig::default());
+        assert!(!result.is_decided());
+        assert!(result.members.is_empty());
+        assert!(result.report().is_none());
     }
 
     #[test]
@@ -195,30 +346,104 @@ mod tests {
         let chi = exact::chromatic_number(&g);
         let portfolio = Strategy::paper_portfolio_3();
 
-        let sat = run_portfolio(&g, chi, &portfolio, &SolverConfig::default()).unwrap();
-        match &sat.report.outcome {
+        let sat = run_portfolio(&g, chi, &portfolio, &SolverConfig::default());
+        match &sat.report().expect("decides").outcome {
             ColoringOutcome::Colorable(c) => assert!(c.is_proper(&g)),
             other => panic!("expected colorable, got {other:?}"),
         }
-        assert!(sat.winner < portfolio.len());
-        assert_eq!(sat.strategy, portfolio[sat.winner]);
+        let winner = sat.winner.expect("decides");
+        assert!(winner < portfolio.len());
+        assert_eq!(sat.strategy(), Some(portfolio[winner]));
+        assert_eq!(sat.members.len(), portfolio.len());
 
-        let unsat = run_portfolio(&g, chi - 1, &portfolio, &SolverConfig::default()).unwrap();
-        assert!(matches!(unsat.report.outcome, ColoringOutcome::Unsat));
+        let unsat = run_portfolio(&g, chi - 1, &portfolio, &SolverConfig::default());
+        assert!(matches!(
+            unsat.report().expect("decides").outcome,
+            ColoringOutcome::Unsat
+        ));
     }
 
     #[test]
-    fn portfolio_with_exhausted_budget_returns_none() {
+    fn losers_keep_their_partial_reports() {
+        let g = random_graph(10, 0.5, 3);
+        let chi = exact::chromatic_number(&g);
+        let portfolio = Strategy::paper_portfolio_3();
+        let result = run_portfolio(&g, chi - 1, &portfolio, &SolverConfig::default());
+        assert!(result.is_decided());
+        for (idx, member) in result.members.iter().enumerate() {
+            assert_eq!(member.strategy, portfolio[idx]);
+            // Every member either decided or was cancelled by the winner —
+            // and its (possibly partial) stats survive either way.
+            match member.report.outcome {
+                ColoringOutcome::Unknown(reason) => {
+                    assert_eq!(reason, StopReason::Cancelled, "member {idx}");
+                }
+                _ => assert!(member.is_decided()),
+            }
+        }
+    }
+
+    #[test]
+    fn exhausted_conflict_budget_reports_reasons() {
         let g = random_graph(30, 0.6, 7);
-        let config = SolverConfig {
-            max_conflicts: Some(1),
-            ..SolverConfig::default()
-        };
+        let budget = RunBudget::new().with_max_conflicts(1);
         // With a 1-conflict budget on a hard instance every member returns
         // Unknown (or, rarely, one finishes instantly — accept both).
-        let result = run_portfolio(&g, 9, &Strategy::paper_portfolio_2(), &config);
-        if let Some(r) = result {
-            assert!(r.report.outcome.is_decided());
+        let result = run_portfolio_with(
+            &g,
+            9,
+            &Strategy::paper_portfolio_2(),
+            &SolverConfig::default(),
+            budget,
+            None,
+        );
+        for member in &result.members {
+            if !member.is_decided() {
+                assert!(matches!(
+                    member.stop_reason(),
+                    Some(StopReason::ConflictLimit | StopReason::Cancelled)
+                ));
+            }
+        }
+        if !result.is_decided() {
+            assert!(result.report().is_none());
+        }
+    }
+
+    #[test]
+    fn expired_deadline_stops_every_member() {
+        let g = random_graph(30, 0.6, 5);
+        let budget = RunBudget::new().with_wall(Duration::ZERO);
+        let result = run_portfolio_with(
+            &g,
+            9,
+            &Strategy::paper_portfolio_2(),
+            &SolverConfig::default(),
+            budget,
+            None,
+        );
+        assert!(!result.is_decided());
+        for member in &result.members {
+            assert_eq!(member.stop_reason(), Some(StopReason::Deadline));
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_every_member() {
+        let g = random_graph(30, 0.6, 5);
+        let token = CancellationToken::new();
+        token.cancel();
+        let result = run_portfolio_with(
+            &g,
+            9,
+            &Strategy::paper_portfolio_2(),
+            &SolverConfig::default(),
+            RunBudget::default(),
+            Some(token),
+        );
+        assert!(!result.is_decided());
+        for member in &result.members {
+            assert_eq!(member.stop_reason(), Some(StopReason::Cancelled));
         }
     }
 
@@ -227,22 +452,28 @@ mod tests {
         let g = random_graph(12, 0.5, 11);
         let chi = exact::chromatic_number(&g);
         let strategies = Strategy::paper_portfolio_3();
-        let sim = simulate_portfolio(&g, chi - 1, &strategies, &SolverConfig::default())
-            .expect("members decide");
-        assert!(matches!(sim.report.outcome, ColoringOutcome::Unsat));
-        assert_eq!(sim.member_times.len(), 3);
+        let sim = simulate_portfolio(&g, chi - 1, &strategies, &SolverConfig::default());
+        assert!(matches!(
+            sim.report().expect("members decide").outcome,
+            ColoringOutcome::Unsat
+        ));
+        assert_eq!(sim.members.len(), 3);
+        let times = sim.member_times();
         assert_eq!(
             sim.virtual_wall_time,
-            *sim.member_times.iter().min().expect("non-empty")
+            *times.iter().min().expect("non-empty")
         );
-        assert_eq!(sim.member_times[sim.winner], sim.virtual_wall_time);
-        assert_eq!(sim.strategy, strategies[sim.winner]);
+        let winner = sim.winner.expect("decides");
+        assert_eq!(times[winner], sim.virtual_wall_time);
+        assert_eq!(sim.strategy(), Some(strategies[winner]));
     }
 
     #[test]
-    fn simulated_portfolio_empty_is_none() {
+    fn simulated_portfolio_empty_is_undecided() {
         let g = CspGraph::new(2);
-        assert!(simulate_portfolio(&g, 1, &[], &SolverConfig::default()).is_none());
+        let sim = simulate_portfolio(&g, 1, &[], &SolverConfig::default());
+        assert!(!sim.is_decided());
+        assert_eq!(sim.virtual_wall_time, Duration::ZERO);
     }
 
     #[test]

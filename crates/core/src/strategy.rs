@@ -5,6 +5,12 @@
 //! translation to CNF + the time to SAT-solve it*. A [`Strategy`] runs the
 //! last two stages and reports the same breakdown ([`TimingBreakdown`];
 //! the graph-generation time is added by [`crate::pipeline`]).
+//!
+//! Runs are configured through the builder returned by
+//! [`Strategy::solve`]: a [`SolveRequest`] carries the solver
+//! configuration, an optional [`RunBudget`], a [`CancellationToken`] and a
+//! [`RunObserver`] — the same run-control surface the underlying
+//! [`CdclSolver`] exposes, threaded through the encode/decode pipeline.
 
 use std::fmt;
 use std::sync::atomic::AtomicBool;
@@ -13,7 +19,10 @@ use std::time::{Duration, Instant};
 
 use satroute_cnf::FormulaStats;
 use satroute_coloring::{Coloring, CspGraph};
-use satroute_solver::{CdclSolver, SolveOutcome, SolverConfig, SolverStats};
+use satroute_solver::{
+    CancellationToken, CdclSolver, FanoutObserver, MetricsRecorder, RunBudget, RunMetrics,
+    RunObserver, SolveOutcome, SolverConfig, SolverStats, StopReason,
+};
 
 use crate::catalog::EncodingId;
 use crate::decode::decode_coloring;
@@ -27,8 +36,9 @@ pub enum ColoringOutcome {
     Colorable(Coloring),
     /// The graph is provably not K-colorable.
     Unsat,
-    /// The solver was cancelled or ran out of budget.
-    Unknown,
+    /// The solver stopped early; the [`StopReason`] says which budget
+    /// limit or cancellation request stopped it.
+    Unknown(StopReason),
 }
 
 impl ColoringOutcome {
@@ -39,7 +49,15 @@ impl ColoringOutcome {
 
     /// Returns `true` for a definite SAT/UNSAT answer.
     pub fn is_decided(&self) -> bool {
-        !matches!(self, ColoringOutcome::Unknown)
+        !matches!(self, ColoringOutcome::Unknown(_))
+    }
+
+    /// Why the run stopped early, for [`ColoringOutcome::Unknown`].
+    pub fn stop_reason(&self) -> Option<StopReason> {
+        match self {
+            ColoringOutcome::Unknown(r) => Some(*r),
+            _ => None,
+        }
     }
 
     /// The coloring, if one was found.
@@ -81,6 +99,9 @@ pub struct ColoringReport {
     pub formula_stats: FormulaStats,
     /// Solver work counters.
     pub solver_stats: SolverStats,
+    /// Aggregated run observations (rates, restarts, LBD trend, stop
+    /// reason) recorded by the always-attached [`MetricsRecorder`].
+    pub metrics: RunMetrics,
 }
 
 /// A single parallel-portfolio constituent: an encoding plus a
@@ -120,20 +141,51 @@ impl Strategy {
         Strategy::new(EncodingId::Muldirect, SymmetryHeuristic::None)
     }
 
+    /// Starts building a run of this strategy on the K-coloring problem of
+    /// `graph`. Chain configuration calls, then [`SolveRequest::run`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use std::time::Duration;
+    /// use satroute_coloring::random_graph;
+    /// use satroute_core::Strategy;
+    /// use satroute_solver::RunBudget;
+    ///
+    /// let g = random_graph(10, 0.4, 7);
+    /// let report = Strategy::paper_best()
+    ///     .solve(&g, 4)
+    ///     .budget(RunBudget::new().with_wall(Duration::from_secs(5)))
+    ///     .run();
+    /// assert!(report.outcome.is_decided());
+    /// ```
+    pub fn solve<'a>(&self, graph: &'a CspGraph, k: u32) -> SolveRequest<'a> {
+        SolveRequest {
+            strategy: *self,
+            graph,
+            k,
+            config: SolverConfig::default(),
+            budget: RunBudget::default(),
+            cancel: None,
+            observer: None,
+        }
+    }
+
     /// Solves the K-coloring problem of `graph` with default solver
     /// settings.
     pub fn solve_coloring(&self, graph: &CspGraph, k: u32) -> ColoringReport {
-        self.solve_coloring_with(graph, k, &SolverConfig::default(), None)
+        self.solve(graph, k).run()
     }
 
     /// Solves with an explicit solver configuration and an optional
-    /// cooperative cancellation flag (used by the portfolio runner).
+    /// cooperative cancellation flag.
     ///
-    /// # Panics
-    ///
-    /// Panics if the solver returns a model that does not decode to a
-    /// proper coloring — that would be a soundness bug in the encoder or
-    /// solver, not a run-time condition.
+    /// Deprecated: use the [`Strategy::solve`] builder, which also exposes
+    /// budgets and observers.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Strategy::solve(graph, k).config(..).cancel(..).run() instead"
+    )]
     pub fn solve_coloring_with(
         &self,
         graph: &CspGraph,
@@ -141,16 +193,109 @@ impl Strategy {
         config: &SolverConfig,
         terminate: Option<Arc<AtomicBool>>,
     ) -> ColoringReport {
+        let mut request = self.solve(graph, k).config(config.clone());
+        if let Some(flag) = terminate {
+            request = request.cancel(CancellationToken::from_flag(flag));
+        }
+        request.run()
+    }
+}
+
+/// A configured-but-not-yet-started strategy run, built by
+/// [`Strategy::solve`].
+///
+/// Every run attaches a [`MetricsRecorder`] internally, so the returned
+/// [`ColoringReport`] always carries [`RunMetrics`]; an observer added
+/// with [`SolveRequest::observe`] receives the same event stream.
+#[derive(Clone)]
+pub struct SolveRequest<'a> {
+    strategy: Strategy,
+    graph: &'a CspGraph,
+    k: u32,
+    config: SolverConfig,
+    budget: RunBudget,
+    cancel: Option<CancellationToken>,
+    observer: Option<Arc<dyn RunObserver>>,
+}
+
+impl fmt::Debug for SolveRequest<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SolveRequest")
+            .field("strategy", &self.strategy)
+            .field("k", &self.k)
+            .field("budget", &self.budget)
+            .field("cancelled", &self.cancel.as_ref().map(|c| c.is_cancelled()))
+            .field("observed", &self.observer.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> SolveRequest<'a> {
+    /// Sets the solver configuration (defaults to
+    /// [`SolverConfig::default`]).
+    pub fn config(mut self, config: SolverConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the resource budget for the SAT-solving stage (unlimited by
+    /// default). Budgets are polled at conflict boundaries, so overshoot
+    /// is bounded; see [`RunBudget`].
+    pub fn budget(mut self, budget: RunBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Attaches a cooperative cancellation token; cancelling any clone of
+    /// it stops the run with [`StopReason::Cancelled`].
+    pub fn cancel(mut self, token: CancellationToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Attaches an observer that receives the solver's
+    /// [`SolverEvent`](satroute_solver::SolverEvent) stream alongside the
+    /// internally recorded metrics.
+    pub fn observe(mut self, observer: Arc<dyn RunObserver>) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Encodes, solves and decodes, consuming the request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the solver returns a model that does not decode to a
+    /// proper coloring — that would be a soundness bug in the encoder or
+    /// solver, not a run-time condition.
+    pub fn run(self) -> ColoringReport {
         let encode_start = Instant::now();
-        let encoded = encode_coloring(graph, k, &self.encoding.encoding(), self.symmetry);
+        let encoded = encode_coloring(
+            self.graph,
+            self.k,
+            &self.strategy.encoding.encoding(),
+            self.strategy.symmetry,
+        );
         let cnf_translation = encode_start.elapsed();
         let formula_stats = encoded.formula.stats();
 
+        let recorder = Arc::new(MetricsRecorder::new());
+        let observer: Arc<dyn RunObserver> = match &self.observer {
+            Some(user) => Arc::new(
+                FanoutObserver::new()
+                    .with(recorder.clone())
+                    .with(user.clone()),
+            ),
+            None => recorder.clone(),
+        };
+
         let solve_start = Instant::now();
-        let mut solver = CdclSolver::with_config(config.clone());
-        if let Some(flag) = terminate {
-            solver.set_terminate_flag(flag);
+        let mut solver = CdclSolver::with_config(self.config);
+        solver.set_budget(self.budget);
+        if let Some(token) = self.cancel {
+            solver.set_cancellation(token);
         }
+        solver.set_observer(observer);
         solver.add_formula(&encoded.formula);
         let outcome = solver.solve();
         let sat_solving = solve_start.elapsed();
@@ -161,13 +306,13 @@ impl Strategy {
                 let coloring = decode_coloring(&model, &encoded.decode)
                     .expect("models of the encoding always decode (totality)");
                 assert!(
-                    coloring.is_proper(graph),
+                    coloring.is_proper(self.graph),
                     "decoded coloring must be proper — encoder/solver soundness bug"
                 );
                 ColoringOutcome::Colorable(coloring)
             }
             SolveOutcome::Unsat => ColoringOutcome::Unsat,
-            SolveOutcome::Unknown => ColoringOutcome::Unknown,
+            SolveOutcome::Unknown(reason) => ColoringOutcome::Unknown(reason),
         };
 
         ColoringReport {
@@ -179,6 +324,7 @@ impl Strategy {
             },
             formula_stats,
             solver_stats,
+            metrics: recorder.snapshot(),
         }
     }
 }
@@ -215,7 +361,9 @@ mod tests {
                             ColoringOutcome::Unsat => {
                                 assert!(!expected_colorable, "{id}/{sym} k={k} seed={seed}");
                             }
-                            ColoringOutcome::Unknown => panic!("no budget was set"),
+                            ColoringOutcome::Unknown(reason) => {
+                                panic!("no budget was set, got {reason:?}")
+                            }
                         }
                     }
                 }
@@ -224,11 +372,15 @@ mod tests {
     }
 
     #[test]
-    fn report_carries_stats_and_timing() {
+    fn report_carries_stats_timing_and_metrics() {
         let g = random_graph(12, 0.5, 9);
         let report = Strategy::paper_best().solve_coloring(&g, 4);
         assert!(report.formula_stats.num_clauses > 0);
         assert!(report.timing.total() >= report.timing.sat_solving);
+        // Metrics come from the internal recorder and must agree with the
+        // solver's own counters.
+        assert_eq!(report.metrics.stats, report.solver_stats);
+        assert_eq!(report.metrics.sat, Some(report.outcome.is_colorable()));
     }
 
     #[test]
@@ -243,14 +395,50 @@ mod tests {
     #[test]
     fn budgeted_run_can_return_unknown() {
         let g = random_graph(30, 0.6, 1);
-        let config = SolverConfig {
-            max_conflicts: Some(1),
-            ..SolverConfig::default()
-        };
         // 8-coloring a dense 30-vertex graph needs more than one conflict.
-        let report = Strategy::paper_baseline().solve_coloring_with(&g, 8, &config, None);
+        let report = Strategy::paper_baseline()
+            .solve(&g, 8)
+            .budget(RunBudget::new().with_max_conflicts(1))
+            .run();
         // Either it finished fast or reported Unknown; both are legal, but
         // the call must not hang or panic.
-        let _ = report.outcome.is_decided();
+        if let ColoringOutcome::Unknown(reason) = report.outcome {
+            assert_eq!(reason, StopReason::ConflictLimit);
+            assert_eq!(report.metrics.stop_reason, Some(reason));
+        }
+    }
+
+    #[test]
+    fn cancelled_request_reports_cancellation() {
+        let g = random_graph(30, 0.6, 2);
+        let token = CancellationToken::new();
+        token.cancel();
+        let report = Strategy::paper_baseline().solve(&g, 8).cancel(token).run();
+        assert_eq!(
+            report.outcome,
+            ColoringOutcome::Unknown(StopReason::Cancelled)
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_entry_point_still_solves() {
+        let g = random_graph(8, 0.5, 3);
+        let report =
+            Strategy::paper_baseline().solve_coloring_with(&g, 8, &SolverConfig::default(), None);
+        assert!(report.outcome.is_decided());
+    }
+
+    #[test]
+    fn user_observer_receives_the_event_stream() {
+        let g = random_graph(14, 0.6, 4);
+        let user = Arc::new(MetricsRecorder::new());
+        let report = Strategy::paper_baseline()
+            .solve(&g, 3)
+            .observe(user.clone())
+            .run();
+        // The user's recorder saw the same Finished event as the internal
+        // one.
+        assert_eq!(user.snapshot().stats, report.metrics.stats);
     }
 }

@@ -99,7 +99,7 @@ pub fn decompose(netlist: &Netlist, style: DecompositionStyle) -> Vec<Subnet> {
                                 continue;
                             }
                             let d = manhattan(t_in, t_out);
-                            if best.map_or(true, |(bd, bi, bj)| (d, i, j) < (bd, bi, bj)) {
+                            if best.is_none_or(|(bd, bi, bj)| (d, i, j) < (bd, bi, bj)) {
                                 best = Some((d, i, j));
                             }
                         }

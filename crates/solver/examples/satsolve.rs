@@ -85,7 +85,8 @@ fn main() -> ExitCode {
             }
             ExitCode::from(20)
         }
-        SolveOutcome::Unknown => {
+        SolveOutcome::Unknown(reason) => {
+            println!("c stopped: {reason}");
             println!("s UNKNOWN");
             ExitCode::from(0)
         }

@@ -12,8 +12,10 @@
 //! The solver is deterministic: the same formula always produces the same
 //! search, which makes the benchmark tables reproducible run to run.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::fmt;
+use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
+use std::time::Instant;
 
 use satroute_cnf::{Assignment, CnfFormula, Lit, Var};
 
@@ -21,6 +23,16 @@ use crate::heap::VarHeap;
 use crate::luby::luby;
 use crate::outcome::SolveOutcome;
 use crate::proof::DratProof;
+use crate::run::{CancellationToken, RunBudget, RunObserver, SolverEvent, StopReason};
+
+/// Conflicts between cancellation-token polls.
+const CANCEL_POLL_INTERVAL: u64 = 256;
+/// Conflicts between wall-clock deadline polls (`Instant::now` is not free).
+const DEADLINE_POLL_INTERVAL: u64 = 64;
+/// Decisions between budget polls on conflict-free stretches.
+const DECISION_POLL_INTERVAL: u64 = 4096;
+/// Conflicts between [`SolverEvent::Progress`] emissions.
+const PROGRESS_INTERVAL: u64 = 1024;
 
 /// Tunable parameters of the [`CdclSolver`].
 #[derive(Clone, Debug)]
@@ -71,6 +83,9 @@ pub struct SolverStats {
     pub deleted_clauses: u64,
     /// Literals removed by conflict-clause minimization.
     pub minimized_literals: u64,
+    /// Sum of learnt-clause LBD (glue) values; divide by `learnt_clauses`
+    /// for the mean.
+    pub sum_lbd: u64,
 }
 
 const NO_REASON: u32 = u32::MAX;
@@ -92,6 +107,19 @@ struct ClauseData {
 struct Watcher {
     cref: u32,
     blocker: Lit,
+}
+
+/// Holder for the optional observer; `dyn RunObserver` has no `Debug`
+/// impl, so the slot provides one for the solver's derive.
+#[derive(Clone, Default)]
+struct ObserverSlot(Option<Arc<dyn RunObserver>>);
+
+impl fmt::Debug for ObserverSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("ObserverSlot")
+            .field(&self.0.as_ref().map(|_| "dyn RunObserver"))
+            .finish()
+    }
 }
 
 /// A conflict-driven clause-learning SAT solver.
@@ -145,7 +173,18 @@ pub struct CdclSolver {
 
     /// False once a top-level conflict has been derived.
     ok: bool,
-    terminate: Option<Arc<AtomicBool>>,
+    cancel: Option<CancellationToken>,
+    budget: RunBudget,
+    observer: ObserverSlot,
+    /// Effective absolute deadline of the current solve, resolved from the
+    /// budget when the solve starts.
+    deadline: Option<Instant>,
+    /// Start instant of the current solve (for event timestamps).
+    solve_start: Option<Instant>,
+    /// Exponential moving average of learnt-clause LBD.
+    lbd_ema: f64,
+    /// Approximate bytes held by live learnt clauses (for the memory cap).
+    learnt_bytes: u64,
     /// DRAT proof log (learnt additions + deletions) when enabled.
     proof: Option<DratProof>,
     /// Set when the last `solve_with_assumptions` failed only because of
@@ -188,7 +227,13 @@ impl CdclSolver {
             analyze_stack: Vec::new(),
             analyze_clear: Vec::new(),
             ok: true,
-            terminate: None,
+            cancel: None,
+            budget: RunBudget::default(),
+            observer: ObserverSlot::default(),
+            deadline: None,
+            solve_start: None,
+            lbd_ema: 0.0,
+            learnt_bytes: 0,
             proof: None,
             unsat_under_assumptions: false,
         }
@@ -221,11 +266,60 @@ impl CdclSolver {
 
     /// Installs a cooperative cancellation flag.
     ///
-    /// When the flag becomes `true`, [`CdclSolver::solve`] returns
-    /// [`SolveOutcome::Unknown`] at the next conflict boundary. Used by the
-    /// parallel portfolio runner to stop losing strategies.
+    /// Deprecated: wrap the flag in a [`CancellationToken`] (or create one
+    /// with [`CancellationToken::new`]) and pass it to
+    /// [`CdclSolver::set_cancellation`]. Stores through the original `Arc`
+    /// keep working — the token shares the flag.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use set_cancellation(CancellationToken) instead"
+    )]
     pub fn set_terminate_flag(&mut self, flag: Arc<AtomicBool>) {
-        self.terminate = Some(flag);
+        self.set_cancellation(CancellationToken::from_flag(flag));
+    }
+
+    /// Installs a cooperative [`CancellationToken`].
+    ///
+    /// Once any clone of the token is cancelled, [`CdclSolver::solve`]
+    /// returns [`SolveOutcome::Unknown`] with [`StopReason::Cancelled`] at
+    /// the next poll point (conflict or decision boundary). Used by the
+    /// parallel portfolio runner to stop losing strategies.
+    pub fn set_cancellation(&mut self, token: CancellationToken) {
+        self.cancel = Some(token);
+    }
+
+    /// Installs a [`RunBudget`]; each subsequent solve call enforces it.
+    ///
+    /// Limits are polled cooperatively at conflict boundaries (the deadline
+    /// every 64 conflicts and every few thousand decisions), so overshoot
+    /// is bounded but not zero. A budget
+    /// with `deadline_at` is shared: every solve under it races the same
+    /// absolute instant.
+    pub fn set_budget(&mut self, budget: RunBudget) {
+        self.budget = budget;
+    }
+
+    /// The currently installed budget (unlimited by default).
+    pub fn budget(&self) -> RunBudget {
+        self.budget
+    }
+
+    /// Installs a [`RunObserver`] that receives [`SolverEvent`]s from every
+    /// subsequent solve call (replacing any previous observer).
+    pub fn set_observer(&mut self, observer: Arc<dyn RunObserver>) {
+        self.observer = ObserverSlot(Some(observer));
+    }
+
+    /// Removes the installed observer, if any.
+    pub fn clear_observer(&mut self) {
+        self.observer = ObserverSlot(None);
+    }
+
+    #[inline]
+    fn emit(&self, event: SolverEvent) {
+        if let Some(obs) = &self.observer.0 {
+            obs.on_event(&event);
+        }
     }
 
     /// Work counters accumulated so far.
@@ -348,9 +442,35 @@ impl CdclSolver {
     /// search) from a refutation of the formula itself. Learnt clauses are
     /// retained across calls, which is the point of the interface.
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveOutcome {
+        let start = Instant::now();
+        self.solve_start = Some(start);
+        self.deadline = self.budget.deadline(start);
+        self.emit(SolverEvent::Started {
+            num_vars: self.num_vars(),
+            num_clauses: self
+                .clauses
+                .iter()
+                .filter(|c| !c.learnt && !c.deleted)
+                .count(),
+        });
+        let outcome = self.solve_inner(assumptions);
+        self.emit(SolverEvent::Finished {
+            verdict: outcome.verdict(),
+            stats: self.stats,
+            elapsed: start.elapsed(),
+        });
+        outcome
+    }
+
+    fn solve_inner(&mut self, assumptions: &[Lit]) -> SolveOutcome {
         self.unsat_under_assumptions = false;
         if !self.ok {
             return SolveOutcome::Unsat;
+        }
+        // A budget that is already exhausted (shared deadline in the past,
+        // pre-cancelled token) stops the solve before any search happens.
+        if let Some(reason) = self.check_budget_now() {
+            return SolveOutcome::Unknown(reason);
         }
         for lit in assumptions {
             self.ensure_vars(lit.var().index() + 1);
@@ -390,13 +510,17 @@ impl CdclSolver {
                 SearchResult::Restart => {
                     self.backtrack(0);
                     self.stats.restarts += 1;
+                    self.emit(SolverEvent::Restart {
+                        restarts: self.stats.restarts,
+                        conflicts: self.stats.conflicts,
+                    });
                     restart_number += 1;
                     conflicts_until_restart =
                         luby(restart_number).saturating_mul(self.config.restart_base);
                 }
-                SearchResult::Interrupted => {
+                SearchResult::Interrupted(reason) => {
                     self.backtrack(0);
-                    return SolveOutcome::Unknown;
+                    return SolveOutcome::Unknown(reason);
                 }
             }
         }
@@ -416,17 +540,36 @@ impl CdclSolver {
                     return SearchResult::Unsat;
                 }
                 let (learnt, backtrack_level) = self.analyze(conflict);
+                // LBD uses the decision levels at conflict time, so it must
+                // be computed before backtracking.
+                let lbd = self.clause_lbd(&learnt);
+                self.stats.sum_lbd += u64::from(lbd);
+                self.lbd_ema = if self.stats.learnt_clauses == 0 {
+                    f64::from(lbd)
+                } else {
+                    0.95 * self.lbd_ema + 0.05 * f64::from(lbd)
+                };
                 self.backtrack(backtrack_level);
                 self.record_learnt(learnt);
                 self.decay_activities();
+
+                if self.stats.conflicts.is_multiple_of(PROGRESS_INTERVAL) {
+                    self.emit(SolverEvent::Progress {
+                        conflicts: self.stats.conflicts,
+                        decisions: self.stats.decisions,
+                        propagations: self.stats.propagations,
+                        lbd_ema: self.lbd_ema,
+                        elapsed: self.solve_start.map(|s| s.elapsed()).unwrap_or_default(),
+                    });
+                }
 
                 if *conflicts_left == 0 {
                     return SearchResult::Restart;
                 }
                 *conflicts_left -= 1;
 
-                if self.stats.conflicts % 256 == 0 && self.should_stop() {
-                    return SearchResult::Interrupted;
+                if let Some(reason) = self.check_budget_at_conflict() {
+                    return SearchResult::Interrupted(reason);
                 }
             } else {
                 // Establish pending assumptions, one decision level each.
@@ -460,6 +603,28 @@ impl CdclSolver {
                     None => return SearchResult::Sat,
                     Some(var) => {
                         self.stats.decisions += 1;
+                        let mut stop = None;
+                        if let Some(max) = self.budget.max_decisions {
+                            if self.stats.decisions > max {
+                                stop = Some(StopReason::DecisionLimit);
+                            }
+                        }
+                        // Long conflict-free stretches (easy SAT regions)
+                        // would otherwise never poll the deadline or token.
+                        if stop.is_none()
+                            && self.stats.decisions.is_multiple_of(DECISION_POLL_INTERVAL)
+                        {
+                            stop = self.check_budget_now();
+                        }
+                        if let Some(reason) = stop {
+                            // Give the popped variable back to the branching
+                            // heap; it was never assigned, so backtracking
+                            // would not restore it.
+                            if !self.order.contains(var.index()) {
+                                self.order.insert(var.index(), &self.activity);
+                            }
+                            return SearchResult::Interrupted(reason);
+                        }
                         let lit = Lit::new(var, self.phase[usize::from(var)]);
                         self.trail_lim.push(self.trail.len());
                         self.enqueue(lit, NO_REASON);
@@ -469,18 +634,69 @@ impl CdclSolver {
         }
     }
 
-    fn should_stop(&self) -> bool {
-        if let Some(max) = self.config.max_conflicts {
-            if self.stats.conflicts >= max {
-                return true;
+    /// Budget checks run at every conflict. Cheap integer caps are exact;
+    /// the deadline and the cancellation token are polled on a stride so
+    /// `Instant::now` and the atomic load stay off the hot path.
+    fn check_budget_at_conflict(&self) -> Option<StopReason> {
+        let conflicts = self.stats.conflicts;
+        let max_conflicts = match (self.config.max_conflicts, self.budget.max_conflicts) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        if let Some(max) = max_conflicts {
+            if conflicts >= max {
+                return Some(StopReason::ConflictLimit);
             }
         }
-        if let Some(flag) = &self.terminate {
-            if flag.load(Ordering::Relaxed) {
-                return true;
+        if let Some(max) = self.budget.max_learnt_bytes {
+            if self.learnt_bytes >= max {
+                return Some(StopReason::MemoryLimit);
             }
         }
-        false
+        if conflicts.is_multiple_of(CANCEL_POLL_INTERVAL) {
+            if let Some(cancel) = &self.cancel {
+                if cancel.is_cancelled() {
+                    return Some(StopReason::Cancelled);
+                }
+            }
+        }
+        if conflicts.is_multiple_of(DEADLINE_POLL_INTERVAL) {
+            if let Some(deadline) = self.deadline {
+                if Instant::now() >= deadline {
+                    return Some(StopReason::Deadline);
+                }
+            }
+        }
+        None
+    }
+
+    /// Unconditional cancellation + deadline check (solve entry, decision
+    /// poll points).
+    fn check_budget_now(&self) -> Option<StopReason> {
+        if let Some(cancel) = &self.cancel {
+            if cancel.is_cancelled() {
+                return Some(StopReason::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Some(StopReason::Deadline);
+            }
+        }
+        None
+    }
+
+    /// Literal block distance of a clause: the number of distinct decision
+    /// levels among its literals (valid only before backtracking past
+    /// them).
+    fn clause_lbd(&self, lits: &[Lit]) -> u32 {
+        let mut levels: Vec<u32> = lits
+            .iter()
+            .map(|l| self.level[usize::from(l.var())])
+            .collect();
+        levels.sort_unstable();
+        levels.dedup();
+        levels.len() as u32
     }
 
     fn num_assigned(&self) -> usize {
@@ -777,8 +993,15 @@ impl CdclSolver {
         });
         if learnt {
             self.learnts.push(cref);
+            self.learnt_bytes += Self::clause_bytes(self.clauses[cref as usize].lits.len());
         }
         cref
+    }
+
+    /// Rough per-clause memory estimate for the learnt-memory cap:
+    /// literal storage plus fixed `ClauseData` overhead.
+    fn clause_bytes(len: usize) -> u64 {
+        (len * std::mem::size_of::<Lit>() + std::mem::size_of::<ClauseData>()) as u64
     }
 
     fn backtrack(&mut self, target_level: u32) {
@@ -853,6 +1076,7 @@ impl CdclSolver {
     /// assignments.
     fn reduce_db(&mut self) {
         self.learnts.retain(|&c| !self.clauses[c as usize].deleted);
+        let learnts_before = self.learnts.len();
         let mut sorted: Vec<u32> = self.learnts.clone();
         sorted.sort_by(|&a, &b| {
             self.clauses[a as usize]
@@ -873,6 +1097,9 @@ impl CdclSolver {
             let c = &mut self.clauses[cref as usize];
             c.deleted = true;
             let lits = std::mem::take(&mut c.lits);
+            self.learnt_bytes = self
+                .learnt_bytes
+                .saturating_sub(Self::clause_bytes(lits.len()));
             if let Some(proof) = &mut self.proof {
                 proof.push_delete(lits);
             }
@@ -880,6 +1107,11 @@ impl CdclSolver {
         }
         self.stats.deleted_clauses += removed as u64;
         self.learnts.retain(|&c| !self.clauses[c as usize].deleted);
+        self.emit(SolverEvent::Reduce {
+            learnts_before,
+            learnts_after: self.learnts.len(),
+            conflicts: self.stats.conflicts,
+        });
     }
 
     fn extract_model(&self) -> Assignment {
@@ -898,7 +1130,7 @@ enum SearchResult {
     Unsat,
     UnsatUnderAssumptions,
     Restart,
-    Interrupted,
+    Interrupted(StopReason),
 }
 
 #[cfg(test)]
@@ -1071,13 +1303,11 @@ mod tests {
             ..SolverConfig::default()
         });
         s.add_formula(&f);
-        assert_eq!(s.solve(), SolveOutcome::Unknown);
+        assert_eq!(s.solve(), SolveOutcome::Unknown(StopReason::ConflictLimit));
     }
 
-    #[test]
-    fn cancellation_flag_yields_unknown() {
-        let n = 9i64;
-        let h = 8i64;
+    /// Builds a pigeonhole formula (n pigeons into h holes).
+    fn pigeonhole(n: i64, h: i64) -> CnfFormula {
         let p = |i: i64, j: i64| h * i + j + 1;
         let mut f = CnfFormula::new();
         for i in 0..n {
@@ -1090,11 +1320,91 @@ mod tests {
                 }
             }
         }
+        f
+    }
+
+    #[test]
+    fn cancellation_token_yields_unknown() {
+        let mut s = CdclSolver::new();
+        let token = CancellationToken::new();
+        token.cancel();
+        s.set_cancellation(token);
+        s.add_formula(&pigeonhole(9, 8));
+        assert_eq!(s.solve(), SolveOutcome::Unknown(StopReason::Cancelled));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_terminate_flag_still_works() {
         let mut s = CdclSolver::new();
         let flag = Arc::new(AtomicBool::new(true));
         s.set_terminate_flag(Arc::clone(&flag));
-        s.add_formula(&f);
-        assert_eq!(s.solve(), SolveOutcome::Unknown);
+        s.add_formula(&pigeonhole(9, 8));
+        assert_eq!(s.solve(), SolveOutcome::Unknown(StopReason::Cancelled));
+    }
+
+    #[test]
+    fn budget_conflict_cap_yields_unknown() {
+        let mut s = CdclSolver::new();
+        s.set_budget(RunBudget::new().with_max_conflicts(10));
+        s.add_formula(&pigeonhole(8, 7));
+        assert_eq!(s.solve(), SolveOutcome::Unknown(StopReason::ConflictLimit));
+        assert!(s.stats().conflicts <= 11, "bounded overshoot");
+    }
+
+    #[test]
+    fn budget_decision_cap_yields_unknown() {
+        let mut s = CdclSolver::new();
+        s.set_budget(RunBudget::new().with_max_decisions(3));
+        s.add_formula(&pigeonhole(8, 7));
+        assert_eq!(s.solve(), SolveOutcome::Unknown(StopReason::DecisionLimit));
+    }
+
+    #[test]
+    fn budget_memory_cap_yields_unknown() {
+        let mut s = CdclSolver::new();
+        // One byte of learnt storage: trips at the first learnt clause.
+        s.set_budget(RunBudget::new().with_max_learnt_bytes(1));
+        s.add_formula(&pigeonhole(8, 7));
+        assert_eq!(s.solve(), SolveOutcome::Unknown(StopReason::MemoryLimit));
+    }
+
+    #[test]
+    fn elapsed_deadline_yields_unknown_before_search() {
+        use std::time::Duration;
+        let mut s = CdclSolver::new();
+        s.set_budget(RunBudget::new().with_wall(Duration::ZERO));
+        s.add_formula(&pigeonhole(8, 7));
+        assert_eq!(s.solve(), SolveOutcome::Unknown(StopReason::Deadline));
+        assert_eq!(s.stats().conflicts, 0);
+    }
+
+    #[test]
+    fn budget_interrupted_solver_remains_usable() {
+        // Stop a solve early, lift the budget, and check the solver still
+        // reaches the right verdict (no solver state was corrupted).
+        let mut s = CdclSolver::new();
+        s.set_budget(RunBudget::new().with_max_decisions(1));
+        s.add_formula(&pigeonhole(5, 4));
+        assert_eq!(s.solve(), SolveOutcome::Unknown(StopReason::DecisionLimit));
+        s.set_budget(RunBudget::new());
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn observer_sees_started_finished_and_metrics() {
+        use crate::run::MetricsRecorder;
+        let recorder = Arc::new(MetricsRecorder::new());
+        let mut s = CdclSolver::new();
+        s.set_observer(recorder.clone());
+        s.add_formula(&pigeonhole(5, 4));
+        assert!(s.solve().is_unsat());
+        let m = recorder.snapshot();
+        assert_eq!(m.sat, Some(false));
+        assert!(m.stop_reason.is_none());
+        assert_eq!(m.stats, *s.stats());
+        assert!(m.stats.conflicts > 0);
+        assert!(m.mean_lbd() > 0.0, "learnt clauses must carry LBD");
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use satroute_cnf::{Assignment, CnfFormula, Lit, Var};
 
 use crate::outcome::SolveOutcome;
+use crate::run::StopReason;
 
 /// A chronological-backtracking DPLL SAT solver.
 ///
@@ -73,7 +74,7 @@ impl DpllSolver {
                 SolveOutcome::Sat(assignment)
             }
             Some(false) => SolveOutcome::Unsat,
-            None => SolveOutcome::Unknown,
+            None => SolveOutcome::Unknown(StopReason::DecisionLimit),
         }
     }
 
@@ -247,7 +248,10 @@ mod tests {
         // Needs at least one decision.
         let f = formula(&[vec![1, 2], vec![-1, -2]]);
         let mut s = DpllSolver::with_decision_budget(0);
-        assert_eq!(s.solve(&f), SolveOutcome::Unknown);
+        assert_eq!(
+            s.solve(&f),
+            SolveOutcome::Unknown(StopReason::DecisionLimit)
+        );
     }
 
     #[test]

@@ -15,9 +15,12 @@
 //!   baseline in ablations.
 //!
 //! Both solvers consume [`satroute_cnf::CnfFormula`] and report a
-//! [`SolveOutcome`]. The CDCL solver supports conflict budgets and
-//! cooperative cancellation (used by the parallel portfolio runner in
-//! `satroute-core`).
+//! [`SolveOutcome`]. The CDCL solver additionally supports run control and
+//! observability (see [`run`]): declarative [`RunBudget`]s (wall-clock
+//! deadline, conflict/decision/memory caps), cooperative cancellation via
+//! [`CancellationToken`], and a [`SolverEvent`] stream delivered to
+//! [`RunObserver`] sinks such as [`MetricsRecorder`]. An early stop is
+//! reported as [`SolveOutcome::Unknown`] carrying a typed [`StopReason`].
 //!
 //! # Examples
 //!
@@ -50,9 +53,14 @@ mod outcome;
 mod proof;
 
 pub mod preprocess;
+pub mod run;
 
 pub use cdcl::{CdclSolver, SolverConfig, SolverStats};
 pub use dpll::DpllSolver;
 pub use luby::luby;
 pub use outcome::SolveOutcome;
 pub use proof::{CheckProofError, DratProof, ProofStep};
+pub use run::{
+    CancellationToken, FanoutObserver, MetricsRecorder, NullObserver, ProgressLogger, RunBudget,
+    RunMetrics, RunObserver, SolveVerdict, SolverEvent, StopReason,
+};

@@ -327,7 +327,7 @@ mod tests {
                     assert!(m.is_total() || f.num_vars() == 0);
                 }
                 SolveOutcome::Unsat => assert!(!expected),
-                SolveOutcome::Unknown => panic!("no budget configured"),
+                SolveOutcome::Unknown(reason) => panic!("no budget configured, got {reason:?}"),
             }
         }
     }

@@ -1,0 +1,658 @@
+//! Run control and observability: budgets, cancellation, solver events.
+//!
+//! This module is the contract between long-running solves and the code
+//! that supervises them (portfolio runners, benchmark harnesses, the CLI):
+//!
+//! * [`RunBudget`] — declarative resource limits (wall-clock deadline,
+//!   conflict/decision caps, learnt-clause memory cap). Budgets are
+//!   *cooperative*: the solver polls them at conflict boundaries, so
+//!   overshoot is bounded by the cost of one conflict plus the polling
+//!   interval (64 conflicts for the deadline), not by the whole solve.
+//! * [`StopReason`] — the typed cause carried by
+//!   [`SolveOutcome::Unknown`](crate::SolveOutcome::Unknown), so callers can
+//!   distinguish "out of time" from "cancelled because a sibling won".
+//! * [`CancellationToken`] — a cheap-to-clone handle for cooperative
+//!   cancellation across threads (replaces passing a raw
+//!   `Arc<AtomicBool>`).
+//! * [`SolverEvent`] / [`RunObserver`] — a typed event stream (restarts,
+//!   clause-database reductions, periodic progress with rates and the
+//!   learnt-clause LBD trend) delivered to pluggable sinks:
+//!   [`NullObserver`], [`MetricsRecorder`] (aggregates into
+//!   [`RunMetrics`]), and [`ProgressLogger`] (human-readable lines).
+//!
+//! # Examples
+//!
+//! Give a solve two seconds and record its metrics:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use std::time::Duration;
+//! use satroute_cnf::{CnfFormula, Lit};
+//! use satroute_solver::{CdclSolver, MetricsRecorder, RunBudget};
+//!
+//! let mut f = CnfFormula::new();
+//! let a = f.new_var();
+//! f.add_clause([Lit::positive(a)]);
+//!
+//! let recorder = Arc::new(MetricsRecorder::new());
+//! let mut solver = CdclSolver::new();
+//! solver.set_budget(RunBudget::new().with_wall(Duration::from_secs(2)));
+//! solver.set_observer(recorder.clone());
+//! solver.add_formula(&f);
+//! assert!(solver.solve().is_sat());
+//! let metrics = recorder.snapshot();
+//! assert_eq!(metrics.sat, Some(true));
+//! assert!(metrics.stop_reason.is_none());
+//! ```
+
+use std::fmt;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::cdcl::SolverStats;
+
+/// Why a solve stopped without a SAT/UNSAT answer.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum StopReason {
+    /// A [`CancellationToken`] (or legacy terminate flag) was triggered.
+    Cancelled,
+    /// The wall-clock deadline of the [`RunBudget`] passed.
+    Deadline,
+    /// The conflict cap was reached (budget or
+    /// [`SolverConfig::max_conflicts`](crate::SolverConfig::max_conflicts)).
+    ConflictLimit,
+    /// The decision cap of the [`RunBudget`] was reached.
+    DecisionLimit,
+    /// The learnt-clause memory cap of the [`RunBudget`] was reached.
+    MemoryLimit,
+}
+
+impl fmt::Display for StopReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            StopReason::Cancelled => "cancelled",
+            StopReason::Deadline => "deadline",
+            StopReason::ConflictLimit => "conflict-limit",
+            StopReason::DecisionLimit => "decision-limit",
+            StopReason::MemoryLimit => "memory-limit",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A cooperative cancellation handle.
+///
+/// Clones share one flag: cancelling any clone cancels them all. The
+/// solver polls the token at conflict boundaries and returns
+/// [`SolveOutcome::Unknown`](crate::SolveOutcome::Unknown) with
+/// [`StopReason::Cancelled`].
+///
+/// # Examples
+///
+/// ```
+/// use satroute_solver::CancellationToken;
+///
+/// let token = CancellationToken::new();
+/// let clone = token.clone();
+/// assert!(!clone.is_cancelled());
+/// token.cancel();
+/// assert!(clone.is_cancelled());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CancellationToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancellationToken {
+    /// Creates a token in the not-cancelled state.
+    pub fn new() -> Self {
+        CancellationToken::default()
+    }
+
+    /// Wraps an existing shared flag (bridge for the deprecated
+    /// `Arc<AtomicBool>`-based interface); stores through the original
+    /// `Arc` remain visible through the token.
+    pub fn from_flag(flag: Arc<AtomicBool>) -> Self {
+        CancellationToken { flag }
+    }
+
+    /// Requests cancellation. Idempotent; there is no un-cancel.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Returns `true` once any clone has been cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// Declarative resource limits for one solve (or one portfolio of solves).
+///
+/// All limits are optional and combine with "whichever trips first". The
+/// default budget is unlimited. Limits are polled at conflict boundaries,
+/// so a run can overshoot by a bounded amount (one propagation/analysis
+/// cycle; the deadline is additionally polled only every 64 conflicts and
+/// every 4096 decisions to keep `Instant::now` off the hot path).
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use satroute_solver::RunBudget;
+///
+/// let budget = RunBudget::new()
+///     .with_wall(Duration::from_secs(2))
+///     .with_max_conflicts(1_000_000);
+/// assert!(!budget.is_unlimited());
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunBudget {
+    /// Stop with [`StopReason::ConflictLimit`] after this many conflicts.
+    pub max_conflicts: Option<u64>,
+    /// Stop with [`StopReason::DecisionLimit`] after this many decisions.
+    pub max_decisions: Option<u64>,
+    /// Stop with [`StopReason::MemoryLimit`] once the learnt-clause
+    /// database holds roughly this many bytes.
+    pub max_learnt_bytes: Option<u64>,
+    /// Stop with [`StopReason::Deadline`] this long after the solve starts.
+    pub wall: Option<Duration>,
+    /// Stop with [`StopReason::Deadline`] at this absolute instant
+    /// (for sharing one deadline across several runs that start at
+    /// slightly different times, e.g. portfolio members).
+    pub deadline_at: Option<Instant>,
+}
+
+impl RunBudget {
+    /// An unlimited budget (same as `RunBudget::default()`).
+    pub fn new() -> Self {
+        RunBudget::default()
+    }
+
+    /// Sets a wall-clock limit relative to the start of each solve.
+    pub fn with_wall(mut self, wall: Duration) -> Self {
+        self.wall = Some(wall);
+        self
+    }
+
+    /// Sets an absolute deadline shared by every solve under this budget.
+    pub fn with_deadline_at(mut self, at: Instant) -> Self {
+        self.deadline_at = Some(at);
+        self
+    }
+
+    /// Sets a conflict cap.
+    pub fn with_max_conflicts(mut self, n: u64) -> Self {
+        self.max_conflicts = Some(n);
+        self
+    }
+
+    /// Sets a decision cap.
+    pub fn with_max_decisions(mut self, n: u64) -> Self {
+        self.max_decisions = Some(n);
+        self
+    }
+
+    /// Sets an approximate learnt-clause memory cap in bytes.
+    pub fn with_max_learnt_bytes(mut self, bytes: u64) -> Self {
+        self.max_learnt_bytes = Some(bytes);
+        self
+    }
+
+    /// `true` if no limit is set.
+    pub fn is_unlimited(&self) -> bool {
+        self.max_conflicts.is_none()
+            && self.max_decisions.is_none()
+            && self.max_learnt_bytes.is_none()
+            && self.wall.is_none()
+            && self.deadline_at.is_none()
+    }
+
+    /// Resolves the effective absolute deadline for a solve starting at
+    /// `start`: the earlier of `deadline_at` and `start + wall`.
+    pub fn deadline(&self, start: Instant) -> Option<Instant> {
+        match (self.deadline_at, self.wall.map(|w| start + w)) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+}
+
+/// The verdict part of a [`SolveOutcome`](crate::SolveOutcome), without the
+/// model — what observers and metrics carry.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SolveVerdict {
+    /// A model was found.
+    Sat,
+    /// The formula (or formula + assumptions) was refuted.
+    Unsat,
+    /// The solve stopped early for the given reason.
+    Unknown(StopReason),
+}
+
+impl SolveVerdict {
+    /// The stop reason, when the verdict is [`SolveVerdict::Unknown`].
+    pub fn stop_reason(&self) -> Option<StopReason> {
+        match self {
+            SolveVerdict::Unknown(r) => Some(*r),
+            _ => None,
+        }
+    }
+}
+
+/// One point of the solver's event stream.
+///
+/// Events arrive in a fixed grammar per solve:
+/// `Started (Restart | Reduce | Progress)* Finished`, with `Progress`
+/// conflict counts nondecreasing and `Restart` numbers increasing by one.
+#[derive(Clone, Copy, Debug)]
+pub enum SolverEvent {
+    /// A solve began.
+    Started {
+        /// Variables known to the solver.
+        num_vars: u32,
+        /// Clauses loaded (original, not learnt).
+        num_clauses: usize,
+    },
+    /// The solver restarted (backtracked to level 0 on the Luby schedule).
+    Restart {
+        /// Restart ordinal (1-based, cumulative across solves).
+        restarts: u64,
+        /// Conflicts seen so far.
+        conflicts: u64,
+    },
+    /// The learnt-clause database was reduced.
+    Reduce {
+        /// Learnt clauses before the reduction.
+        learnts_before: usize,
+        /// Learnt clauses surviving it.
+        learnts_after: usize,
+        /// Conflicts seen so far.
+        conflicts: u64,
+    },
+    /// Periodic progress (every 1024 conflicts).
+    Progress {
+        /// Conflicts so far.
+        conflicts: u64,
+        /// Decisions so far.
+        decisions: u64,
+        /// Propagations so far.
+        propagations: u64,
+        /// Exponential moving average of learnt-clause LBD (glue); low and
+        /// falling means the solver is learning useful clauses.
+        lbd_ema: f64,
+        /// Wall time since the solve started.
+        elapsed: Duration,
+    },
+    /// The solve returned.
+    Finished {
+        /// SAT / UNSAT / Unknown(reason).
+        verdict: SolveVerdict,
+        /// Cumulative work counters at the end of the solve.
+        stats: SolverStats,
+        /// Wall time of this solve.
+        elapsed: Duration,
+    },
+}
+
+/// A sink for [`SolverEvent`]s.
+///
+/// Observers are shared across threads (`Send + Sync`) and invoked from
+/// the solving thread; implementations use interior mutability and should
+/// return quickly — they sit on the restart/reduce path.
+pub trait RunObserver: Send + Sync {
+    /// Called by the solver at each event point.
+    fn on_event(&self, event: &SolverEvent);
+}
+
+/// An observer that discards every event.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullObserver;
+
+impl RunObserver for NullObserver {
+    fn on_event(&self, _event: &SolverEvent) {}
+}
+
+/// Aggregated measurements of one run, assembled by [`MetricsRecorder`]
+/// (and re-used as the machine-readable record the benchmark harness
+/// serializes).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RunMetrics {
+    /// Wall time of the solve (zero until `Finished` arrives).
+    pub wall_time: Duration,
+    /// Final work counters.
+    pub stats: SolverStats,
+    /// Why the run stopped early, if it did.
+    pub stop_reason: Option<StopReason>,
+    /// `Some(true)` on SAT, `Some(false)` on UNSAT, `None` on Unknown.
+    pub sat: Option<bool>,
+    /// Restart events observed.
+    pub restarts: u64,
+    /// Clause-database reductions observed.
+    pub reductions: u64,
+    /// Progress events observed.
+    pub progress_samples: u64,
+    /// Last observed LBD moving average (0 if no clause was learnt).
+    pub lbd_ema: f64,
+}
+
+impl RunMetrics {
+    /// Conflicts per second of wall time (0 for a zero-duration run).
+    pub fn conflicts_per_sec(&self) -> f64 {
+        let secs = self.wall_time.as_secs_f64();
+        if secs > 0.0 {
+            self.stats.conflicts as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Propagations per second of wall time (0 for a zero-duration run).
+    pub fn propagations_per_sec(&self) -> f64 {
+        let secs = self.wall_time.as_secs_f64();
+        if secs > 0.0 {
+            self.stats.propagations as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean LBD over all learnt clauses (0 if none).
+    pub fn mean_lbd(&self) -> f64 {
+        if self.stats.learnt_clauses > 0 {
+            self.stats.sum_lbd as f64 / self.stats.learnt_clauses as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+/// An observer that aggregates the event stream into [`RunMetrics`].
+///
+/// When one recorder observes several consecutive solves (e.g. the probes
+/// of an incremental width search), the snapshot reflects the latest
+/// `Finished` event plus cumulative restart/reduce/progress counts.
+#[derive(Debug, Default)]
+pub struct MetricsRecorder {
+    inner: Mutex<RunMetrics>,
+}
+
+impl MetricsRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        MetricsRecorder::default()
+    }
+
+    /// The metrics observed so far.
+    pub fn snapshot(&self) -> RunMetrics {
+        *self.inner.lock().expect("metrics lock never poisoned")
+    }
+}
+
+impl RunObserver for MetricsRecorder {
+    fn on_event(&self, event: &SolverEvent) {
+        let mut m = self.inner.lock().expect("metrics lock never poisoned");
+        match *event {
+            SolverEvent::Started { .. } => {}
+            SolverEvent::Restart { .. } => m.restarts += 1,
+            SolverEvent::Reduce { .. } => m.reductions += 1,
+            SolverEvent::Progress { lbd_ema, .. } => {
+                m.progress_samples += 1;
+                m.lbd_ema = lbd_ema;
+            }
+            SolverEvent::Finished {
+                verdict,
+                stats,
+                elapsed,
+            } => {
+                m.wall_time = elapsed;
+                m.stats = stats;
+                m.stop_reason = verdict.stop_reason();
+                m.sat = match verdict {
+                    SolveVerdict::Sat => Some(true),
+                    SolveVerdict::Unsat => Some(false),
+                    SolveVerdict::Unknown(_) => None,
+                };
+            }
+        }
+    }
+}
+
+/// An observer that writes one human-readable line per event.
+///
+/// The default sink is standard error; [`ProgressLogger::to_writer`]
+/// accepts any `Write + Send` sink (tests use a `Vec<u8>` behind a
+/// `Mutex`). Write errors are ignored — progress output must never abort
+/// a solve.
+pub struct ProgressLogger {
+    label: String,
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl ProgressLogger {
+    /// Logs to standard error with a `label` prefix.
+    pub fn stderr(label: impl Into<String>) -> Self {
+        ProgressLogger::to_writer(label, Box::new(std::io::stderr()))
+    }
+
+    /// Logs to an arbitrary writer.
+    pub fn to_writer(label: impl Into<String>, out: Box<dyn Write + Send>) -> Self {
+        ProgressLogger {
+            label: label.into(),
+            out: Mutex::new(out),
+        }
+    }
+}
+
+impl fmt::Debug for ProgressLogger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProgressLogger")
+            .field("label", &self.label)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RunObserver for ProgressLogger {
+    fn on_event(&self, event: &SolverEvent) {
+        let mut out = self.out.lock().expect("logger lock never poisoned");
+        let label = &self.label;
+        // Ignore write errors: logging must not interfere with solving.
+        let _ = match *event {
+            SolverEvent::Started {
+                num_vars,
+                num_clauses,
+            } => writeln!(out, "[{label}] start: {num_vars} vars, {num_clauses} clauses"),
+            SolverEvent::Restart {
+                restarts,
+                conflicts,
+            } => writeln!(out, "[{label}] restart #{restarts} at {conflicts} conflicts"),
+            SolverEvent::Reduce {
+                learnts_before,
+                learnts_after,
+                conflicts,
+            } => writeln!(
+                out,
+                "[{label}] reduce: {learnts_before} -> {learnts_after} learnts at {conflicts} conflicts"
+            ),
+            SolverEvent::Progress {
+                conflicts,
+                decisions,
+                propagations,
+                lbd_ema,
+                elapsed,
+            } => writeln!(
+                out,
+                "[{label}] {:.1}s: {conflicts} conflicts, {decisions} decisions, {propagations} props, lbd~{lbd_ema:.1}",
+                elapsed.as_secs_f64()
+            ),
+            SolverEvent::Finished {
+                verdict, elapsed, ..
+            } => writeln!(
+                out,
+                "[{label}] done in {:.3}s: {verdict:?}",
+                elapsed.as_secs_f64()
+            ),
+        };
+    }
+}
+
+/// Fans one event stream out to several observers, in order.
+#[derive(Clone, Default)]
+pub struct FanoutObserver {
+    sinks: Vec<Arc<dyn RunObserver>>,
+}
+
+impl FanoutObserver {
+    /// Creates an empty fanout (equivalent to [`NullObserver`]).
+    pub fn new() -> Self {
+        FanoutObserver::default()
+    }
+
+    /// Adds a sink; events are delivered in insertion order.
+    pub fn with(mut self, sink: Arc<dyn RunObserver>) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+}
+
+impl fmt::Debug for FanoutObserver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FanoutObserver")
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+impl RunObserver for FanoutObserver {
+    fn on_event(&self, event: &SolverEvent) {
+        for sink in &self.sinks {
+            sink.on_event(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancellation_token_clones_share_state() {
+        let t = CancellationToken::new();
+        let c = t.clone();
+        assert!(!t.is_cancelled() && !c.is_cancelled());
+        c.cancel();
+        assert!(t.is_cancelled() && c.is_cancelled());
+    }
+
+    #[test]
+    fn legacy_flag_bridge_observes_external_stores() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let t = CancellationToken::from_flag(Arc::clone(&flag));
+        assert!(!t.is_cancelled());
+        flag.store(true, Ordering::Relaxed);
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn budget_deadline_resolution_takes_the_earlier() {
+        let start = Instant::now();
+        let b = RunBudget::new().with_wall(Duration::from_secs(10));
+        assert_eq!(b.deadline(start), Some(start + Duration::from_secs(10)));
+
+        let sooner = start + Duration::from_secs(1);
+        let b = b.with_deadline_at(sooner);
+        assert_eq!(b.deadline(start), Some(sooner));
+
+        assert!(RunBudget::new().deadline(start).is_none());
+        assert!(RunBudget::new().is_unlimited());
+        assert!(!RunBudget::new().with_max_decisions(5).is_unlimited());
+    }
+
+    #[test]
+    fn metrics_recorder_aggregates_stream() {
+        let r = MetricsRecorder::new();
+        r.on_event(&SolverEvent::Started {
+            num_vars: 3,
+            num_clauses: 4,
+        });
+        r.on_event(&SolverEvent::Restart {
+            restarts: 1,
+            conflicts: 100,
+        });
+        r.on_event(&SolverEvent::Progress {
+            conflicts: 1024,
+            decisions: 2000,
+            propagations: 9000,
+            lbd_ema: 3.5,
+            elapsed: Duration::from_millis(20),
+        });
+        let stats = SolverStats {
+            conflicts: 1500,
+            propagations: 12000,
+            ..Default::default()
+        };
+        r.on_event(&SolverEvent::Finished {
+            verdict: SolveVerdict::Unknown(StopReason::Deadline),
+            stats,
+            elapsed: Duration::from_millis(500),
+        });
+        let m = r.snapshot();
+        assert_eq!(m.restarts, 1);
+        assert_eq!(m.progress_samples, 1);
+        assert_eq!(m.lbd_ema, 3.5);
+        assert_eq!(m.stop_reason, Some(StopReason::Deadline));
+        assert_eq!(m.sat, None);
+        assert_eq!(m.stats.conflicts, 1500);
+        assert!(m.conflicts_per_sec() > 0.0);
+        assert!(m.propagations_per_sec() > m.conflicts_per_sec());
+    }
+
+    #[test]
+    fn progress_logger_writes_lines() {
+        use std::sync::OnceLock;
+        static BUF: OnceLock<Arc<Mutex<Vec<u8>>>> = OnceLock::new();
+        let buf = BUF.get_or_init(|| Arc::new(Mutex::new(Vec::new()))).clone();
+
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let logger = ProgressLogger::to_writer("t", Box::new(Shared(buf.clone())));
+        logger.on_event(&SolverEvent::Restart {
+            restarts: 2,
+            conflicts: 200,
+        });
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        assert!(text.contains("[t] restart #2 at 200 conflicts"), "{text}");
+    }
+
+    #[test]
+    fn fanout_delivers_to_all_sinks() {
+        let a = Arc::new(MetricsRecorder::new());
+        let b = Arc::new(MetricsRecorder::new());
+        let fan = FanoutObserver::new()
+            .with(a.clone() as Arc<dyn RunObserver>)
+            .with(b.clone() as Arc<dyn RunObserver>);
+        fan.on_event(&SolverEvent::Restart {
+            restarts: 1,
+            conflicts: 1,
+        });
+        assert_eq!(a.snapshot().restarts, 1);
+        assert_eq!(b.snapshot().restarts, 1);
+    }
+
+    #[test]
+    fn stop_reason_displays_kebab_case() {
+        assert_eq!(StopReason::Deadline.to_string(), "deadline");
+        assert_eq!(StopReason::ConflictLimit.to_string(), "conflict-limit");
+    }
+}

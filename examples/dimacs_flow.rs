@@ -75,7 +75,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         SolveOutcome::Unsat => {
             println!("UNSAT: {width} tracks are provably insufficient");
         }
-        SolveOutcome::Unknown => unreachable!("no conflict budget was set"),
+        SolveOutcome::Unknown(reason) => unreachable!("no budget was set, got {reason}"),
     }
     Ok(())
 }

@@ -31,7 +31,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         // The portfolio in parallel.
         let portfolio = Strategy::paper_portfolio_3();
-        let result = run_portfolio(&instance.conflict_graph, width, &portfolio, &config)
+        let result = run_portfolio(&instance.conflict_graph, width, &portfolio, &config);
+        let winner = result
+            .strategy()
             .expect("portfolio decides without a budget");
 
         println!(
@@ -39,8 +41,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             instance.name,
             single_time.as_secs_f64(),
             result.wall_time.as_secs_f64(),
-            result.strategy,
+            winner,
         );
+        // Losing members keep their partial work counters.
+        for member in &result.members {
+            println!(
+                "           {:<28} {:>9} conflicts{}",
+                member.strategy.to_string(),
+                member.report.solver_stats.conflicts,
+                match member.stop_reason() {
+                    Some(reason) => format!(" (stopped: {reason})"),
+                    None => String::new(),
+                },
+            );
+        }
     }
 
     println!("\n(The paper reports 1.84x / 2.30x additional speedup from 2-/3-strategy");

@@ -16,6 +16,10 @@
 //!   symmetry breaking, the encoder/decoder, strategies and the parallel
 //!   portfolio, plus the end-to-end routing pipeline.
 //!
+//! The run-control vocabulary (budgets, cancellation, observers) is
+//! re-exported at the crate root: [`RunBudget`], [`CancellationToken`],
+//! [`StopReason`], [`RunMetrics`], [`RunObserver`] and friends.
+//!
 //! # Quickstart
 //!
 //! Route a small FPGA end to end with the paper's best strategy
@@ -49,3 +53,8 @@ pub use satroute_coloring as coloring;
 pub use satroute_core as core;
 pub use satroute_fpga as fpga;
 pub use satroute_solver as solver;
+
+pub use satroute_solver::{
+    CancellationToken, FanoutObserver, MetricsRecorder, NullObserver, ProgressLogger, RunBudget,
+    RunMetrics, RunObserver, SolveVerdict, SolverEvent, StopReason,
+};

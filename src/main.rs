@@ -14,9 +14,17 @@
 //! Options: `--encoding <name>` (paper spelling, default
 //! ITE-linear-2+muldirect), `--symmetry -|b1|s1` (default s1),
 //! `--certificate <out.drat>`, `--out <path>`.
+//!
+//! Run control: `--timeout <secs>` (wall-clock budget), `--max-conflicts
+//! <n>` (conflict budget), `--progress` (periodic solver progress on
+//! stderr), `--json` (machine-readable result on stdout). Budgets are
+//! cooperative — checked at conflict boundaries — so overshoot is bounded
+//! but nonzero; an exhausted budget reports UNKNOWN with its stop reason.
 
 use std::fs;
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 
 use satroute::cnf::dimacs as cnf_dimacs;
 use satroute::coloring::dimacs as col_dimacs;
@@ -24,6 +32,7 @@ use satroute::coloring::CspGraph;
 use satroute::core::{encode_coloring, EncodingId, RoutingPipeline, Strategy, SymmetryHeuristic};
 use satroute::fpga::{benchmarks, io as fpga_io, RoutingProblem};
 use satroute::solver::{CdclSolver, SolveOutcome};
+use satroute::{ProgressLogger, RunBudget};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -46,6 +55,24 @@ struct Options {
     proof: Option<String>,
     certificate: Option<String>,
     incremental: bool,
+    timeout: Option<f64>,
+    max_conflicts: Option<u64>,
+    progress: bool,
+    json: bool,
+}
+
+impl Options {
+    /// The run budget implied by `--timeout` / `--max-conflicts`.
+    fn budget(&self) -> RunBudget {
+        let mut budget = RunBudget::new();
+        if let Some(secs) = self.timeout {
+            budget = budget.with_wall(Duration::from_secs_f64(secs));
+        }
+        if let Some(n) = self.max_conflicts {
+            budget = budget.with_max_conflicts(n);
+        }
+        budget
+    }
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -59,6 +86,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         proof: None,
         certificate: None,
         incremental: false,
+        timeout: None,
+        max_conflicts: None,
+        progress: false,
+        json: false,
     };
     let mut i = 0;
     let take_value = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
@@ -86,7 +117,24 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--proof" => opts.proof = Some(take_value(args, &mut i, "--proof")?),
             "--certificate" => opts.certificate = Some(take_value(args, &mut i, "--certificate")?),
             "--incremental" => opts.incremental = true,
-            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            "--timeout" => {
+                let v = take_value(args, &mut i, "--timeout")?;
+                let secs: f64 = v.parse().map_err(|_| format!("bad timeout `{v}`"))?;
+                if !secs.is_finite() || secs < 0.0 {
+                    return Err(format!("bad timeout `{v}`"));
+                }
+                opts.timeout = Some(secs);
+            }
+            "--max-conflicts" => {
+                let v = take_value(args, &mut i, "--max-conflicts")?;
+                opts.max_conflicts =
+                    Some(v.parse().map_err(|_| format!("bad conflict limit `{v}`"))?);
+            }
+            "--progress" => opts.progress = true,
+            "--json" => opts.json = true,
+            flag if flag.starts_with('-') && flag.len() > 1 => {
+                return Err(format!("unknown flag `{flag}`"))
+            }
             positional => opts.positional.push(positional.to_string()),
         }
         i += 1;
@@ -140,18 +188,22 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 .ok_or("route/prove need a problem file")?;
             let width = opts.width.ok_or("route/prove need --width <W>")?;
             let problem = load_problem(path)?;
-            let pipeline = RoutingPipeline::new(Strategy::new(opts.encoding, opts.symmetry));
+            let mut pipeline = RoutingPipeline::new(Strategy::new(opts.encoding, opts.symmetry))
+                .with_budget(opts.budget());
+            if opts.progress {
+                pipeline = pipeline.with_observer(Arc::new(ProgressLogger::stderr(command)));
+            }
 
             if let Some(cert_path) = &opts.certificate {
                 let (result, certificate) = pipeline
                     .prove_unroutable_certified(&problem, width)
                     .map_err(|e| format!("{e}"))?;
-                return finish_route(result, Some((cert_path, certificate)));
+                return finish_route(result, Some((cert_path, certificate)), opts.json);
             }
             let result = pipeline
                 .route(&problem, width)
                 .map_err(|e| format!("{e}"))?;
-            finish_route(result, None)
+            finish_route(result, None, opts.json)
         }
         "min-width" => {
             let path = opts
@@ -166,29 +218,65 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                     .max_color()
                     .map_or(1, |m| m + 1);
                 let mut inc = IncrementalColoring::new(&graph, upper, opts.symmetry);
+                inc.set_budget(opts.budget());
+                if opts.progress {
+                    inc.set_observer(Arc::new(ProgressLogger::stderr("min-width")));
+                }
                 let (min, _) = inc
                     .find_min_colors()
                     .ok_or("solver gave up or bound was uncolorable")?;
-                println!(
-                    "minimum channel width: {min} (incremental, {} conflicts)",
-                    inc.solver_stats().conflicts
-                );
+                if opts.json {
+                    println!(
+                        "{{\"min_width\":{min},\"incremental\":true,\"conflicts\":{}}}",
+                        inc.solver_stats().conflicts
+                    );
+                } else {
+                    println!(
+                        "minimum channel width: {min} (incremental, {} conflicts)",
+                        inc.solver_stats().conflicts
+                    );
+                }
             } else {
-                let pipeline = RoutingPipeline::new(Strategy::new(opts.encoding, opts.symmetry));
+                let mut pipeline =
+                    RoutingPipeline::new(Strategy::new(opts.encoding, opts.symmetry))
+                        .with_budget(opts.budget());
+                if opts.progress {
+                    pipeline =
+                        pipeline.with_observer(Arc::new(ProgressLogger::stderr("min-width")));
+                }
                 let search = pipeline
                     .find_min_width(&problem)
                     .map_err(|e| format!("{e}"))?;
-                println!("minimum channel width: {}", search.min_width);
-                for probe in &search.probes {
+                if opts.json {
+                    let probes: Vec<String> = search
+                        .probes
+                        .iter()
+                        .map(|p| {
+                            format!(
+                                "{{\"width\":{},\"routable\":{}}}",
+                                p.width,
+                                p.routing.is_some()
+                            )
+                        })
+                        .collect();
                     println!(
-                        "  W = {:>2}: {}",
-                        probe.width,
-                        if probe.routing.is_some() {
-                            "SAT"
-                        } else {
-                            "UNSAT"
-                        }
+                        "{{\"min_width\":{},\"incremental\":false,\"probes\":[{}]}}",
+                        search.min_width,
+                        probes.join(",")
                     );
+                } else {
+                    println!("minimum channel width: {}", search.min_width);
+                    for probe in &search.probes {
+                        println!(
+                            "  W = {:>2}: {}",
+                            probe.width,
+                            if probe.routing.is_some() {
+                                "SAT"
+                            } else {
+                                "UNSAT"
+                            }
+                        );
+                    }
                 }
             }
             Ok(ExitCode::SUCCESS)
@@ -231,36 +319,66 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             if opts.proof.is_some() {
                 solver.enable_proof_logging();
             }
+            solver.set_budget(opts.budget());
+            if opts.progress {
+                solver.set_observer(Arc::new(ProgressLogger::stderr("solve")));
+            }
             solver.add_formula(&formula);
-            match solver.solve() {
+            let outcome = solver.solve();
+            if opts.json {
+                let stats = solver.stats();
+                let (result, reason) = match &outcome {
+                    SolveOutcome::Sat(_) => ("sat", None),
+                    SolveOutcome::Unsat => ("unsat", None),
+                    SolveOutcome::Unknown(reason) => ("unknown", Some(*reason)),
+                };
+                println!(
+                    "{{\"result\":{},\"stop_reason\":{},\"conflicts\":{},\"decisions\":{},\"propagations\":{}}}",
+                    json_str(result),
+                    reason.map_or("null".to_string(), |r| json_str(&r.to_string())),
+                    stats.conflicts,
+                    stats.decisions,
+                    stats.propagations,
+                );
+            }
+            match outcome {
                 SolveOutcome::Sat(model) => {
-                    println!("s SATISFIABLE");
-                    print!("v");
-                    for (var, value) in model.iter() {
-                        print!(
-                            " {}",
-                            if value {
-                                var.to_dimacs()
-                            } else {
-                                -var.to_dimacs()
-                            }
-                        );
+                    if !opts.json {
+                        println!("s SATISFIABLE");
+                        print!("v");
+                        for (var, value) in model.iter() {
+                            print!(
+                                " {}",
+                                if value {
+                                    var.to_dimacs()
+                                } else {
+                                    -var.to_dimacs()
+                                }
+                            );
+                        }
+                        println!(" 0");
                     }
-                    println!(" 0");
                     Ok(ExitCode::from(10))
                 }
                 SolveOutcome::Unsat => {
-                    println!("s UNSATISFIABLE");
+                    if !opts.json {
+                        println!("s UNSATISFIABLE");
+                    }
                     if let Some(out) = &opts.proof {
                         let proof = solver.take_proof().expect("logging enabled");
                         fs::write(out, proof.to_drat_string())
                             .map_err(|e| format!("cannot write {out}: {e}"))?;
-                        println!("c DRAT proof written to {out}");
+                        if !opts.json {
+                            println!("c DRAT proof written to {out}");
+                        }
                     }
                     Ok(ExitCode::from(20))
                 }
-                SolveOutcome::Unknown => {
-                    println!("s UNKNOWN");
+                SolveOutcome::Unknown(reason) => {
+                    if !opts.json {
+                        println!("c stopped: {reason}");
+                        println!("s UNKNOWN");
+                    }
                     Ok(ExitCode::SUCCESS)
                 }
             }
@@ -284,29 +402,74 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     }
 }
 
+/// Minimal JSON string quoting for the CLI's `--json` output (the full
+/// document model lives in `satroute-bench`; the CLI only needs strings).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 fn finish_route(
     result: satroute::core::RouteResult,
     certificate: Option<(&String, Option<satroute::core::UnroutabilityCertificate>)>,
+    json: bool,
 ) -> Result<ExitCode, String> {
+    if json {
+        let metrics = &result.report.metrics;
+        let tracks = match &result.routing {
+            Some(routing) => routing
+                .tracks()
+                .iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+            None => String::new(),
+        };
+        println!(
+            "{{\"width\":{},\"routable\":{},\"tracks\":[{}],\"conflicts\":{},\"wall_time_s\":{}}}",
+            result.width,
+            result.routing.is_some(),
+            tracks,
+            metrics.stats.conflicts,
+            metrics.wall_time.as_secs_f64(),
+        );
+    }
     match &result.routing {
         Some(routing) => {
-            println!("ROUTABLE with {} tracks", result.width);
-            for (i, track) in routing.tracks().iter().enumerate() {
-                println!("  subnet {i}: track {track}");
+            if !json {
+                println!("ROUTABLE with {} tracks", result.width);
+                for (i, track) in routing.tracks().iter().enumerate() {
+                    println!("  subnet {i}: track {track}");
+                }
             }
             Ok(ExitCode::SUCCESS)
         }
         None => {
-            println!(
-                "UNROUTABLE with {} tracks ({} conflicts)",
-                result.width, result.report.solver_stats.conflicts
-            );
+            if !json {
+                println!(
+                    "UNROUTABLE with {} tracks ({} conflicts)",
+                    result.width, result.report.solver_stats.conflicts
+                );
+            }
             if let Some((path, Some(cert))) = certificate {
                 cert.verify()
                     .map_err(|e| format!("certificate failed: {e}"))?;
                 fs::write(path, cert.proof.to_drat_string())
                     .map_err(|e| format!("cannot write {path}: {e}"))?;
-                println!("verified DRAT certificate written to {path}");
+                if !json {
+                    println!("verified DRAT certificate written to {path}");
+                }
             }
             Ok(ExitCode::from(20))
         }
@@ -317,6 +480,7 @@ fn print_usage() {
     eprintln!(
         "usage: satroute <command> [options]\n\
          commands: gen, route, prove, min-width, encode, solve, encodings\n\
+         run control: --timeout <secs>, --max-conflicts <n>, --progress, --json\n\
          see the crate README for details"
     );
 }

@@ -1,57 +1,82 @@
 //! Property tests: all 15 encodings are equivalent decision procedures for
 //! k-colorability, with or without symmetry breaking, with either solver.
+//!
+//! Cases come from a seeded deterministic driver (no external
+//! property-testing framework is available offline); failure messages carry
+//! the seed for exact replay.
 
-use proptest::prelude::*;
-// `satroute::core::Strategy` shadows the proptest trait of the same name;
-// re-import the trait anonymously so `.prop_map` stays available.
-use proptest::strategy::Strategy as _;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use satroute::coloring::{exact, random_graph, CspGraph};
 use satroute::core::{encode_coloring, ColoringOutcome, EncodingId, Strategy, SymmetryHeuristic};
 use satroute::solver::{CdclSolver, DpllSolver, SolveOutcome};
 
-/// A small random graph strategy: (n, p, seed) → deterministic graph.
-fn graph_strategy() -> impl proptest::strategy::Strategy<Value = CspGraph> {
-    (2usize..9, 0u64..1000, 10u32..90)
-        .prop_map(|(n, seed, pct)| random_graph(n, f64::from(pct) / 100.0, seed))
+/// A small random graph: (n, p, seed) drawn deterministically from `seed`.
+fn random_case(seed: u64) -> (CspGraph, u32) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.gen_range(2usize..9);
+    let pct = rng.gen_range(10u32..90);
+    let graph_seed = rng.gen_range(0u64..1000);
+    let k = rng.gen_range(1u32..5);
+    (random_graph(n, f64::from(pct) / 100.0, graph_seed), k)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+const CASES: u64 = 24;
 
-    #[test]
-    fn encodings_agree_with_exact_oracle(g in graph_strategy(), k in 1u32..5) {
+#[test]
+fn encodings_agree_with_exact_oracle() {
+    for seed in 0..CASES {
+        let (g, k) = random_case(seed);
         let expected = exact::k_color(&g, k).is_some();
         for id in EncodingId::ALL {
             let report = Strategy::new(id, SymmetryHeuristic::None).solve_coloring(&g, k);
             match report.outcome {
                 ColoringOutcome::Colorable(c) => {
-                    prop_assert!(expected, "{id}: SAT but oracle says UNSAT");
-                    prop_assert!(c.is_proper(&g));
-                    prop_assert!(c.max_color().unwrap_or(0) < k);
+                    assert!(expected, "seed {seed} {id}: SAT but oracle says UNSAT");
+                    assert!(c.is_proper(&g), "seed {seed} {id}");
+                    assert!(c.max_color().unwrap_or(0) < k, "seed {seed} {id}");
                 }
-                ColoringOutcome::Unsat => prop_assert!(!expected, "{id}: UNSAT but oracle says SAT"),
-                ColoringOutcome::Unknown => prop_assert!(false, "no budget set"),
+                ColoringOutcome::Unsat => {
+                    assert!(!expected, "seed {seed} {id}: UNSAT but oracle says SAT");
+                }
+                ColoringOutcome::Unknown(reason) => {
+                    panic!("seed {seed} {id}: no budget set, got {reason:?}")
+                }
             }
         }
     }
+}
 
-    #[test]
-    fn symmetry_breaking_never_changes_the_verdict(g in graph_strategy(), k in 1u32..5) {
+#[test]
+fn symmetry_breaking_never_changes_the_verdict() {
+    for seed in 0..CASES {
+        let (g, k) = random_case(seed);
         let baseline = Strategy::new(EncodingId::Muldirect, SymmetryHeuristic::None)
             .solve_coloring(&g, k)
             .outcome
             .is_colorable();
         for sym in [SymmetryHeuristic::B1, SymmetryHeuristic::S1] {
-            for id in [EncodingId::Muldirect, EncodingId::IteLog, EncodingId::Direct3Muldirect] {
-                let got = Strategy::new(id, sym).solve_coloring(&g, k).outcome.is_colorable();
-                prop_assert_eq!(got, baseline, "{}/{} flipped the verdict", id, sym);
+            for id in [
+                EncodingId::Muldirect,
+                EncodingId::IteLog,
+                EncodingId::Direct3Muldirect,
+            ] {
+                let got = Strategy::new(id, sym)
+                    .solve_coloring(&g, k)
+                    .outcome
+                    .is_colorable();
+                assert_eq!(got, baseline, "seed {seed}: {id}/{sym} flipped the verdict");
             }
         }
     }
+}
 
-    #[test]
-    fn cdcl_and_dpll_agree_on_encoded_formulas(g in graph_strategy(), k in 1u32..4) {
+#[test]
+fn cdcl_and_dpll_agree_on_encoded_formulas() {
+    for seed in 0..CASES {
+        let (g, k) = random_case(seed);
+        let k = k.min(3);
         let enc = encode_coloring(
             &g,
             k,
@@ -62,23 +87,28 @@ proptest! {
         cdcl.add_formula(&enc.formula);
         let cdcl_sat = matches!(cdcl.solve(), SolveOutcome::Sat(_));
         let dpll_sat = matches!(DpllSolver::new().solve(&enc.formula), SolveOutcome::Sat(_));
-        prop_assert_eq!(cdcl_sat, dpll_sat);
+        assert_eq!(cdcl_sat, dpll_sat, "seed {seed}");
     }
+}
 
-    #[test]
-    fn scheme_shapes_are_consistent(k in 1u32..14) {
+#[test]
+fn scheme_shapes_are_consistent() {
+    for k in 1u32..14 {
         for id in EncodingId::ALL {
             let scheme = id.emit(k);
-            prop_assert_eq!(scheme.domain_size(), k);
+            assert_eq!(scheme.domain_size(), k, "{id} k={k}");
             // Every pattern's variables fit in the declared local space.
             for p in &scheme.patterns {
                 for lit in p.lits() {
-                    prop_assert!(lit.var().index() < scheme.num_vars.max(1) || p.is_empty());
+                    assert!(
+                        lit.var().index() < scheme.num_vars.max(1) || p.is_empty(),
+                        "{id} k={k}"
+                    );
                 }
             }
             for clause in &scheme.structural {
                 for lit in clause {
-                    prop_assert!(lit.var().index() < scheme.num_vars);
+                    assert!(lit.var().index() < scheme.num_vars, "{id} k={k}");
                 }
             }
         }

@@ -1,7 +1,12 @@
 //! Property tests for the FPGA substrate: routing validity, conflict-graph
 //! consistency and verifier agreement on randomized fabrics and netlists.
+//!
+//! Cases come from a seeded deterministic driver (no external
+//! property-testing framework is available offline); failure messages carry
+//! the seed for exact replay.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use satroute::coloring::{dsatur_coloring, greedy_coloring};
 use satroute::fpga::{
@@ -9,45 +14,58 @@ use satroute::fpga::{
     RoutingProblem,
 };
 
-fn problem_strategy() -> impl proptest::strategy::Strategy<Value = RoutingProblem> {
-    (2u16..7, 2u16..6, 2usize..14, 0u64..500).prop_map(|(w, h, nets, seed)| {
-        let arch = Architecture::new(w, h).expect("non-empty grid");
-        // Keep within the pin budget: each net needs at most 4 pins.
-        let max_nets = (arch.num_blocks() * 4) / 4;
-        let nets = nets.min(max_nets.max(1));
-        let netlist = Netlist::random(&arch, nets, 2..=4, seed).expect("pins suffice");
-        let routing = GlobalRouter::new().route(&arch, &netlist).expect("routes");
-        RoutingProblem::new(arch, netlist, routing)
-    })
+fn random_problem(seed: u64) -> RoutingProblem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let w = rng.gen_range(2u16..7);
+    let h = rng.gen_range(2u16..6);
+    let nets = rng.gen_range(2usize..14);
+    let netlist_seed = rng.gen_range(0u64..500);
+    let arch = Architecture::new(w, h).expect("non-empty grid");
+    // Keep within the pin budget: each net needs at most 4 pins.
+    let max_nets = (arch.num_blocks() * 4) / 4;
+    let nets = nets.min(max_nets.max(1));
+    let netlist = Netlist::random(&arch, nets, 2..=4, netlist_seed).expect("pins suffice");
+    let routing = GlobalRouter::new().route(&arch, &netlist).expect("routes");
+    RoutingProblem::new(arch, netlist, routing)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: u64 = 48;
 
-    #[test]
-    fn global_routes_always_validate(p in problem_strategy()) {
-        prop_assert!(p.global_routing().validate(p.arch()).is_ok());
+#[test]
+fn global_routes_always_validate() {
+    for seed in 0..CASES {
+        let p = random_problem(seed);
+        assert!(p.global_routing().validate(p.arch()).is_ok(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn conflict_graph_edges_mean_shared_segments(p in problem_strategy()) {
+#[test]
+fn conflict_graph_edges_mean_shared_segments() {
+    for seed in 0..CASES {
+        let p = random_problem(seed);
         let g = p.conflict_graph();
-        prop_assert_eq!(g.num_vertices(), p.num_subnets());
+        assert_eq!(g.num_vertices(), p.num_subnets(), "seed {seed}");
         for (a, b) in g.edges() {
-            prop_assert!(
+            assert!(
                 !p.shared_segments(a as usize, b as usize).is_empty(),
-                "edge without a shared segment"
+                "seed {seed}: edge without a shared segment"
             );
         }
     }
+}
 
-    #[test]
-    fn proper_colorings_verify_and_improper_ones_fail(p in problem_strategy()) {
+#[test]
+fn proper_colorings_verify_and_improper_ones_fail() {
+    for seed in 0..CASES {
+        let p = random_problem(seed);
         let g = p.conflict_graph();
         let coloring = dsatur_coloring(&g);
         let width = coloring.max_color().map_or(1, |m| m + 1);
         let routing = DetailedRouting::from_tracks(coloring.colors().to_vec());
-        prop_assert!(p.verify_detailed_routing(&routing, width).is_ok());
+        assert!(
+            p.verify_detailed_routing(&routing, width).is_ok(),
+            "seed {seed}"
+        );
 
         // Corrupt the first edge, if any.
         let first_edge = g.edges().next();
@@ -55,12 +73,18 @@ proptest! {
             let mut tracks = coloring.colors().to_vec();
             tracks[b as usize] = tracks[a as usize];
             let bad = DetailedRouting::from_tracks(tracks);
-            prop_assert!(p.verify_detailed_routing(&bad, width).is_err());
+            assert!(
+                p.verify_detailed_routing(&bad, width).is_err(),
+                "seed {seed}"
+            );
         }
     }
+}
 
-    #[test]
-    fn congestion_lower_bounds_the_clique(p in problem_strategy()) {
+#[test]
+fn congestion_lower_bounds_the_clique() {
+    for seed in 0..CASES {
+        let p = random_problem(seed);
         // Nets sharing one segment form a clique in the conflict graph, so
         // max segment congestion (distinct nets) can exceed the *greedy*
         // clique but never the chromatic upper bound + slack... we assert
@@ -69,44 +93,53 @@ proptest! {
         let g = p.conflict_graph();
         let congestion = p.global_routing().max_segment_congestion(p.arch());
         let chromatic_upper = greedy_coloring(&g).num_colors();
-        prop_assert!(congestion <= chromatic_upper.max(1) + g.num_vertices());
+        assert!(
+            congestion <= chromatic_upper.max(1) + g.num_vertices(),
+            "seed {seed}"
+        );
         // And a routing with fewer tracks than segment congestion can never
         // verify: pick width = congestion - 1 and show SAT-side is bounded.
         if congestion >= 2 {
             let width = congestion as u32 - 1;
             // all-zero tracks must fail (two distinct nets share a segment)
             let zero = DetailedRouting::from_tracks(vec![0; p.num_subnets()]);
-            prop_assert!(p.verify_detailed_routing(&zero, width.max(1)).is_err());
+            assert!(
+                p.verify_detailed_routing(&zero, width.max(1)).is_err(),
+                "seed {seed}"
+            );
         }
     }
+}
 
-    #[test]
-    fn decomposition_styles_cover_all_terminals(p in problem_strategy()) {
+#[test]
+fn decomposition_styles_cover_all_terminals() {
+    for seed in 0..CASES {
+        let p = random_problem(seed);
         for style in [DecompositionStyle::Star, DecompositionStyle::Chain] {
             let subnets = decompose(p.netlist(), style);
-            let expected: usize = p
-                .netlist()
-                .iter()
-                .map(|(_, n)| n.num_terminals() - 1)
-                .sum();
-            prop_assert_eq!(subnets.len(), expected);
+            let expected: usize = p.netlist().iter().map(|(_, n)| n.num_terminals() - 1).sum();
+            assert_eq!(subnets.len(), expected, "seed {seed}");
             for s in &subnets {
-                prop_assert!(p.arch().contains_block(s.from.x, s.from.y));
-                prop_assert!(p.arch().contains_block(s.to.x, s.to.y));
+                assert!(p.arch().contains_block(s.from.x, s.from.y), "seed {seed}");
+                assert!(p.arch().contains_block(s.to.x, s.to.y), "seed {seed}");
             }
         }
     }
+}
 
-    #[test]
-    fn segment_indexing_is_a_bijection(w in 1u16..9, h in 1u16..9) {
-        let arch = Architecture::new(w, h).expect("non-empty");
-        let mut seen = std::collections::HashSet::new();
-        for s in arch.segments() {
-            let idx = arch.segment_index(s);
-            prop_assert!(idx < arch.num_segments());
-            prop_assert!(seen.insert(idx), "duplicate index {idx}");
-            prop_assert_eq!(arch.segment_at(idx), s);
+#[test]
+fn segment_indexing_is_a_bijection() {
+    for w in 1u16..9 {
+        for h in 1u16..9 {
+            let arch = Architecture::new(w, h).expect("non-empty");
+            let mut seen = std::collections::HashSet::new();
+            for s in arch.segments() {
+                let idx = arch.segment_index(s);
+                assert!(idx < arch.num_segments(), "{w}x{h}");
+                assert!(seen.insert(idx), "{w}x{h}: duplicate index {idx}");
+                assert_eq!(arch.segment_at(idx), s, "{w}x{h}");
+            }
+            assert_eq!(seen.len(), arch.num_segments(), "{w}x{h}");
         }
-        prop_assert_eq!(seen.len(), arch.num_segments());
     }
 }

@@ -1,0 +1,223 @@
+//! Integration tests for the run-control subsystem: budgets, cancellation
+//! and the solver event stream, exercised through the public `satroute`
+//! facade exactly as an embedding application would.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use satroute::coloring::{dsatur_coloring, random_graph, CspGraph};
+use satroute::core::{run_portfolio_with, ColoringOutcome, Strategy};
+use satroute::solver::SolverConfig;
+use satroute::{CancellationToken, RunBudget, RunObserver, SolverEvent, StopReason};
+
+/// A graph-coloring instance hard enough that no strategy decides it
+/// within the test budgets: a random graph with `k` between the greedy
+/// clique (no cheap UNSAT certificate) and the DSATUR upper bound (no
+/// cheap coloring), the classic hard region.
+fn hard_instance() -> (CspGraph, u32) {
+    let g = random_graph(70, 0.5, 0xC0FFEE);
+    let clique = g.greedy_clique().len() as u32;
+    let upper = dsatur_coloring(&g).max_color().map_or(1, |m| m + 1);
+    assert!(clique + 2 < upper, "instance not in the hard region");
+    (g, (clique + upper) / 2)
+}
+
+#[test]
+fn wall_deadline_returns_unknown_within_tolerance() {
+    let (g, k) = hard_instance();
+    let budget = RunBudget::new().with_wall(Duration::from_millis(300));
+    let start = Instant::now();
+    let report = Strategy::paper_best().solve(&g, k).budget(budget).run();
+    let elapsed = start.elapsed();
+
+    assert_eq!(
+        report.outcome,
+        ColoringOutcome::Unknown(StopReason::Deadline),
+        "hard instance must hit the wall budget"
+    );
+    assert_eq!(report.metrics.stop_reason, Some(StopReason::Deadline));
+    // Budgets are polled at conflict boundaries, so overshoot is bounded
+    // but nonzero; a whole extra second would mean polling is broken.
+    assert!(
+        elapsed < Duration::from_millis(300) + Duration::from_secs(1),
+        "stopped {elapsed:?} after a 300 ms budget"
+    );
+    assert!(
+        report.metrics.wall_time >= Duration::from_millis(250),
+        "solver gave up early: {:?}",
+        report.metrics.wall_time
+    );
+}
+
+/// The issue's acceptance criterion: a portfolio under a 2 s wall budget
+/// on an oversized instance terminates within 2.5 s, with
+/// `StopReason::Deadline` for every undecided member.
+#[test]
+fn portfolio_under_wall_budget_terminates_with_deadline_members() {
+    let (g, k) = hard_instance();
+    let strategies = Strategy::paper_portfolio_3();
+    let budget = RunBudget::new().with_wall(Duration::from_secs(2));
+
+    let start = Instant::now();
+    let result = run_portfolio_with(&g, k, &strategies, &SolverConfig::default(), budget, None);
+    let elapsed = start.elapsed();
+
+    assert!(
+        elapsed <= Duration::from_millis(2500),
+        "portfolio took {elapsed:?} against a 2 s budget"
+    );
+    assert_eq!(result.members.len(), strategies.len());
+    assert!(
+        !result.is_decided(),
+        "instance is meant to be undecidable in 2 s"
+    );
+    for member in &result.members {
+        assert_eq!(
+            member.stop_reason(),
+            Some(StopReason::Deadline),
+            "{}: every undecided member must report the shared deadline",
+            member.strategy
+        );
+        // Losers keep their partial work counters.
+        assert!(
+            member.report.solver_stats.conflicts > 0 || member.report.solver_stats.decisions > 0
+        );
+    }
+}
+
+#[test]
+fn cancellation_mid_solve_stops_every_portfolio_member() {
+    let (g, k) = hard_instance();
+    let strategies = Strategy::paper_portfolio_3();
+    let token = CancellationToken::new();
+
+    let canceller = {
+        let token = token.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(150));
+            token.cancel();
+        })
+    };
+
+    let start = Instant::now();
+    let result = run_portfolio_with(
+        &g,
+        k,
+        &strategies,
+        &SolverConfig::default(),
+        RunBudget::default(),
+        Some(token),
+    );
+    let elapsed = start.elapsed();
+    canceller.join().unwrap();
+
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "cancellation ignored: portfolio ran {elapsed:?}"
+    );
+    assert!(!result.is_decided());
+    for member in &result.members {
+        assert_eq!(
+            member.stop_reason(),
+            Some(StopReason::Cancelled),
+            "{}: member must observe the external token",
+            member.strategy
+        );
+    }
+}
+
+/// Records every event for post-hoc order checking.
+#[derive(Default)]
+struct EventLog {
+    events: Mutex<Vec<SolverEvent>>,
+}
+
+impl RunObserver for EventLog {
+    fn on_event(&self, event: &SolverEvent) {
+        self.events.lock().unwrap().push(*event);
+    }
+}
+
+/// Property test: over seeded random graphs, the observer stream obeys the
+/// grammar `Started (Restart | Reduce | Progress)* Finished` with monotone
+/// counters.
+#[test]
+fn observer_events_arrive_in_valid_order() {
+    for seed in 0..8u64 {
+        let g = random_graph(16, 0.5, seed);
+        let upper = dsatur_coloring(&g).max_color().map_or(1, |m| m + 1);
+        // Probing just below the upper bound keeps a mix of SAT and UNSAT
+        // runs with enough conflicts to restart at least occasionally.
+        let k = upper.saturating_sub(1).max(1);
+
+        let log = std::sync::Arc::new(EventLog::default());
+        let report = Strategy::paper_baseline()
+            .solve(&g, k)
+            .observe(log.clone())
+            .run();
+        assert!(report.outcome.is_decided(), "seed {seed}: tiny instance");
+
+        let events = log.events.lock().unwrap();
+        assert!(events.len() >= 2, "seed {seed}: missing bracket events");
+        assert!(
+            matches!(events.first(), Some(SolverEvent::Started { .. })),
+            "seed {seed}: first event must be Started"
+        );
+        assert!(
+            matches!(events.last(), Some(SolverEvent::Finished { .. })),
+            "seed {seed}: last event must be Finished"
+        );
+
+        let mut last_restart = 0u64;
+        let mut last_progress_conflicts = 0u64;
+        for (i, event) in events.iter().enumerate() {
+            match event {
+                SolverEvent::Started { .. } => {
+                    assert_eq!(i, 0, "seed {seed}: Started mid-stream")
+                }
+                SolverEvent::Finished { verdict, .. } => {
+                    assert_eq!(i, events.len() - 1, "seed {seed}: Finished mid-stream");
+                    assert!(verdict.stop_reason().is_none(), "seed {seed}: decided run");
+                }
+                SolverEvent::Restart { restarts, .. } => {
+                    assert!(*restarts > last_restart, "seed {seed}: restart ordinal");
+                    last_restart = *restarts;
+                }
+                SolverEvent::Progress { conflicts, .. } => {
+                    assert!(
+                        *conflicts >= last_progress_conflicts,
+                        "seed {seed}: progress conflicts must be monotone"
+                    );
+                    last_progress_conflicts = *conflicts;
+                }
+                SolverEvent::Reduce {
+                    learnts_before,
+                    learnts_after,
+                    ..
+                } => {
+                    assert!(
+                        learnts_after <= learnts_before,
+                        "seed {seed}: reduction must not grow the database"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn conflict_cap_is_exact_and_reported() {
+    let (g, k) = hard_instance();
+    let budget = RunBudget::new().with_max_conflicts(500);
+    let report = Strategy::paper_baseline().solve(&g, k).budget(budget).run();
+    assert_eq!(
+        report.outcome,
+        ColoringOutcome::Unknown(StopReason::ConflictLimit)
+    );
+    // Integer caps are polled every conflict, so the overshoot is zero.
+    assert!(
+        report.solver_stats.conflicts <= 500,
+        "{} conflicts against a cap of 500",
+        report.solver_stats.conflicts
+    );
+}
