@@ -18,9 +18,41 @@ use std::time::{Duration, Instant};
 
 use satroute_bench::json::Value;
 use satroute_bench::{fmt_secs, fmt_speedup, metrics_json};
-use satroute_core::{simulate_portfolio, SimulatedPortfolio, Strategy};
+use satroute_core::{
+    run_portfolio_opts, simulate_portfolio, EncodingId, PortfolioOptions, PortfolioResult,
+    SimulatedPortfolio, Strategy, SymmetryHeuristic,
+};
 use satroute_fpga::benchmarks;
-use satroute_solver::SolverConfig;
+use satroute_solver::{RunBudget, SharingConfig, SolverConfig};
+
+/// Members racing concurrently in the sharing experiment. Oversubscribed
+/// on a single-core container — OS time-slicing still interleaves the
+/// members enough for clauses to flow.
+const SHARING_THREADS: usize = 4;
+
+fn sharing_run(
+    graph: &satroute_coloring::CspGraph,
+    width: u32,
+    members: &[Strategy],
+    config: &SolverConfig,
+    share: bool,
+) -> PortfolioResult {
+    let mut opts = PortfolioOptions::new()
+        .with_max_threads(SHARING_THREADS)
+        .with_diversified_configs(true);
+    if share {
+        opts = opts.with_sharing(SharingConfig::default());
+    }
+    run_portfolio_opts(
+        graph,
+        width,
+        members,
+        config,
+        RunBudget::default(),
+        None,
+        &opts,
+    )
+}
 
 fn members_json(sim: &SimulatedPortfolio) -> Value {
     Value::array(sim.members.iter().map(|m| {
@@ -109,6 +141,68 @@ fn main() {
         }
     }
 
+    // Clause-sharing experiment: a 4-member diversified muldirect portfolio
+    // (identical CNF per member → sound sharing) on the routable widths,
+    // with sharing on versus off. Reports conflicts-to-answer and the
+    // export/import flow so sharing effectiveness is machine-checkable.
+    let muldirect = Strategy::new(EncodingId::Muldirect, SymmetryHeuristic::S1);
+    let members = Strategy::diversified(muldirect, 4);
+    if !json {
+        println!(
+            "\nClause sharing: 4x diversified {muldirect} ({SHARING_THREADS} threads), routable widths"
+        );
+        println!(
+            "{:<12} {:>6} {:>14} {:>14} {:>10} {:>10}",
+            "benchmark", "width", "conflicts", "conflicts", "exported", "imported"
+        );
+        println!(
+            "{:<12} {:>6} {:>14} {:>14} {:>10} {:>10}",
+            "", "", "(no sharing)", "(sharing)", "", ""
+        );
+    }
+    let mut sharing_rows: Vec<Value> = Vec::new();
+    let mut conflicts_solo = 0u64;
+    let mut conflicts_shared = 0u64;
+    let mut total_imported = 0u64;
+    for instance in &suite {
+        let width = instance.routable_width;
+        let g = &instance.conflict_graph;
+        let solo = sharing_run(g, width, &members, &config, false);
+        let shared = sharing_run(g, width, &members, &config, true);
+        assert!(solo.is_decided() && shared.is_decided());
+        conflicts_solo += solo.total_conflicts();
+        conflicts_shared += shared.total_conflicts();
+        total_imported += shared.total_imported();
+        if json {
+            sharing_rows.push(Value::object([
+                ("benchmark", Value::from(instance.name.as_str())),
+                ("width", Value::from(u64::from(width))),
+                ("no_sharing_conflicts", Value::from(solo.total_conflicts())),
+                ("sharing_conflicts", Value::from(shared.total_conflicts())),
+                ("exported_clauses", Value::from(shared.total_exported())),
+                ("imported_clauses", Value::from(shared.total_imported())),
+                (
+                    "no_sharing_wall_s",
+                    Value::from(solo.wall_time.as_secs_f64()),
+                ),
+                (
+                    "sharing_wall_s",
+                    Value::from(shared.wall_time.as_secs_f64()),
+                ),
+            ]));
+        } else {
+            println!(
+                "{:<12} {:>6} {:>14} {:>14} {:>10} {:>10}",
+                instance.name,
+                width,
+                solo.total_conflicts(),
+                shared.total_conflicts(),
+                shared.total_exported(),
+                shared.total_imported(),
+            );
+        }
+    }
+
     if json {
         let doc = Value::object([
             ("table", Value::from("portfolio")),
@@ -117,13 +211,30 @@ fn main() {
             ("total_single_s", Value::from(t_single.as_secs_f64())),
             ("total_portfolio2_s", Value::from(t_p2.as_secs_f64())),
             ("total_portfolio3_s", Value::from(t_p3.as_secs_f64())),
+            (
+                "sharing",
+                Value::object([
+                    ("strategy", Value::from(muldirect.to_string())),
+                    ("members", Value::from(members.len())),
+                    ("threads", Value::from(SHARING_THREADS)),
+                    ("rows", Value::Array(sharing_rows)),
+                    ("total_no_sharing_conflicts", Value::from(conflicts_solo)),
+                    ("total_sharing_conflicts", Value::from(conflicts_shared)),
+                    ("total_imported_clauses", Value::from(total_imported)),
+                ]),
+            ),
         ]);
         println!("{}", doc.to_json());
         return;
     }
 
     println!(
-        "{:<12} {:>12} {:>14} {:>14}",
+        "{:<12} {:>6} {:>14} {:>14} {:>10} {:>10}",
+        "Total", "", conflicts_solo, conflicts_shared, "", total_imported
+    );
+
+    println!(
+        "\n{:<12} {:>12} {:>14} {:>14}",
         "Total",
         fmt_secs(t_single),
         fmt_secs(t_p2),

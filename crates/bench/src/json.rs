@@ -138,14 +138,30 @@ impl From<f64> for Value {
 }
 
 impl From<u64> for Value {
+    /// # Panics
+    ///
+    /// Panics if `n` is not exactly representable as an `f64` (possible
+    /// above 2^53). Counts that large would silently round through the
+    /// `f64` document model; refusing mirrors the writer's panic-on-NaN
+    /// policy — never emit a value that doesn't round-trip.
     fn from(n: u64) -> Value {
+        // u128 comparison avoids the saturating f64→u64 cast, which would
+        // falsely accept u64::MAX (rounds up to 2^64, then saturates back).
+        assert!(
+            (n as f64) as u128 == n as u128,
+            "JSON number cannot exactly represent {n}"
+        );
         Value::Number(n as f64)
     }
 }
 
 impl From<usize> for Value {
+    /// # Panics
+    ///
+    /// Panics if `n` is not exactly representable as an `f64`; see
+    /// [`From<u64>`](#impl-From<u64>-for-Value).
     fn from(n: usize) -> Value {
-        Value::Number(n as f64)
+        Value::from(n as u64)
     }
 }
 
@@ -463,5 +479,47 @@ mod tests {
     #[should_panic(expected = "JSON cannot represent")]
     fn refuses_nan() {
         let _ = Value::Number(f64::NAN).to_json();
+    }
+
+    #[test]
+    #[should_panic(expected = "JSON cannot represent")]
+    fn refuses_infinity() {
+        let _ = Value::Number(f64::INFINITY).to_json();
+    }
+
+    #[test]
+    fn fractional_numbers_round_trip_exactly() {
+        for n in [0.1, -2.5, 1e-9, 1234.5678, 1.5e15, -0.0] {
+            let text = Value::Number(n).to_json();
+            let parsed = parse(&text).expect("valid number");
+            assert_eq!(parsed.as_f64(), Some(n), "{text}");
+        }
+    }
+
+    #[test]
+    fn large_integers_round_trip_exactly() {
+        // Above the writer's 1e15 pretty-print cutoff but still exactly
+        // representable: must survive write → parse bit-for-bit.
+        for n in [999_999_999_999_999_u64, 1 << 52, (1 << 53) - 1, 1 << 53] {
+            let v = Value::from(n);
+            let text = v.to_json();
+            let parsed = parse(&text).expect("valid number");
+            assert_eq!(parsed.as_f64(), Some(n as f64), "{text}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exactly represent")]
+    fn refuses_u64_that_would_round() {
+        // 2^53 + 1 is the smallest u64 that f64 silently rounds away.
+        let _ = Value::from((1u64 << 53) + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exactly represent")]
+    fn refuses_u64_max() {
+        // Regression: a round-trip check via a saturating f64→u64 cast
+        // falsely accepts u64::MAX; the u128 comparison must reject it.
+        let _ = Value::from(u64::MAX);
     }
 }

@@ -69,6 +69,8 @@ pub fn metrics_json(metrics: &RunMetrics) -> Value {
         ("restarts", Value::from(metrics.restarts)),
         ("reductions", Value::from(metrics.reductions)),
         ("learnt_clauses", Value::from(metrics.stats.learnt_clauses)),
+        ("exported_clauses", Value::from(metrics.exported_clauses())),
+        ("imported_clauses", Value::from(metrics.imported_clauses())),
         ("mean_lbd", Value::from(metrics.mean_lbd())),
         (
             "sat",

@@ -26,7 +26,9 @@
 //!   with the Table 2 time breakdown, configured through the
 //!   [`SolveRequest`] builder (budget, cancellation, observer).
 //! * [`portfolio`] — parallel first-answer-wins execution of several
-//!   strategies (§6), with per-member reports and a shared deadline.
+//!   strategies (§6), with per-member reports, a shared deadline, a
+//!   parallelism-aware thread cap, and optional learnt-clause sharing
+//!   between diversified same-strategy members.
 //! * [`pipeline`] — the full FPGA flow: global routing → conflict graph →
 //!   SAT → detailed routing / unroutability proof.
 //! * [`incremental`] — assumption-based incremental width search.
@@ -78,8 +80,9 @@ pub use pipeline::{
     PipelineError, RouteResult, RoutingPipeline, UnroutabilityCertificate, WidthSearch,
 };
 pub use portfolio::{
-    run_portfolio, run_portfolio_with, simulate_portfolio, simulate_portfolio_with, MemberReport,
-    PortfolioResult, SimulatedPortfolio,
+    run_portfolio, run_portfolio_opts, run_portfolio_with, simulate_portfolio,
+    simulate_portfolio_with, MemberReport, PortfolioOptions, PortfolioResult, SharingBus,
+    SimulatedPortfolio,
 };
 pub use scheme::SimpleScheme;
 pub use strategy::{ColoringOutcome, ColoringReport, SolveRequest, Strategy, TimingBreakdown};
@@ -88,6 +91,6 @@ pub use symmetry::SymmetryHeuristic;
 // Run-control vocabulary used throughout this crate's APIs, re-exported
 // so downstream code does not need a direct `satroute_solver` dependency.
 pub use satroute_solver::{
-    CancellationToken, MetricsRecorder, NullObserver, ProgressLogger, RunBudget, RunMetrics,
-    RunObserver, SolverEvent, StopReason,
+    CancellationToken, ClauseExchange, MetricsRecorder, NullObserver, PhaseInit, ProgressLogger,
+    RestartScheme, RunBudget, RunMetrics, RunObserver, SharingConfig, SolverEvent, StopReason,
 };

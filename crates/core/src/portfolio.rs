@@ -17,14 +17,36 @@
 //! the whole portfolio: a relative wall limit is converted to one shared
 //! absolute deadline, so members that start a few microseconds apart still
 //! race the same instant.
+//!
+//! Beyond racing, members can *cooperate*: [`run_portfolio_opts`] accepts
+//! [`PortfolioOptions`] that (a) cap the number of concurrently running
+//! members at the machine's parallelism (excess members are queued, so an
+//! N-member portfolio no longer degrades to a thread pile-up on a small
+//! box), (b) derive diversified solver configurations per member
+//! (seed/phase/restart-scheme variants of one base config), and (c) wire a
+//! [`SharingBus`] between members so learnt clauses flow between them.
+//! Sharing is restricted to members with the *same* strategy — same
+//! encoding, same symmetry breaking, and (implicitly, per call) the same
+//! `k` — because only then do two members solve the identical CNF, making
+//! a peer's learnt clause a sound addition. [`Strategy::diversified`]
+//! builds such same-strategy member lists.
 
-use std::sync::mpsc;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use satroute_cnf::Lit;
 use satroute_coloring::CspGraph;
-use satroute_solver::{CancellationToken, RunBudget, SolverConfig, StopReason};
+use satroute_solver::{
+    CancellationToken, ClauseExchange, RunBudget, SharingConfig, SolverConfig, StopReason,
+};
 
 use crate::strategy::{ColoringReport, Strategy};
+
+/// Maximum clauses a member's inbox holds; exports beyond this are dropped
+/// (a slow importer must not make peers buffer unboundedly).
+const INBOX_CAP: usize = 4096;
 
 /// One portfolio member's contribution: its strategy, its full report
 /// (partial if it was stopped), and its own wall time.
@@ -48,6 +70,16 @@ impl MemberReport {
     /// `true` if this member reached a SAT/UNSAT answer.
     pub fn is_decided(&self) -> bool {
         self.report.outcome.is_decided()
+    }
+
+    /// Learnt clauses this member exported to sharing peers.
+    pub fn exported_clauses(&self) -> u64 {
+        self.report.solver_stats.exported_clauses
+    }
+
+    /// Clauses this member imported from sharing peers.
+    pub fn imported_clauses(&self) -> u64 {
+        self.report.solver_stats.imported_clauses
     }
 }
 
@@ -86,6 +118,25 @@ impl PortfolioResult {
     pub fn strategy(&self) -> Option<Strategy> {
         self.winning_member().map(|m| m.strategy)
     }
+
+    /// Total conflicts across every member (the paper's "work" measure for
+    /// sharing-effectiveness comparisons).
+    pub fn total_conflicts(&self) -> u64 {
+        self.members
+            .iter()
+            .map(|m| m.report.solver_stats.conflicts)
+            .sum()
+    }
+
+    /// Total clauses exported to the sharing bus across members.
+    pub fn total_exported(&self) -> u64 {
+        self.members.iter().map(|m| m.exported_clauses()).sum()
+    }
+
+    /// Total clauses imported from the sharing bus across members.
+    pub fn total_imported(&self) -> u64 {
+        self.members.iter().map(|m| m.imported_clauses()).sum()
+    }
 }
 
 /// Runs `strategies` in parallel on the K-coloring problem of `graph` and
@@ -121,11 +172,17 @@ pub fn run_portfolio(
 /// [`CancellationToken`].
 ///
 /// A relative wall limit (`budget.wall`) is resolved once, at launch, into
-/// an absolute deadline shared by all members; each member additionally
-/// honours the budget's conflict/decision/memory caps individually.
-/// Cancelling `cancel` (from any thread) stops every member at its next
-/// poll point; the same token is used internally to stop losers once a
-/// winner is known.
+/// an absolute deadline shared by all members; if the caller also supplied
+/// an absolute `deadline_at`, the *earlier* of the two wins. Each member
+/// additionally honours the budget's conflict/decision/memory caps
+/// individually. Cancelling `cancel` (from any thread) stops every member
+/// at its next poll point; the same token is used internally to stop
+/// losers once a winner is known.
+///
+/// Concurrency is capped at [`std::thread::available_parallelism`];
+/// members beyond the cap are queued and start as workers free up (use
+/// [`run_portfolio_opts`] with [`PortfolioOptions::with_max_threads`] to
+/// override, and for clause sharing / diversification).
 pub fn run_portfolio_with(
     graph: &CspGraph,
     k: u32,
@@ -134,30 +191,274 @@ pub fn run_portfolio_with(
     budget: RunBudget,
     cancel: Option<CancellationToken>,
 ) -> PortfolioResult {
+    run_portfolio_opts(
+        graph,
+        k,
+        strategies,
+        config,
+        budget,
+        cancel,
+        &PortfolioOptions::default(),
+    )
+}
+
+/// Execution options for [`run_portfolio_opts`]: thread cap, clause
+/// sharing, and per-member configuration diversification.
+///
+/// # Examples
+///
+/// ```
+/// use satroute_core::PortfolioOptions;
+/// use satroute_solver::SharingConfig;
+///
+/// let opts = PortfolioOptions::new()
+///     .with_max_threads(4)
+///     .with_sharing(SharingConfig::default())
+///     .with_diversified_configs(true);
+/// assert_eq!(opts.max_threads, Some(4));
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PortfolioOptions {
+    /// Cap on concurrently running members. `None` (the default) uses
+    /// [`std::thread::available_parallelism`]. Members beyond the cap are
+    /// queued and claimed by workers as slots free up; a queued member
+    /// still races the same shared deadline and cancellation token, so it
+    /// reports [`StopReason::Deadline`] / [`StopReason::Cancelled`] with
+    /// zero work if the race ends before it starts.
+    pub max_threads: Option<usize>,
+    /// When set, members sharing a strategy exchange learnt clauses
+    /// filtered by this configuration (see [`SharingBus`]).
+    pub sharing: Option<SharingConfig>,
+    /// When `true`, member `i` runs
+    /// [`SolverConfig::diversified`]`(i)` of the base configuration
+    /// instead of the base itself (member 0 keeps the base).
+    pub diversify: bool,
+}
+
+impl PortfolioOptions {
+    /// Default options: parallelism-capped threads, no sharing, no
+    /// diversification — the classic heterogeneous race.
+    pub fn new() -> Self {
+        PortfolioOptions::default()
+    }
+
+    /// Caps concurrently running members at `n` (clamped to at least 1).
+    pub fn with_max_threads(mut self, n: usize) -> Self {
+        self.max_threads = Some(n.max(1));
+        self
+    }
+
+    /// Enables learnt-clause sharing among same-strategy members.
+    pub fn with_sharing(mut self, sharing: SharingConfig) -> Self {
+        self.sharing = Some(sharing);
+        self
+    }
+
+    /// Enables per-member configuration diversification.
+    pub fn with_diversified_configs(mut self, diversify: bool) -> Self {
+        self.diversify = diversify;
+        self
+    }
+}
+
+/// One member's inbox on the [`SharingBus`].
+#[derive(Debug, Default)]
+struct Inbox {
+    clauses: Mutex<Vec<Vec<Lit>>>,
+}
+
+/// A member's view of the bus: its own inbox to drain plus every sharing
+/// peer's inbox to push exports into.
+#[derive(Debug)]
+struct BusEndpoint {
+    mine: Arc<Inbox>,
+    peers: Vec<Arc<Inbox>>,
+}
+
+impl ClauseExchange for BusEndpoint {
+    fn export(&self, lits: &[Lit], _lbd: u32) {
+        for peer in &self.peers {
+            let mut queue = peer.clauses.lock().expect("inbox lock never poisoned");
+            // Drop on overflow: losing a shared clause is always sound
+            // (sharing is an accelerator, not a correctness mechanism).
+            if queue.len() < INBOX_CAP {
+                queue.push(lits.to_vec());
+            }
+        }
+    }
+
+    fn drain(&self) -> Vec<Vec<Lit>> {
+        std::mem::take(&mut *self.mine.clauses.lock().expect("inbox lock never poisoned"))
+    }
+}
+
+/// Per-member clause mailboxes connecting same-strategy portfolio members.
+///
+/// The bus groups members by their full [`Strategy`] — encoding *and*
+/// symmetry heuristic. Two members share clauses only within a group,
+/// because only members running the identical encoding pipeline on the
+/// same `(graph, k)` instance produce the same CNF over the same variable
+/// numbering; a learnt clause is a consequence of that CNF and therefore
+/// sound to add at any peer in the group. Members whose strategy appears
+/// once get no exchange at all (no peers — nothing to share).
+///
+/// Exports are pushed into each peer's bounded inbox at conflict
+/// boundaries; each member drains its own inbox at restart boundaries.
+#[derive(Debug)]
+pub struct SharingBus {
+    endpoints: Vec<Option<Arc<BusEndpoint>>>,
+}
+
+impl SharingBus {
+    /// Builds a bus for `strategies`, connecting equal strategies.
+    pub fn for_strategies(strategies: &[Strategy]) -> SharingBus {
+        let mut groups: HashMap<Strategy, Vec<usize>> = HashMap::new();
+        for (idx, s) in strategies.iter().enumerate() {
+            groups.entry(*s).or_default().push(idx);
+        }
+        let inboxes: Vec<Arc<Inbox>> = (0..strategies.len())
+            .map(|_| Arc::new(Inbox::default()))
+            .collect();
+        let mut endpoints: Vec<Option<Arc<BusEndpoint>>> = vec![None; strategies.len()];
+        for group in groups.values() {
+            if group.len() < 2 {
+                continue;
+            }
+            for &member in group {
+                let peers = group
+                    .iter()
+                    .filter(|&&other| other != member)
+                    .map(|&other| Arc::clone(&inboxes[other]))
+                    .collect();
+                endpoints[member] = Some(Arc::new(BusEndpoint {
+                    mine: Arc::clone(&inboxes[member]),
+                    peers,
+                }));
+            }
+        }
+        SharingBus { endpoints }
+    }
+
+    /// The exchange endpoint for `member`, or `None` when the member has
+    /// no same-strategy peer.
+    pub fn exchange(&self, member: usize) -> Option<Arc<dyn ClauseExchange>> {
+        self.endpoints
+            .get(member)
+            .and_then(|e| e.clone())
+            .map(|e| e as Arc<dyn ClauseExchange>)
+    }
+
+    /// Number of members connected to at least one peer.
+    pub fn sharing_members(&self) -> usize {
+        self.endpoints.iter().filter(|e| e.is_some()).count()
+    }
+}
+
+/// The machine's available parallelism (1 if it cannot be queried).
+fn default_thread_cap() -> usize {
+    std::thread::available_parallelism().map_or(1, |p| p.get())
+}
+
+/// Runs a portfolio with full control over threading, sharing and
+/// diversification — the general form of [`run_portfolio_with`].
+///
+/// At most `opts.max_threads` members run concurrently (default: the
+/// machine's parallelism); remaining members queue and are claimed by idle
+/// workers. When `opts.sharing` is set, a [`SharingBus`] connects members
+/// with equal strategies. When `opts.diversify` is set, member `i` runs
+/// [`SolverConfig::diversified`]`(i)` of `config`.
+///
+/// # Examples
+///
+/// A 4-member diversified sharing portfolio of the paper's best strategy:
+///
+/// ```
+/// use satroute_coloring::random_graph;
+/// use satroute_core::{run_portfolio_opts, PortfolioOptions, Strategy};
+/// use satroute_solver::{RunBudget, SharingConfig, SolverConfig};
+///
+/// let g = random_graph(12, 0.5, 7);
+/// let members = Strategy::diversified(Strategy::paper_best(), 4);
+/// let opts = PortfolioOptions::new()
+///     .with_sharing(SharingConfig::default())
+///     .with_diversified_configs(true);
+/// let result = run_portfolio_opts(
+///     &g,
+///     4,
+///     &members,
+///     &SolverConfig::default(),
+///     RunBudget::default(),
+///     None,
+///     &opts,
+/// );
+/// assert!(result.is_decided());
+/// ```
+#[allow(clippy::too_many_arguments)]
+pub fn run_portfolio_opts(
+    graph: &CspGraph,
+    k: u32,
+    strategies: &[Strategy],
+    config: &SolverConfig,
+    budget: RunBudget,
+    cancel: Option<CancellationToken>,
+    opts: &PortfolioOptions,
+) -> PortfolioResult {
     let start = Instant::now();
     // Convert a relative wall limit into one absolute deadline so members
-    // that start at slightly different times race the same instant.
+    // that start at slightly different times race the same instant. When
+    // the caller supplied an absolute deadline too, `RunBudget::deadline`
+    // resolves to the earlier of the two.
     let mut budget = budget;
     if let Some(deadline) = budget.deadline(start) {
         budget.deadline_at = Some(deadline);
         budget.wall = None;
     }
     let stop = cancel.unwrap_or_default();
+    let n = strategies.len();
+    let cap = opts
+        .max_threads
+        .unwrap_or_else(default_thread_cap)
+        .clamp(1, n.max(1));
+    let bus = opts.sharing.map(|_| SharingBus::for_strategies(strategies));
+    let configs: Vec<SolverConfig> = (0..n as u64)
+        .map(|i| {
+            if opts.diversify {
+                config.diversified(i)
+            } else {
+                config.clone()
+            }
+        })
+        .collect();
     let (tx, rx) = mpsc::channel::<(usize, ColoringReport, Duration)>();
+    // A fixed worker pool claiming member indices from a shared counter:
+    // at most `cap` members run at once, the rest queue.
+    let next_member = AtomicUsize::new(0);
 
     std::thread::scope(|scope| {
-        for (idx, strategy) in strategies.iter().enumerate() {
+        for _ in 0..cap {
             let tx = tx.clone();
             let stop = stop.clone();
-            let config = config.clone();
-            scope.spawn(move || {
+            let next_member = &next_member;
+            let configs = &configs;
+            let bus = &bus;
+            let sharing = opts.sharing;
+            scope.spawn(move || loop {
+                let idx = next_member.fetch_add(1, Ordering::Relaxed);
+                if idx >= n {
+                    break;
+                }
                 let member_start = Instant::now();
-                let report = strategy
+                let mut request = strategies[idx]
                     .solve(graph, k)
-                    .config(config)
+                    .config(configs[idx].clone())
                     .budget(budget)
-                    .cancel(stop)
-                    .run();
+                    .cancel(stop.clone());
+                if let (Some(sharing), Some(bus)) = (sharing, bus) {
+                    if let Some(exchange) = bus.exchange(idx) {
+                        request = request.share(exchange, sharing);
+                    }
+                }
+                let report = request.run();
                 // A send fails only if the receiver gave up; ignore.
                 let _ = tx.send((idx, report, member_start.elapsed()));
             });
@@ -183,7 +484,7 @@ pub fn run_portfolio_with(
         }
         let members: Vec<MemberReport> = slots
             .into_iter()
-            .map(|m| m.expect("every spawned member sends exactly one report"))
+            .map(|m| m.expect("every claimed member sends exactly one report"))
             .collect();
         PortfolioResult {
             winner,
@@ -322,6 +623,26 @@ impl Strategy {
         let mut p = Strategy::paper_portfolio_2();
         p.push(Strategy::new(IteLinear2Direct, S1));
         p
+    }
+
+    /// `n` copies of `base` — the homogeneous portfolio shape used for
+    /// diversified clause-sharing runs.
+    ///
+    /// Every copy encodes the identical CNF, so a [`SharingBus`] connects
+    /// all members, and [`PortfolioOptions::with_diversified_configs`]
+    /// makes them explore differently (seeds, phases, restarts).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use satroute_core::Strategy;
+    ///
+    /// let members = Strategy::diversified(Strategy::paper_best(), 4);
+    /// assert_eq!(members.len(), 4);
+    /// assert!(members.iter().all(|m| *m == members[0]));
+    /// ```
+    pub fn diversified(base: Strategy, n: usize) -> Vec<Strategy> {
+        vec![base; n]
     }
 }
 
@@ -484,5 +805,148 @@ mod tests {
         let p3 = Strategy::paper_portfolio_3();
         assert_eq!(p3.len(), 3);
         assert_eq!(&p3[..2], &p2[..]);
+    }
+
+    #[test]
+    fn caller_deadline_earlier_than_wall_wins() {
+        // Regression: a caller-supplied absolute `deadline_at` that fires
+        // before the relative `wall` must not be clobbered at launch.
+        let g = random_graph(30, 0.6, 5);
+        let budget = RunBudget::new()
+            .with_wall(Duration::from_secs(3600))
+            .with_deadline_at(Instant::now());
+        let start = Instant::now();
+        let result = run_portfolio_with(
+            &g,
+            9,
+            &Strategy::paper_portfolio_2(),
+            &SolverConfig::default(),
+            budget,
+            None,
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(60),
+            "expired deadline_at must win over a huge wall limit"
+        );
+        for member in &result.members {
+            assert_eq!(member.stop_reason(), Some(StopReason::Deadline));
+        }
+    }
+
+    #[test]
+    fn wall_earlier_than_caller_deadline_wins() {
+        let g = random_graph(30, 0.6, 5);
+        let budget = RunBudget::new()
+            .with_wall(Duration::ZERO)
+            .with_deadline_at(Instant::now() + Duration::from_secs(3600));
+        let start = Instant::now();
+        let result = run_portfolio_with(
+            &g,
+            9,
+            &Strategy::paper_portfolio_2(),
+            &SolverConfig::default(),
+            budget,
+            None,
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(60),
+            "zero wall must win over a distant deadline_at"
+        );
+        for member in &result.members {
+            assert_eq!(member.stop_reason(), Some(StopReason::Deadline));
+        }
+    }
+
+    #[test]
+    fn thread_cap_queues_members_without_losing_reports() {
+        // Six members, one worker: members run strictly sequentially and
+        // every one still reports. The single worker runs member 0 first,
+        // so its (decided) report is received first and it wins; queued
+        // members either get cancelled or — if the worker reaches them
+        // before the cancel is processed — decide too. None may vanish.
+        let g = random_graph(10, 0.5, 3);
+        let chi = exact::chromatic_number(&g);
+        let members = Strategy::diversified(Strategy::paper_best(), 6);
+        let opts = PortfolioOptions::new().with_max_threads(1);
+        let result = run_portfolio_opts(
+            &g,
+            chi,
+            &members,
+            &SolverConfig::default(),
+            RunBudget::default(),
+            None,
+            &opts,
+        );
+        assert!(result.is_decided());
+        assert_eq!(result.members.len(), 6);
+        assert_eq!(result.winner, Some(0), "sequential run: member 0 decides");
+        for member in &result.members[1..] {
+            assert!(
+                member.is_decided() || member.stop_reason() == Some(StopReason::Cancelled),
+                "queued member must decide or observe the winner's cancel, got {:?}",
+                member.report.outcome
+            );
+        }
+    }
+
+    #[test]
+    fn sharing_bus_connects_only_equal_strategies() {
+        let mut strategies = Strategy::paper_portfolio_3();
+        strategies.extend(Strategy::diversified(Strategy::paper_best(), 2));
+        // paper_portfolio_3()[0] IS paper_best(), so the bus group for
+        // paper_best has 3 members; the other two strategies are singletons.
+        let bus = SharingBus::for_strategies(&strategies);
+        assert_eq!(bus.sharing_members(), 3);
+        assert!(bus.exchange(0).is_some());
+        assert!(bus.exchange(1).is_none());
+        assert!(bus.exchange(2).is_none());
+        assert!(bus.exchange(3).is_some());
+        assert!(bus.exchange(4).is_some());
+        assert!(bus.exchange(5).is_none(), "out of range is a no-op");
+    }
+
+    #[test]
+    fn sharing_bus_routes_exports_to_peers_only() {
+        let strategies = Strategy::diversified(Strategy::paper_best(), 3);
+        let bus = SharingBus::for_strategies(&strategies);
+        let a = bus.exchange(0).expect("connected");
+        let b = bus.exchange(1).expect("connected");
+        let c = bus.exchange(2).expect("connected");
+        let clause = vec![Lit::from_dimacs(1), Lit::from_dimacs(-2)];
+        a.export(&clause, 2);
+        assert!(a.drain().is_empty(), "no self-delivery");
+        assert_eq!(b.drain(), vec![clause.clone()]);
+        assert_eq!(c.drain(), vec![clause]);
+        assert!(b.drain().is_empty(), "drain empties the inbox");
+    }
+
+    #[test]
+    fn diversified_sharing_portfolio_agrees_with_oracle() {
+        let g = random_graph(10, 0.5, 9);
+        let chi = exact::chromatic_number(&g);
+        let members = Strategy::diversified(Strategy::paper_best(), 4);
+        let opts = PortfolioOptions::new()
+            .with_max_threads(4)
+            .with_sharing(SharingConfig::default())
+            .with_diversified_configs(true);
+        for k in [chi - 1, chi] {
+            let result = run_portfolio_opts(
+                &g,
+                k,
+                &members,
+                &SolverConfig::default(),
+                RunBudget::default(),
+                None,
+                &opts,
+            );
+            match &result.report().expect("decides").outcome {
+                ColoringOutcome::Colorable(c) => {
+                    assert_eq!(k, chi);
+                    assert!(c.is_proper(&g));
+                }
+                ColoringOutcome::Unsat => assert_eq!(k, chi - 1),
+                other => panic!("expected a decision, got {other:?}"),
+            }
+        }
     }
 }

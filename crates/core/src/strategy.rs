@@ -20,8 +20,8 @@ use std::time::{Duration, Instant};
 use satroute_cnf::FormulaStats;
 use satroute_coloring::{Coloring, CspGraph};
 use satroute_solver::{
-    CancellationToken, CdclSolver, FanoutObserver, MetricsRecorder, RunBudget, RunMetrics,
-    RunObserver, SolveOutcome, SolverConfig, SolverStats, StopReason,
+    CancellationToken, CdclSolver, ClauseExchange, FanoutObserver, MetricsRecorder, RunBudget,
+    RunMetrics, RunObserver, SharingConfig, SolveOutcome, SolverConfig, SolverStats, StopReason,
 };
 
 use crate::catalog::EncodingId;
@@ -168,6 +168,7 @@ impl Strategy {
             budget: RunBudget::default(),
             cancel: None,
             observer: None,
+            exchange: None,
         }
     }
 
@@ -216,6 +217,7 @@ pub struct SolveRequest<'a> {
     budget: RunBudget,
     cancel: Option<CancellationToken>,
     observer: Option<Arc<dyn RunObserver>>,
+    exchange: Option<(Arc<dyn ClauseExchange>, SharingConfig)>,
 }
 
 impl fmt::Debug for SolveRequest<'_> {
@@ -226,6 +228,7 @@ impl fmt::Debug for SolveRequest<'_> {
             .field("budget", &self.budget)
             .field("cancelled", &self.cancel.as_ref().map(|c| c.is_cancelled()))
             .field("observed", &self.observer.is_some())
+            .field("shared", &self.exchange.is_some())
             .finish_non_exhaustive()
     }
 }
@@ -258,6 +261,19 @@ impl<'a> SolveRequest<'a> {
     /// internally recorded metrics.
     pub fn observe(mut self, observer: Arc<dyn RunObserver>) -> Self {
         self.observer = Some(observer);
+        self
+    }
+
+    /// Connects the underlying solver to a [`ClauseExchange`] for
+    /// learnt-clause sharing, with `sharing` as the export filter.
+    ///
+    /// The caller is responsible for the soundness contract: every clause
+    /// the exchange delivers must be entailed by the CNF this request
+    /// encodes — in practice, connect only runs of the *same* strategy on
+    /// the same `(graph, k)` instance (see
+    /// [`SharingBus`](crate::portfolio::SharingBus)).
+    pub fn share(mut self, exchange: Arc<dyn ClauseExchange>, sharing: SharingConfig) -> Self {
+        self.exchange = Some((exchange, sharing));
         self
     }
 
@@ -294,6 +310,9 @@ impl<'a> SolveRequest<'a> {
         solver.set_budget(self.budget);
         if let Some(token) = self.cancel {
             solver.set_cancellation(token);
+        }
+        if let Some((exchange, sharing)) = self.exchange {
+            solver.set_exchange(exchange, sharing);
         }
         solver.set_observer(observer);
         solver.add_formula(&encoded.formula);

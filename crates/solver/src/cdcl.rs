@@ -23,7 +23,10 @@ use crate::heap::VarHeap;
 use crate::luby::luby;
 use crate::outcome::SolveOutcome;
 use crate::proof::DratProof;
-use crate::run::{CancellationToken, RunBudget, RunObserver, SolverEvent, StopReason};
+use crate::run::{
+    CancellationToken, ClauseExchange, RunBudget, RunObserver, SharingConfig, SolverEvent,
+    StopReason,
+};
 
 /// Conflicts between cancellation-token polls.
 const CANCEL_POLL_INTERVAL: u64 = 256;
@@ -33,6 +36,37 @@ const DEADLINE_POLL_INTERVAL: u64 = 64;
 const DECISION_POLL_INTERVAL: u64 = 4096;
 /// Conflicts between [`SolverEvent::Progress`] emissions.
 const PROGRESS_INTERVAL: u64 = 1024;
+
+/// Initial phase (branching polarity) assigned to fresh variables.
+///
+/// Phase saving overwrites the initial phase as soon as a variable is
+/// unassigned by backtracking, so this knob steers only the early search —
+/// which is exactly what portfolio diversification needs: members that
+/// explore different corners of the assignment space first.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PhaseInit {
+    /// Every fresh variable starts `false` (MiniSat default).
+    #[default]
+    AllFalse,
+    /// Every fresh variable starts `true`.
+    AllTrue,
+    /// Per-variable pseudo-random phase derived from
+    /// [`SolverConfig::seed`]; deterministic and independent of the order
+    /// in which variables are introduced.
+    Random,
+}
+
+/// Restart schedule of the [`CdclSolver`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum RestartScheme {
+    /// Luby sequence times [`SolverConfig::restart_base`] (the classic
+    /// MiniSat schedule, and the default).
+    #[default]
+    Luby,
+    /// Geometric: `restart_base * factor^i` conflicts before restart `i`.
+    /// `Geometric(1.5)` is the pre-Luby MiniSat schedule.
+    Geometric(f64),
+}
 
 /// Tunable parameters of the [`CdclSolver`].
 #[derive(Clone, Debug)]
@@ -51,6 +85,16 @@ pub struct SolverConfig {
     pub learnt_growth: f64,
     /// Abort with [`SolveOutcome::Unknown`] after this many conflicts.
     pub max_conflicts: Option<u64>,
+    /// Diversification seed. `0` (the default) means "no diversification":
+    /// phases and activities are exactly the classic deterministic search.
+    /// Any other value perturbs the initial variable activities (a tiny
+    /// deterministic jitter that breaks VSIDS ties differently per seed)
+    /// and feeds [`PhaseInit::Random`].
+    pub seed: u64,
+    /// Initial branching polarity for fresh variables.
+    pub phase_init: PhaseInit,
+    /// Restart schedule.
+    pub restart_scheme: RestartScheme,
 }
 
 impl Default for SolverConfig {
@@ -62,8 +106,58 @@ impl Default for SolverConfig {
             learnt_ratio: 1.0 / 3.0,
             learnt_growth: 1.1,
             max_conflicts: None,
+            seed: 0,
+            phase_init: PhaseInit::AllFalse,
+            restart_scheme: RestartScheme::Luby,
         }
     }
+}
+
+impl SolverConfig {
+    /// Derives a deterministic variant of this configuration for portfolio
+    /// member `index`.
+    ///
+    /// Member 0 is the base configuration unchanged (so a diversified
+    /// portfolio always contains the classic search); members 1, 2, …
+    /// cycle through phase polarities, alternate Luby and geometric
+    /// restarts with varied bases, and get distinct nonzero seeds. Same
+    /// `(base, index)` always yields the same variant.
+    pub fn diversified(&self, index: u64) -> SolverConfig {
+        if index == 0 {
+            return self.clone();
+        }
+        let mut cfg = self.clone();
+        cfg.seed = splitmix64(self.seed ^ (0xD1CE << 16) ^ index);
+        cfg.phase_init = match index % 3 {
+            0 => PhaseInit::AllFalse,
+            1 => PhaseInit::AllTrue,
+            _ => PhaseInit::Random,
+        };
+        // Odd members restart faster (good on SAT instances, and frequent
+        // restarts mean frequent import points); even members keep Luby
+        // with a shifted base.
+        cfg.restart_scheme = if index % 2 == 1 {
+            RestartScheme::Geometric(1.3)
+        } else {
+            RestartScheme::Luby
+        };
+        cfg.restart_base = match index % 4 {
+            1 => 25,
+            2 => 150,
+            3 => 50,
+            _ => self.restart_base,
+        };
+        cfg
+    }
+}
+
+/// SplitMix64: a tiny, high-quality mixing function used for deterministic
+/// per-variable phase/activity diversification (no RNG state to carry).
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Counters describing the work a [`CdclSolver`] performed.
@@ -86,6 +180,13 @@ pub struct SolverStats {
     /// Sum of learnt-clause LBD (glue) values; divide by `learnt_clauses`
     /// for the mean.
     pub sum_lbd: u64,
+    /// Learnt clauses offered to a [`ClauseExchange`] (sharing enabled and
+    /// the clause passed the LBD/length filter).
+    pub exported_clauses: u64,
+    /// Clauses accepted from a [`ClauseExchange`] at restart boundaries
+    /// (after level-0 simplification; satisfied/tautological deliveries are
+    /// not counted).
+    pub imported_clauses: u64,
 }
 
 const NO_REASON: u32 = u32::MAX;
@@ -118,6 +219,19 @@ impl fmt::Debug for ObserverSlot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_tuple("ObserverSlot")
             .field(&self.0.as_ref().map(|_| "dyn RunObserver"))
+            .finish()
+    }
+}
+
+/// Holder for the optional clause exchange (same `Debug` story as
+/// [`ObserverSlot`]).
+#[derive(Clone, Default)]
+struct ExchangeSlot(Option<Arc<dyn ClauseExchange>>);
+
+impl fmt::Debug for ExchangeSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("ExchangeSlot")
+            .field(&self.0.as_ref().map(|_| "dyn ClauseExchange"))
             .finish()
     }
 }
@@ -176,6 +290,10 @@ pub struct CdclSolver {
     cancel: Option<CancellationToken>,
     budget: RunBudget,
     observer: ObserverSlot,
+    /// Mailbox to sharing peers plus the export filter, when this solver
+    /// participates in a sharing portfolio.
+    exchange: ExchangeSlot,
+    sharing: SharingConfig,
     /// Effective absolute deadline of the current solve, resolved from the
     /// budget when the solve starts.
     deadline: Option<Instant>,
@@ -230,6 +348,8 @@ impl CdclSolver {
             cancel: None,
             budget: RunBudget::default(),
             observer: ObserverSlot::default(),
+            exchange: ExchangeSlot::default(),
+            sharing: SharingConfig::default(),
             deadline: None,
             solve_start: None,
             lbd_ema: 0.0,
@@ -315,6 +435,36 @@ impl CdclSolver {
         self.observer = ObserverSlot(None);
     }
 
+    /// Connects this solver to a [`ClauseExchange`] for learnt-clause
+    /// sharing.
+    ///
+    /// Learnt clauses passing the `config` filter (LBD and length caps) are
+    /// exported at each conflict; peer clauses are imported at each restart
+    /// (and at solve start), where the trail is at decision level 0 so
+    /// watched literals can be set up on unassigned literals.
+    ///
+    /// The caller must guarantee every clause arriving through the exchange
+    /// is entailed by this solver's formula (see the [`ClauseExchange`]
+    /// soundness contract). Imports are skipped while DRAT proof logging is
+    /// enabled — a peer's clause need not be RUP-derivable step-by-step
+    /// from *this* solver's database, so accepting it would break the
+    /// proof.
+    pub fn set_exchange(&mut self, exchange: Arc<dyn ClauseExchange>, config: SharingConfig) {
+        self.exchange = ExchangeSlot(Some(exchange));
+        self.sharing = config;
+    }
+
+    /// Disconnects the clause exchange, if any.
+    pub fn clear_exchange(&mut self) {
+        self.exchange = ExchangeSlot(None);
+    }
+
+    /// Exponential moving average of learnt-clause LBD (0.95/0.05 mix,
+    /// seeded by the first learnt clause's LBD). 0 before any learning.
+    pub fn lbd_ema(&self) -> f64 {
+        self.lbd_ema
+    }
+
     #[inline]
     fn emit(&self, event: SolverEvent) {
         if let Some(obs) = &self.observer.0 {
@@ -338,6 +488,7 @@ impl CdclSolver {
         if self.assigns.len() >= n {
             return;
         }
+        let old_len = self.assigns.len();
         self.assigns.resize(n, UNDEF);
         self.level.resize(n, 0);
         self.reason.resize(n, NO_REASON);
@@ -345,6 +496,22 @@ impl CdclSolver {
         self.phase.resize(n, false);
         self.seen.resize(n, false);
         self.watches.resize(n * 2, Vec::new());
+        // Diversification: initial phase polarity, plus (for nonzero seeds)
+        // a tiny deterministic activity jitter that breaks VSIDS ties
+        // differently per seed. Both are keyed on the variable index, not
+        // on introduction order, so growing the formula incrementally does
+        // not change a variable's initial phase.
+        for v in old_len..n {
+            let h = splitmix64(self.config.seed ^ (v as u64).wrapping_mul(0x9E37_79B9));
+            self.phase[v] = match self.config.phase_init {
+                PhaseInit::AllFalse => false,
+                PhaseInit::AllTrue => true,
+                PhaseInit::Random => h & 1 == 1,
+            };
+            if self.config.seed != 0 {
+                self.activity[v] = (h >> 11) as f64 / (1u64 << 53) as f64 * 1e-6;
+            }
+        }
         self.order.grow(n);
         for v in 0..n as u32 {
             if self.assigns[v as usize] == UNDEF && !self.order.contains(v) {
@@ -483,10 +650,14 @@ impl CdclSolver {
             return SolveOutcome::Unsat;
         }
 
+        // Pick up anything peers shared before this solve began.
+        if !self.import_shared_clauses() {
+            return SolveOutcome::Unsat;
+        }
+
         let mut max_learnts = ((self.clauses.len() as f64) * self.config.learnt_ratio).max(1000.0);
         let mut restart_number: u64 = 1;
-        let mut conflicts_until_restart =
-            luby(restart_number).saturating_mul(self.config.restart_base);
+        let mut conflicts_until_restart = self.restart_interval(restart_number);
 
         loop {
             match self.search(assumptions, &mut conflicts_until_restart, &mut max_learnts) {
@@ -514,9 +685,14 @@ impl CdclSolver {
                         restarts: self.stats.restarts,
                         conflicts: self.stats.conflicts,
                     });
+                    // Restart boundaries are the import points: the trail
+                    // is at level 0, so peer clauses can be watched on
+                    // unassigned literals.
+                    if !self.import_shared_clauses() {
+                        return SolveOutcome::Unsat;
+                    }
                     restart_number += 1;
-                    conflicts_until_restart =
-                        luby(restart_number).saturating_mul(self.config.restart_base);
+                    conflicts_until_restart = self.restart_interval(restart_number);
                 }
                 SearchResult::Interrupted(reason) => {
                     self.backtrack(0);
@@ -549,6 +725,20 @@ impl CdclSolver {
                 } else {
                     0.95 * self.lbd_ema + 0.05 * f64::from(lbd)
                 };
+                // Offer glue clauses to sharing peers before the clause is
+                // consumed by `record_learnt`.
+                let exported = match &self.exchange.0 {
+                    Some(exchange)
+                        if lbd <= self.sharing.max_lbd && learnt.len() <= self.sharing.max_len =>
+                    {
+                        exchange.export(&learnt, lbd);
+                        true
+                    }
+                    _ => false,
+                };
+                if exported {
+                    self.stats.exported_clauses += 1;
+                }
                 self.backtrack(backtrack_level);
                 self.record_learnt(learnt);
                 self.decay_activities();
@@ -684,6 +874,104 @@ impl CdclSolver {
             }
         }
         None
+    }
+
+    /// Conflicts allotted before restart number `n` (1-based), per the
+    /// configured [`RestartScheme`].
+    fn restart_interval(&self, n: u64) -> u64 {
+        match self.config.restart_scheme {
+            RestartScheme::Luby => luby(n).saturating_mul(self.config.restart_base),
+            RestartScheme::Geometric(factor) => {
+                let base = self.config.restart_base.max(1) as f64;
+                let interval = base * factor.max(1.0).powi((n - 1).min(1024) as i32);
+                if interval >= u64::MAX as f64 {
+                    u64::MAX
+                } else {
+                    interval as u64
+                }
+            }
+        }
+    }
+
+    /// Drains the clause exchange and adds each delivered clause, with the
+    /// same level-0 normalization as [`CdclSolver::add_clause`]. Must be
+    /// called at decision level 0. Returns `false` if an imported clause
+    /// produced a top-level conflict — since imported clauses are entailed
+    /// by this solver's formula (the [`ClauseExchange`] contract), that
+    /// refutes the formula itself.
+    fn import_shared_clauses(&mut self) -> bool {
+        debug_assert_eq!(self.decision_level(), 0);
+        let Some(exchange) = self.exchange.0.clone() else {
+            return true;
+        };
+        // A peer's learnt clause need not be step-RUP over *this* solver's
+        // clause database, so importing while proof logging would record an
+        // uncheckable step; keep proofs self-contained instead.
+        if self.proof.is_some() {
+            return true;
+        }
+        let batch = exchange.drain();
+        if batch.is_empty() {
+            return self.ok;
+        }
+        let mut accepted = 0usize;
+        for lits in batch {
+            if !self.ok {
+                break;
+            }
+            let max_var = lits.iter().map(|l| l.var().index() + 1).max().unwrap_or(0);
+            self.ensure_vars(max_var);
+
+            // Normalize against the level-0 assignment: drop falsified
+            // literals, skip satisfied or tautological deliveries.
+            let mut sorted = lits;
+            sorted.sort_unstable();
+            sorted.dedup();
+            let mut normalized: Vec<Lit> = Vec::with_capacity(sorted.len());
+            let mut skip = false;
+            for (i, &lit) in sorted.iter().enumerate() {
+                if i + 1 < sorted.len() && sorted[i + 1] == !lit {
+                    skip = true; // tautology
+                    break;
+                }
+                match self.lit_value(lit) {
+                    TRUE => {
+                        skip = true; // already satisfied at level 0
+                        break;
+                    }
+                    FALSE => {}
+                    _ => normalized.push(lit),
+                }
+            }
+            if skip {
+                continue;
+            }
+            accepted += 1;
+            self.stats.imported_clauses += 1;
+            match normalized.len() {
+                0 => {
+                    self.ok = false;
+                }
+                1 => {
+                    self.enqueue(normalized[0], NO_REASON);
+                    if self.propagate().is_some() {
+                        self.ok = false;
+                    }
+                }
+                _ => {
+                    let cref = self.attach_clause(normalized, true);
+                    self.bump_clause(cref);
+                }
+            }
+        }
+        if accepted > 0 {
+            self.emit(SolverEvent::Import {
+                imported: accepted,
+                total_imported: self.stats.imported_clauses,
+                conflicts: self.stats.conflicts,
+            });
+        }
+        self.ok
     }
 
     /// Literal block distance of a clause: the number of distinct decision
@@ -1542,6 +1830,181 @@ mod tests {
         assert!(s.solve().is_unsat());
         let proof = s.take_proof().expect("logging enabled");
         proof.check(&f).expect("trivial refutation verifies");
+    }
+
+    /// Satellite check (ISSUE 2): first-conflict LBD bookkeeping. `sum_lbd`
+    /// is bumped before the `learnt_clauses == 0` check that seeds the EMA,
+    /// but the check reads the *pre-increment* count (`record_learnt` runs
+    /// later), so the EMA is correctly seeded with the first clause's own
+    /// LBD — pinned here against a hand-traced two-conflict refutation.
+    #[test]
+    fn first_conflict_seeds_lbd_ema_with_own_lbd() {
+        // (x1∨x2)(¬x1∨x2)(¬x2∨x3)(¬x2∨¬x3): the deterministic first
+        // decision ¬x1 forces x2, then x3/¬x3 clash; analysis learns the
+        // unit ¬x2 (LBD 1) and the second conflict is at level 0, learning
+        // nothing.
+        let mut f = CnfFormula::new();
+        for c in [[1i64, 2], [-1, 2], [-2, 3], [-2, -3]] {
+            f.add_clause(c.iter().map(|&d| Lit::from_dimacs(d)));
+        }
+        let mut s = CdclSolver::new();
+        s.add_formula(&f);
+        assert!(s.solve().is_unsat());
+        assert_eq!(s.stats().conflicts, 2);
+        assert_eq!(s.stats().learnt_clauses, 1);
+        assert_eq!(s.stats().sum_lbd, 1, "the single learnt unit has LBD 1");
+        assert_eq!(s.lbd_ema(), 1.0, "EMA seeds with the first clause's LBD");
+    }
+
+    #[test]
+    fn diversified_config_is_deterministic_and_member_zero_is_base() {
+        let base = SolverConfig::default();
+        let d0 = base.diversified(0);
+        assert_eq!(d0.seed, 0);
+        assert_eq!(d0.phase_init, PhaseInit::AllFalse);
+        assert_eq!(d0.restart_scheme, RestartScheme::Luby);
+        let mut seeds = Vec::new();
+        for i in 1..6u64 {
+            let a = base.diversified(i);
+            let b = base.diversified(i);
+            assert_ne!(a.seed, 0, "member {i} must be seeded");
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.phase_init, b.phase_init);
+            assert_eq!(a.restart_scheme, b.restart_scheme);
+            assert_eq!(a.restart_base, b.restart_base);
+            seeds.push(a.seed);
+        }
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 5, "members get pairwise distinct seeds");
+    }
+
+    #[test]
+    fn diversified_members_agree_on_the_verdict() {
+        // Different seeds/phases/restart schemes explore different orders
+        // but must reach the same answer.
+        let f = pigeonhole(5, 4);
+        for i in 0..4u64 {
+            let mut s = CdclSolver::with_config(SolverConfig::default().diversified(i));
+            s.add_formula(&f);
+            assert!(s.solve().is_unsat(), "member {i}");
+        }
+        let mut g = CnfFormula::new();
+        let a = g.new_var();
+        let b = g.new_var();
+        g.add_clause([Lit::positive(a), Lit::positive(b)]);
+        g.add_clause([Lit::negative(a), Lit::negative(b)]);
+        for i in 0..4u64 {
+            let mut s = CdclSolver::with_config(SolverConfig::default().diversified(i));
+            s.add_formula(&g);
+            let out = s.solve();
+            let m = out.model().expect("satisfiable for every member");
+            assert!(g.is_satisfied_by(m));
+        }
+    }
+
+    /// In-memory exchange used by the sharing unit tests.
+    #[derive(Default)]
+    struct VecExchange {
+        inbox: std::sync::Mutex<Vec<Vec<Lit>>>,
+        exported: std::sync::Mutex<Vec<Vec<Lit>>>,
+    }
+
+    impl ClauseExchange for VecExchange {
+        fn export(&self, lits: &[Lit], _lbd: u32) {
+            self.exported.lock().unwrap().push(lits.to_vec());
+        }
+        fn drain(&self) -> Vec<Vec<Lit>> {
+            std::mem::take(&mut *self.inbox.lock().unwrap())
+        }
+    }
+
+    #[test]
+    fn exports_honor_the_sharing_filter_and_counters() {
+        let ex = Arc::new(VecExchange::default());
+        let sharing = SharingConfig::new().with_max_len(10);
+        let mut s = CdclSolver::new();
+        s.set_exchange(ex.clone(), sharing);
+        s.add_formula(&pigeonhole(6, 5));
+        assert!(s.solve().is_unsat());
+        let exported = ex.exported.lock().unwrap();
+        assert!(s.stats().exported_clauses > 0, "glue clauses must flow");
+        assert_eq!(exported.len() as u64, s.stats().exported_clauses);
+        for c in exported.iter() {
+            assert!(c.len() <= sharing.max_len);
+        }
+        assert_eq!(s.stats().imported_clauses, 0, "nothing was ever queued");
+    }
+
+    #[test]
+    fn imports_apply_at_solve_start_and_can_refute() {
+        // Units x1 and ¬x1 queued by a "peer": the import at solve start
+        // derives the top-level conflict without any search.
+        let ex = Arc::new(VecExchange::default());
+        {
+            let mut inbox = ex.inbox.lock().unwrap();
+            inbox.push(vec![lit(1)]);
+            inbox.push(vec![lit(-1)]);
+        }
+        let mut s = CdclSolver::new();
+        s.set_exchange(ex, SharingConfig::new());
+        s.ensure_vars(1);
+        assert!(s.solve().is_unsat());
+        assert_eq!(s.stats().imported_clauses, 2);
+        assert_eq!(s.stats().conflicts, 0);
+    }
+
+    #[test]
+    fn satisfied_and_tautological_deliveries_are_not_imported() {
+        let mut f = CnfFormula::new();
+        let a = f.new_var();
+        f.add_clause([Lit::positive(a)]);
+        let ex = Arc::new(VecExchange::default());
+        {
+            let mut inbox = ex.inbox.lock().unwrap();
+            inbox.push(vec![Lit::positive(a)]); // satisfied at level 0
+            inbox.push(vec![lit(2), lit(-2)]); // tautology
+        }
+        let mut s = CdclSolver::new();
+        s.set_exchange(ex, SharingConfig::new());
+        s.add_formula(&f);
+        assert!(s.solve().is_sat());
+        assert_eq!(s.stats().imported_clauses, 0);
+    }
+
+    #[test]
+    fn imports_are_skipped_while_proof_logging() {
+        let ex = Arc::new(VecExchange::default());
+        ex.inbox.lock().unwrap().push(vec![lit(1)]);
+        let mut s = CdclSolver::new();
+        s.enable_proof_logging();
+        s.set_exchange(ex, SharingConfig::new());
+        s.ensure_vars(1);
+        assert!(s.solve().is_sat());
+        assert_eq!(s.stats().imported_clauses, 0, "proofs stay self-contained");
+    }
+
+    #[test]
+    fn shared_clauses_flow_between_two_solvers() {
+        // Solver A refutes and exports; its glue clauses are fed to solver
+        // B working on the same formula. B must reach the same verdict and
+        // count the imports.
+        let f = pigeonhole(6, 5);
+        let ex_a = Arc::new(VecExchange::default());
+        let mut a = CdclSolver::new();
+        a.set_exchange(ex_a.clone(), SharingConfig::new());
+        a.add_formula(&f);
+        assert!(a.solve().is_unsat());
+        let shared = ex_a.exported.lock().unwrap().clone();
+        assert!(!shared.is_empty());
+
+        let ex_b = Arc::new(VecExchange::default());
+        *ex_b.inbox.lock().unwrap() = shared;
+        let mut b = CdclSolver::new();
+        b.set_exchange(ex_b, SharingConfig::new());
+        b.add_formula(&f);
+        assert!(b.solve().is_unsat());
+        assert!(b.stats().imported_clauses > 0);
     }
 
     #[test]

@@ -55,12 +55,13 @@ mod proof;
 pub mod preprocess;
 pub mod run;
 
-pub use cdcl::{CdclSolver, SolverConfig, SolverStats};
+pub use cdcl::{CdclSolver, PhaseInit, RestartScheme, SolverConfig, SolverStats};
 pub use dpll::DpllSolver;
 pub use luby::luby;
 pub use outcome::SolveOutcome;
-pub use proof::{CheckProofError, DratProof, ProofStep};
+pub use proof::{rup_implied, CheckProofError, DratProof, ProofStep};
 pub use run::{
-    CancellationToken, FanoutObserver, MetricsRecorder, NullObserver, ProgressLogger, RunBudget,
-    RunMetrics, RunObserver, SolveVerdict, SolverEvent, StopReason,
+    CancellationToken, ClauseExchange, FanoutObserver, MetricsRecorder, NullObserver,
+    ProgressLogger, RunBudget, RunMetrics, RunObserver, SharingConfig, SolveVerdict, SolverEvent,
+    StopReason,
 };

@@ -254,6 +254,29 @@ impl DratProof {
     }
 }
 
+/// RUP entailment check against a formula: does asserting the negation of
+/// `clause` and unit-propagating over `formula`'s clauses yield a
+/// conflict?
+///
+/// RUP is *sufficient* for entailment but not complete — a clause can be a
+/// logical consequence without being unit-propagation-derivable — so a
+/// `false` result means "not confirmed by UP", not "not entailed". The
+/// sharing tests use this as a cheap first check on imported clauses and
+/// fall back to a full refutation of `formula ∧ ¬clause` when it is
+/// inconclusive.
+pub fn rup_implied(formula: &CnfFormula, clause: &[Lit]) -> bool {
+    let db: Vec<Vec<Lit>> = formula
+        .clauses()
+        .iter()
+        .map(|c| c.lits().to_vec())
+        .collect();
+    let num_vars = clause
+        .iter()
+        .map(|l| l.var().index() + 1)
+        .fold(formula.num_vars(), u32::max);
+    is_rup(&db, num_vars, clause)
+}
+
 fn clause_eq(a: &[Lit], b: &[Lit]) -> bool {
     if a.len() != b.len() {
         return false;

@@ -51,6 +51,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use satroute_cnf::Lit;
+
 use crate::cdcl::SolverStats;
 
 /// Why a solve stopped without a SAT/UNSAT answer.
@@ -127,6 +129,71 @@ impl CancellationToken {
     pub fn is_cancelled(&self) -> bool {
         self.flag.load(Ordering::Relaxed)
     }
+}
+
+/// Filter for learnt-clause sharing: which clauses are worth exporting.
+///
+/// Shared clauses must be *glue* (low LBD) and short, otherwise the import
+/// traffic drowns the receivers in junk. The defaults follow the usual
+/// parallel-SAT practice (ManySAT-style): LBD ≤ 8, length ≤ 30.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SharingConfig {
+    /// Export only clauses whose literal block distance is at most this.
+    pub max_lbd: u32,
+    /// Export only clauses with at most this many literals.
+    pub max_len: usize,
+}
+
+impl Default for SharingConfig {
+    fn default() -> Self {
+        SharingConfig {
+            max_lbd: 8,
+            max_len: 30,
+        }
+    }
+}
+
+impl SharingConfig {
+    /// The default filter (LBD ≤ 8, length ≤ 30).
+    pub fn new() -> Self {
+        SharingConfig::default()
+    }
+
+    /// Sets the LBD threshold.
+    pub fn with_max_lbd(mut self, max_lbd: u32) -> Self {
+        self.max_lbd = max_lbd;
+        self
+    }
+
+    /// Sets the length cap.
+    pub fn with_max_len(mut self, max_len: usize) -> Self {
+        self.max_len = max_len;
+        self
+    }
+}
+
+/// A two-way mailbox connecting one solver to its sharing peers.
+///
+/// The solver calls [`ClauseExchange::export`] at conflict boundaries with
+/// each learnt clause that passes its [`SharingConfig`] filter, and
+/// [`ClauseExchange::drain`] at restart boundaries (decision level 0) to
+/// collect clauses its peers exported since the last restart.
+///
+/// **Soundness contract:** every clause delivered by `drain` must be a
+/// logical consequence of the formula the importing solver is working on.
+/// The portfolio runner guarantees this by only connecting members that
+/// solve the *same* CNF (same encoding, same symmetry breaking, same k) —
+/// learnt clauses are consequences of that shared formula, so importing
+/// them preserves the answer.
+///
+/// Implementations are shared across threads and must return quickly; they
+/// sit on the conflict path of every participating solver.
+pub trait ClauseExchange: Send + Sync {
+    /// Offers a learnt clause (already filtered by the exporter) to peers.
+    fn export(&self, lits: &[Lit], lbd: u32);
+
+    /// Takes every clause peers have offered since the last call.
+    fn drain(&self) -> Vec<Vec<Lit>>;
 }
 
 /// Declarative resource limits for one solve (or one portfolio of solves).
@@ -245,8 +312,10 @@ impl SolveVerdict {
 /// One point of the solver's event stream.
 ///
 /// Events arrive in a fixed grammar per solve:
-/// `Started (Restart | Reduce | Progress)* Finished`, with `Progress`
-/// conflict counts nondecreasing and `Restart` numbers increasing by one.
+/// `Started (Restart | Reduce | Progress | Import)* Finished`, with
+/// `Progress` conflict counts nondecreasing and `Restart` numbers
+/// increasing by one. `Import` is emitted only when a [`ClauseExchange`]
+/// is installed and delivered at least one clause at a restart boundary.
 #[derive(Clone, Copy, Debug)]
 pub enum SolverEvent {
     /// A solve began.
@@ -285,6 +354,15 @@ pub enum SolverEvent {
         lbd_ema: f64,
         /// Wall time since the solve started.
         elapsed: Duration,
+    },
+    /// Clauses were imported from sharing peers (restart boundary).
+    Import {
+        /// Clauses accepted in this batch (after level-0 simplification).
+        imported: usize,
+        /// Cumulative imported-clause count.
+        total_imported: u64,
+        /// Conflicts seen so far.
+        conflicts: u64,
     },
     /// The solve returned.
     Finished {
@@ -334,6 +412,9 @@ pub struct RunMetrics {
     pub reductions: u64,
     /// Progress events observed.
     pub progress_samples: u64,
+    /// Import events observed (batches, not clauses; clause totals live in
+    /// [`SolverStats::imported_clauses`]).
+    pub import_batches: u64,
     /// Last observed LBD moving average (0 if no clause was learnt).
     pub lbd_ema: f64,
 }
@@ -366,6 +447,16 @@ impl RunMetrics {
         } else {
             0.0
         }
+    }
+
+    /// Clauses this run exported to sharing peers.
+    pub fn exported_clauses(&self) -> u64 {
+        self.stats.exported_clauses
+    }
+
+    /// Clauses this run imported from sharing peers.
+    pub fn imported_clauses(&self) -> u64 {
+        self.stats.imported_clauses
     }
 }
 
@@ -402,6 +493,7 @@ impl RunObserver for MetricsRecorder {
                 m.progress_samples += 1;
                 m.lbd_ema = lbd_ema;
             }
+            SolverEvent::Import { .. } => m.import_batches += 1,
             SolverEvent::Finished {
                 verdict,
                 stats,
@@ -486,6 +578,14 @@ impl RunObserver for ProgressLogger {
                 out,
                 "[{label}] {:.1}s: {conflicts} conflicts, {decisions} decisions, {propagations} props, lbd~{lbd_ema:.1}",
                 elapsed.as_secs_f64()
+            ),
+            SolverEvent::Import {
+                imported,
+                total_imported,
+                conflicts,
+            } => writeln!(
+                out,
+                "[{label}] import: {imported} shared clauses ({total_imported} total) at {conflicts} conflicts"
             ),
             SolverEvent::Finished {
                 verdict, elapsed, ..

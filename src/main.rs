@@ -8,12 +8,19 @@
 //! satroute min-width <problem.txt> [...]               certified minimum width
 //! satroute encode <problem.txt|.col> --width <W> [...] emit DIMACS CNF
 //! satroute solve <file.cnf> [--proof <out.drat>]       run the CDCL solver
+//! satroute portfolio <problem.txt> --width <W> [...]   race a solver portfolio
 //! satroute encodings                                   list the 15 encodings
 //! ```
 //!
 //! Options: `--encoding <name>` (paper spelling, default
 //! ITE-linear-2+muldirect), `--symmetry -|b1|s1` (default s1),
 //! `--certificate <out.drat>`, `--out <path>`.
+//!
+//! Portfolio options: `--diversify <N>` (N diversified copies of the
+//! selected strategy instead of the heterogeneous paper portfolio),
+//! `--portfolio-share` (learnt-clause sharing between same-strategy
+//! members), `--threads <T>` (concurrent member cap, default: available
+//! parallelism).
 //!
 //! Run control: `--timeout <secs>` (wall-clock budget), `--max-conflicts
 //! <n>` (conflict budget), `--progress` (periodic solver progress on
@@ -59,6 +66,9 @@ struct Options {
     max_conflicts: Option<u64>,
     progress: bool,
     json: bool,
+    portfolio_share: bool,
+    diversify: Option<usize>,
+    threads: Option<usize>,
 }
 
 impl Options {
@@ -90,6 +100,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         max_conflicts: None,
         progress: false,
         json: false,
+        portfolio_share: false,
+        diversify: None,
+        threads: None,
     };
     let mut i = 0;
     let take_value = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
@@ -132,6 +145,23 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--progress" => opts.progress = true,
             "--json" => opts.json = true,
+            "--portfolio-share" => opts.portfolio_share = true,
+            "--diversify" => {
+                let v = take_value(args, &mut i, "--diversify")?;
+                let n: usize = v.parse().map_err(|_| format!("bad member count `{v}`"))?;
+                if n == 0 {
+                    return Err("--diversify needs at least 1 member".to_string());
+                }
+                opts.diversify = Some(n);
+            }
+            "--threads" => {
+                let v = take_value(args, &mut i, "--threads")?;
+                let n: usize = v.parse().map_err(|_| format!("bad thread count `{v}`"))?;
+                if n == 0 {
+                    return Err("--threads needs at least 1".to_string());
+                }
+                opts.threads = Some(n);
+            }
             flag if flag.starts_with('-') && flag.len() > 1 => {
                 return Err(format!("unknown flag `{flag}`"))
             }
@@ -383,6 +413,110 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 }
             }
         }
+        "portfolio" => {
+            let path = opts
+                .positional
+                .first()
+                .ok_or("portfolio needs a problem file")?;
+            let width = opts.width.ok_or("portfolio needs --width <W>")?;
+            let problem = load_problem(path)?;
+            let graph = problem.conflict_graph();
+
+            use satroute::core::{run_portfolio_opts, PortfolioOptions};
+            use satroute::solver::{SharingConfig, SolverConfig};
+            // --diversify N races N copies of the selected strategy with
+            // diversified solver configurations (a sound setting for clause
+            // sharing: identical CNF per member); the default races the
+            // paper's heterogeneous 3-strategy portfolio.
+            let strategies = match opts.diversify {
+                Some(n) => Strategy::diversified(Strategy::new(opts.encoding, opts.symmetry), n),
+                None => Strategy::paper_portfolio_3(),
+            };
+            let mut portfolio_opts =
+                PortfolioOptions::new().with_diversified_configs(opts.diversify.is_some());
+            if let Some(n) = opts.threads {
+                portfolio_opts = portfolio_opts.with_max_threads(n);
+            }
+            if opts.portfolio_share {
+                portfolio_opts = portfolio_opts.with_sharing(SharingConfig::default());
+            }
+            let result = run_portfolio_opts(
+                &graph,
+                width,
+                &strategies,
+                &SolverConfig::default(),
+                opts.budget(),
+                None,
+                &portfolio_opts,
+            );
+
+            if opts.json {
+                let members: Vec<String> = result
+                    .members
+                    .iter()
+                    .map(|m| {
+                        format!(
+                            "{{\"strategy\":{},\"decided\":{},\"conflicts\":{},\"exported_clauses\":{},\"imported_clauses\":{}}}",
+                            json_str(&m.strategy.to_string()),
+                            m.is_decided(),
+                            m.report.metrics.stats.conflicts,
+                            m.exported_clauses(),
+                            m.imported_clauses(),
+                        )
+                    })
+                    .collect();
+                let routable = result.report().map(|r| r.outcome.is_colorable());
+                println!(
+                    "{{\"width\":{},\"routable\":{},\"winner\":{},\"sharing\":{},\"total_conflicts\":{},\"total_exported\":{},\"total_imported\":{},\"wall_time_s\":{},\"members\":[{}]}}",
+                    width,
+                    routable.map_or("null".to_string(), |b| b.to_string()),
+                    result
+                        .strategy()
+                        .map_or("null".to_string(), |s| json_str(&s.to_string())),
+                    opts.portfolio_share,
+                    result.total_conflicts(),
+                    result.total_exported(),
+                    result.total_imported(),
+                    result.wall_time.as_secs_f64(),
+                    members.join(","),
+                );
+            } else {
+                match result.report().map(|r| &r.outcome) {
+                    Some(satroute::core::ColoringOutcome::Colorable(_)) => {
+                        println!(
+                            "ROUTABLE with {width} tracks (winner: {})",
+                            result.strategy().expect("decided")
+                        );
+                    }
+                    Some(satroute::core::ColoringOutcome::Unsat) => {
+                        println!(
+                            "UNROUTABLE with {width} tracks (winner: {})",
+                            result.strategy().expect("decided")
+                        );
+                    }
+                    _ => println!("UNDECIDED with {width} tracks (budget exhausted)"),
+                }
+                for member in &result.members {
+                    println!(
+                        "  {:<28} {:>8} conflicts  {:>6} exported  {:>6} imported{}",
+                        member.strategy.to_string(),
+                        member.report.metrics.stats.conflicts,
+                        member.exported_clauses(),
+                        member.imported_clauses(),
+                        if member.is_decided() {
+                            "  [decided]"
+                        } else {
+                            ""
+                        },
+                    );
+                }
+            }
+            match result.report().map(|r| r.outcome.is_colorable()) {
+                Some(true) => Ok(ExitCode::SUCCESS),
+                Some(false) => Ok(ExitCode::from(20)),
+                None => Ok(ExitCode::SUCCESS),
+            }
+        }
         "encodings" => {
             println!("previously used for FPGA routing:");
             for id in EncodingId::PREVIOUS {
@@ -479,8 +613,9 @@ fn finish_route(
 fn print_usage() {
     eprintln!(
         "usage: satroute <command> [options]\n\
-         commands: gen, route, prove, min-width, encode, solve, encodings\n\
+         commands: gen, route, prove, min-width, encode, solve, portfolio, encodings\n\
          run control: --timeout <secs>, --max-conflicts <n>, --progress, --json\n\
+         portfolio: --diversify <N>, --portfolio-share, --threads <T>\n\
          see the crate README for details"
     );
 }

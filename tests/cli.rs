@@ -182,3 +182,66 @@ fn bad_inputs_produce_errors_not_panics() {
         .expect("binary runs");
     assert_eq!(out.status.code(), Some(2));
 }
+
+#[test]
+fn portfolio_command_reports_sharing_counters() {
+    let dir = tempdir("portfolio");
+    let problem = dir.join("tiny.txt");
+    satroute()
+        .args(["gen", "--bench", "tiny_b", "--out"])
+        .arg(&problem)
+        .status()
+        .expect("binary runs");
+
+    // Routable width with a diversified sharing portfolio: exit 0, and the
+    // JSON carries the sharing counters for every member.
+    let out = satroute()
+        .arg("portfolio")
+        .arg(&problem)
+        .args([
+            "--width",
+            "6",
+            "--encoding",
+            "muldirect",
+            "--diversify",
+            "4",
+            "--portfolio-share",
+            "--threads",
+            "4",
+            "--json",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"routable\":true"), "{text}");
+    assert!(text.contains("\"sharing\":true"), "{text}");
+    assert!(text.contains("\"total_imported\""), "{text}");
+    assert_eq!(text.matches("\"imported_clauses\"").count(), 4, "{text}");
+
+    // Unroutable width with the default heterogeneous portfolio: exit 20.
+    let out = satroute()
+        .arg("portfolio")
+        .arg(&problem)
+        .args(["--width", "4"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(20));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("UNROUTABLE"));
+
+    // Flag validation: zero members / zero threads are rejected.
+    for bad in [["--diversify", "0"], ["--threads", "0"]] {
+        let out = satroute()
+            .arg("portfolio")
+            .arg(&problem)
+            .args(["--width", "6"])
+            .args(bad)
+            .output()
+            .expect("binary runs");
+        assert_eq!(out.status.code(), Some(2));
+    }
+}

@@ -78,11 +78,17 @@ fn portfolio_under_wall_budget_terminates_with_deadline_members() {
             "{}: every undecided member must report the shared deadline",
             member.strategy
         );
-        // Losers keep their partial work counters.
-        assert!(
-            member.report.solver_stats.conflicts > 0 || member.report.solver_stats.decisions > 0
-        );
     }
+    // Losers keep their partial work counters. Members are queued when
+    // there are fewer cores than members, so only *some* member is
+    // guaranteed to have started working before the deadline.
+    assert!(
+        result
+            .members
+            .iter()
+            .any(|m| m.report.solver_stats.conflicts > 0 || m.report.solver_stats.decisions > 0),
+        "no member did any work within the budget"
+    );
 }
 
 #[test]
@@ -139,8 +145,8 @@ impl RunObserver for EventLog {
 }
 
 /// Property test: over seeded random graphs, the observer stream obeys the
-/// grammar `Started (Restart | Reduce | Progress)* Finished` with monotone
-/// counters.
+/// grammar `Started (Restart | Reduce | Progress | Import)* Finished` with
+/// monotone counters.
 #[test]
 fn observer_events_arrive_in_valid_order() {
     for seed in 0..8u64 {
@@ -199,6 +205,11 @@ fn observer_events_arrive_in_valid_order() {
                         learnts_after <= learnts_before,
                         "seed {seed}: reduction must not grow the database"
                     );
+                }
+                SolverEvent::Import { imported, .. } => {
+                    // No exchange is attached in this test, so an Import
+                    // event would mean phantom clauses appeared.
+                    panic!("seed {seed}: import of {imported} clauses without an exchange");
                 }
             }
         }
