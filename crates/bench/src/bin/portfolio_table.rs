@@ -13,11 +13,14 @@
 //!
 //! Run with:
 //! `cargo run --release -p satroute-bench --bin portfolio_table [--tiny] [--json]`
+//! (`--trace <out.jsonl>` records the threaded sharing-experiment
+//! portfolios — a `portfolio` span with `member` children per run —
+//! analyzable with `satroute trace report`.)
 
 use std::time::{Duration, Instant};
 
 use satroute_bench::json::Value;
-use satroute_bench::{fmt_secs, fmt_speedup, metrics_json};
+use satroute_bench::{fmt_secs, fmt_speedup, metrics_json, tracer_from_args};
 use satroute_core::{
     run_portfolio_opts, simulate_portfolio, EncodingId, PortfolioOptions, PortfolioResult,
     SimulatedPortfolio, Strategy, SymmetryHeuristic,
@@ -36,10 +39,12 @@ fn sharing_run(
     members: &[Strategy],
     config: &SolverConfig,
     share: bool,
+    tracer: &satroute_obs::Tracer,
 ) -> PortfolioResult {
     let mut opts = PortfolioOptions::new()
         .with_max_threads(SHARING_THREADS)
-        .with_diversified_configs(true);
+        .with_diversified_configs(true)
+        .with_tracer(tracer.clone());
     if share {
         opts = opts.with_sharing(SharingConfig::default());
     }
@@ -68,6 +73,7 @@ fn members_json(sim: &SimulatedPortfolio) -> Value {
 fn main() {
     let tiny = std::env::args().any(|a| a == "--tiny");
     let json = std::env::args().any(|a| a == "--json");
+    let tracer = tracer_from_args();
     let suite = if tiny {
         benchmarks::suite_tiny()
     } else {
@@ -167,8 +173,8 @@ fn main() {
     for instance in &suite {
         let width = instance.routable_width;
         let g = &instance.conflict_graph;
-        let solo = sharing_run(g, width, &members, &config, false);
-        let shared = sharing_run(g, width, &members, &config, true);
+        let solo = sharing_run(g, width, &members, &config, false, &tracer);
+        let shared = sharing_run(g, width, &members, &config, true, &tracer);
         assert!(solo.is_decided() && shared.is_decided());
         conflicts_solo += solo.total_conflicts();
         conflicts_shared += shared.total_conflicts();

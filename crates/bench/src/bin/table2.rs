@@ -10,18 +10,20 @@
 //! Run with: `cargo run --release -p satroute-bench --bin table2 [--tiny] [--json]`
 //! (`--tiny` runs the miniature suite for a fast smoke check; `--json`
 //! emits one machine-readable JSON document on stdout instead of the
-//! formatted table.)
+//! formatted table; `--trace <out.jsonl>` records one `cell` span per
+//! benchmark × strategy, analyzable with `satroute trace report`.)
 
 use std::time::Duration;
 
 use satroute_bench::json::Value;
-use satroute_bench::{cell_json, fmt_secs, fmt_speedup, run_cell};
+use satroute_bench::{cell_json, fmt_secs, fmt_speedup, run_cell_traced, tracer_from_args};
 use satroute_core::{ColoringOutcome, EncodingId, Strategy, SymmetryHeuristic};
 use satroute_fpga::benchmarks;
 
 fn main() {
     let tiny = std::env::args().any(|a| a == "--tiny");
     let json = std::env::args().any(|a| a == "--json");
+    let tracer = tracer_from_args();
     let suite = if tiny {
         benchmarks::suite_tiny()
     } else {
@@ -73,7 +75,7 @@ fn main() {
         }
         let mut cells: Vec<String> = vec![instance.name.clone()];
         for (c, strategy) in columns.iter().enumerate() {
-            let cell = run_cell(instance, *strategy, width);
+            let cell = run_cell_traced(instance, *strategy, width, &tracer);
             assert!(
                 matches!(cell.outcome, ColoringOutcome::Unsat),
                 "{}: {strategy} must prove UNSAT",

@@ -15,7 +15,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod json;
+// The JSON model moved to `satroute-obs` (the trace writer shares it);
+// re-exported so `satroute_bench::json` paths keep working.
+pub use satroute_obs::json;
 
 use std::time::Duration;
 
@@ -44,7 +46,37 @@ pub struct Cell {
 /// Runs `strategy` on `instance` at the given channel width and returns
 /// the Table 2-style cell.
 pub fn run_cell(instance: &BenchmarkInstance, strategy: Strategy, width: u32) -> Cell {
-    let mut report = strategy.solve_coloring(&instance.conflict_graph, width);
+    run_cell_traced(instance, strategy, width, &satroute_obs::Tracer::disabled())
+}
+
+/// [`run_cell`] recording into `tracer`: one `cell` root span (fields:
+/// benchmark, strategy, width) with the run's encode/solve/decode spans
+/// nested beneath it.
+pub fn run_cell_traced(
+    instance: &BenchmarkInstance,
+    strategy: Strategy,
+    width: u32,
+    tracer: &satroute_obs::Tracer,
+) -> Cell {
+    let span = tracer.span_with(
+        "cell",
+        [
+            (
+                "benchmark",
+                satroute_obs::FieldValue::from(instance.name.as_str()),
+            ),
+            (
+                "strategy",
+                satroute_obs::FieldValue::from(strategy.to_string()),
+            ),
+            ("width", satroute_obs::FieldValue::from(width)),
+        ],
+    );
+    let mut report = strategy
+        .solve(&instance.conflict_graph, width)
+        .trace(tracer.clone())
+        .run();
+    drop(span);
     // Account the (cached) conflict-graph generation as zero: the suites
     // pre-extract it; `RoutingPipeline` measures it when run end to end.
     report.timing.graph_generation = Duration::ZERO;
@@ -58,14 +90,46 @@ pub fn run_cell(instance: &BenchmarkInstance, strategy: Strategy, width: u32) ->
     }
 }
 
+/// Builds the tracer implied by a `--trace <path>` argument pair in
+/// `std::env::args()`: a buffered JSONL [`satroute_obs::TraceWriter`], or
+/// the disabled tracer when the flag is absent.
+///
+/// # Panics
+///
+/// Panics when the flag is present without a value or the file cannot be
+/// created — bench binaries have no error channel beyond exiting.
+pub fn tracer_from_args() -> satroute_obs::Tracer {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(at) = args.iter().position(|a| a == "--trace") else {
+        return satroute_obs::Tracer::disabled();
+    };
+    let path = args
+        .get(at + 1)
+        .filter(|v| !v.starts_with("--"))
+        .unwrap_or_else(|| panic!("--trace needs a file path"));
+    let writer = satroute_obs::TraceWriter::to_path(path)
+        .unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+    satroute_obs::Tracer::to_sink(writer)
+}
+
 /// Serializes a [`RunMetrics`] snapshot as a JSON object — the common
 /// per-run payload of every `--json` bench emitter.
 pub fn metrics_json(metrics: &RunMetrics) -> Value {
+    let secs = metrics.wall_time.as_secs_f64();
+    let per_sec = |n: u64| {
+        if secs > 0.0 {
+            Value::from(n as f64 / secs)
+        } else {
+            Value::from(0.0)
+        }
+    };
     Value::object([
-        ("wall_time_s", Value::from(metrics.wall_time.as_secs_f64())),
+        ("wall_time_s", Value::from(secs)),
         ("conflicts", Value::from(metrics.stats.conflicts)),
         ("decisions", Value::from(metrics.stats.decisions)),
         ("propagations", Value::from(metrics.stats.propagations)),
+        ("conflicts_per_sec", per_sec(metrics.stats.conflicts)),
+        ("propagations_per_sec", per_sec(metrics.stats.propagations)),
         ("restarts", Value::from(metrics.restarts)),
         ("reductions", Value::from(metrics.reductions)),
         ("learnt_clauses", Value::from(metrics.stats.learnt_clauses)),

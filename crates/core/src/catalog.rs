@@ -216,6 +216,44 @@ impl Encoding {
         }
     }
 
+    /// [`Encoding::emit`] wrapped in a `scheme_emit` trace span recording
+    /// the encoding's shape: ITE tree depth for the ITE schemes, top/bottom
+    /// scheme names and subdomain count for hierarchical compositions, and
+    /// the emitted per-vertex variable/clause/pattern counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn emit_traced(&self, k: u32, tracer: &satroute_obs::Tracer) -> SchemeCnf {
+        use crate::ite::IteTree;
+        use satroute_obs::FieldValue;
+
+        let mut fields: Vec<(&str, FieldValue)> = vec![
+            ("scheme", FieldValue::from(self.name())),
+            ("k", FieldValue::from(k)),
+        ];
+        match self {
+            Encoding::Simple(SimpleScheme::IteLinear) => {
+                fields.push(("ite_depth", FieldValue::from(IteTree::linear(k).depth())));
+            }
+            Encoding::Simple(SimpleScheme::IteLog) => {
+                fields.push(("ite_depth", FieldValue::from(IteTree::balanced(k).depth())));
+            }
+            Encoding::Simple(_) => {}
+            Encoding::Hierarchical { top, bottom } => {
+                fields.push(("top", FieldValue::from(top.name())));
+                fields.push(("bottom", FieldValue::from(bottom.name())));
+                fields.push(("subdomains", FieldValue::from(top.num_subdomains(k))));
+            }
+        }
+        let span = tracer.span_with("scheme_emit", fields);
+        let scheme = self.emit(k);
+        span.counter("scheme_vars", scheme.num_vars as u64);
+        span.counter("structural_clauses", scheme.structural.len() as u64);
+        span.counter("patterns", scheme.patterns.len() as u64);
+        scheme
+    }
+
     /// A display name matching the paper's convention.
     pub fn name(&self) -> String {
         match self {

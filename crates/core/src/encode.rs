@@ -18,6 +18,7 @@
 
 use satroute_cnf::{CnfFormula, Lit};
 use satroute_coloring::CspGraph;
+use satroute_obs::{FieldValue, Tracer};
 
 use crate::catalog::Encoding;
 use crate::pattern::SchemeCnf;
@@ -43,6 +44,9 @@ pub struct EncodedColoring {
     pub formula: CnfFormula,
     /// Decoder state.
     pub decode: DecodeMap,
+    /// Wall time spent encoding (the `encode` span's duration) — the
+    /// `cnf_translation` component of [`crate::TimingBreakdown`].
+    pub cnf_translation: std::time::Duration,
 }
 
 /// Encodes the K-coloring problem of `graph` as CNF.
@@ -73,6 +77,46 @@ pub fn encode_coloring(
     encoding: &Encoding,
     symmetry: SymmetryHeuristic,
 ) -> EncodedColoring {
+    encode_coloring_traced(graph, k, encoding, symmetry, &Tracer::disabled())
+}
+
+/// [`encode_coloring`] with trace instrumentation: an `encode` span
+/// (fields: encoding name, `k`, vertex/edge counts) with `scheme_emit`,
+/// `structural_clauses`, `conflict_clauses` and `symmetry_breaking` child
+/// spans, plus final `variables`/`clauses`/`literals` counters — the
+/// paper's Table-style per-encoding CNF-size comparison, recorded per run.
+pub fn encode_coloring_traced(
+    graph: &CspGraph,
+    k: u32,
+    encoding: &Encoding,
+    symmetry: SymmetryHeuristic,
+    tracer: &Tracer,
+) -> EncodedColoring {
+    let span = tracer.span_with(
+        "encode",
+        [
+            ("encoding", FieldValue::from(encoding.name())),
+            ("k", FieldValue::from(k)),
+            ("vertices", FieldValue::from(graph.num_vertices())),
+            ("edges", FieldValue::from(graph.num_edges())),
+        ],
+    );
+    let mut encoded = encode_inner(graph, k, encoding, symmetry, tracer);
+    let stats = encoded.formula.stats();
+    span.counter("variables", stats.num_vars as u64);
+    span.counter("clauses", stats.num_clauses as u64);
+    span.counter("literals", stats.num_literals as u64);
+    encoded.cnf_translation = span.close();
+    encoded
+}
+
+fn encode_inner(
+    graph: &CspGraph,
+    k: u32,
+    encoding: &Encoding,
+    symmetry: SymmetryHeuristic,
+    tracer: &Tracer,
+) -> EncodedColoring {
     let n = graph.num_vertices();
     if k == 0 {
         let mut formula = CnfFormula::new();
@@ -86,10 +130,11 @@ pub fn encode_coloring(
                 offsets: vec![0; n],
                 num_colors: 0,
             },
+            cnf_translation: std::time::Duration::ZERO,
         };
     }
 
-    let scheme = encoding.emit(k);
+    let scheme = encoding.emit_traced(k, tracer);
     let mut formula = CnfFormula::with_vars(scheme.num_vars * n as u32);
 
     let offsets: Vec<u32> = (0..n as u32).map(|v| v * scheme.num_vars).collect();
@@ -100,14 +145,19 @@ pub fn encode_coloring(
     };
 
     // Structural clauses, one copy per vertex.
+    let structural = tracer.span("structural_clauses");
     for &offset in &offsets {
         for clause in &scheme.structural {
             formula.add_clause(shift(clause, offset));
         }
     }
+    structural.counter("clauses", formula.num_clauses() as u64);
+    drop(structural);
 
     // Conflict clauses: for each edge and common value, forbid both
     // patterns simultaneously.
+    let conflicts = tracer.span("conflict_clauses");
+    let before_conflicts = formula.num_clauses();
     let negations: Vec<Vec<Lit>> = scheme
         .patterns
         .iter()
@@ -120,13 +170,22 @@ pub fn encode_coloring(
             formula.add_clause(clause);
         }
     }
+    conflicts.counter("clauses", (formula.num_clauses() - before_conflicts) as u64);
+    drop(conflicts);
 
     // Symmetry restrictions: position p (0-based) may only use colors 0..=p.
+    let sym = tracer.span_with(
+        "symmetry_breaking",
+        [("heuristic", FieldValue::from(symmetry.to_string()))],
+    );
+    let before_sym = formula.num_clauses();
     for (p, &v) in symmetry.restricted_sequence(graph, k).iter().enumerate() {
         for d in (p as u32 + 1)..k {
             formula.add_clause(shift(&negations[d as usize], offsets[v as usize]));
         }
     }
+    sym.counter("clauses", (formula.num_clauses() - before_sym) as u64);
+    drop(sym);
 
     EncodedColoring {
         formula,
@@ -135,6 +194,7 @@ pub fn encode_coloring(
             offsets,
             num_colors: k,
         },
+        cnf_translation: std::time::Duration::ZERO,
     }
 }
 

@@ -82,6 +82,22 @@ impl TopScheme {
         }
     }
 
+    /// The number of subdomains this top scheme partitions a `k`-value
+    /// domain into (without emitting the scheme) — recorded by encode
+    /// traces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn num_subdomains(self, k: u32) -> u32 {
+        assert!(k >= 1, "domain must have at least one value");
+        match self {
+            TopScheme::IteLog { levels } => halving_sizes(k, levels).len() as u32,
+            TopScheme::IteLinear { vars } => (vars + 1).min(k),
+            TopScheme::Direct { vars } | TopScheme::Muldirect { vars } => vars.min(k),
+        }
+    }
+
     /// Emits the subdomain-selection layer for a domain of `k` values:
     /// the scheme over the subdomains plus the subdomain sizes (in value
     /// order, summing to `k`).

@@ -72,7 +72,7 @@ pub mod symmetry;
 
 pub use catalog::{Encoding, EncodingId, ParseEncodingError};
 pub use decode::{decode_coloring, DecodeError};
-pub use encode::{encode_coloring, DecodeMap, EncodedColoring};
+pub use encode::{encode_coloring, encode_coloring_traced, DecodeMap, EncodedColoring};
 pub use hier::TopScheme;
 pub use ite::IteTree;
 pub use pattern::{Pattern, SchemeCnf};
@@ -93,4 +93,9 @@ pub use symmetry::SymmetryHeuristic;
 pub use satroute_solver::{
     CancellationToken, ClauseExchange, MetricsRecorder, NullObserver, PhaseInit, ProgressLogger,
     RestartScheme, RunBudget, RunMetrics, RunObserver, SharingConfig, SolverEvent, StopReason,
+    TraceObserver,
 };
+
+// Tracing vocabulary (spans, sinks, reports) from `satroute_obs`,
+// re-exported for the same reason.
+pub use satroute_obs::{parse_jsonl, SpanForest, TraceReport, TraceTree, TraceWriter, Tracer};

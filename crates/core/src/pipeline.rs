@@ -13,12 +13,10 @@
 
 use std::fmt;
 use std::sync::Arc;
-use std::time::Instant;
 
 use satroute_fpga::{DetailedRouting, RoutingProblem};
-use satroute_solver::{
-    CancellationToken, MetricsRecorder, RunBudget, RunObserver, SolverConfig, StopReason,
-};
+use satroute_obs::{FieldValue, Tracer};
+use satroute_solver::{CancellationToken, RunBudget, RunObserver, SolverConfig, StopReason};
 
 use crate::strategy::{ColoringOutcome, ColoringReport, Strategy};
 
@@ -128,6 +126,7 @@ pub struct RoutingPipeline {
     budget: RunBudget,
     cancel: Option<CancellationToken>,
     observer: Option<Arc<dyn RunObserver>>,
+    tracer: Tracer,
 }
 
 impl fmt::Debug for RoutingPipeline {
@@ -150,6 +149,7 @@ impl RoutingPipeline {
             budget: RunBudget::default(),
             cancel: None,
             observer: None,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -179,6 +179,14 @@ impl RoutingPipeline {
         self
     }
 
+    /// Attaches a [`Tracer`]: every route records a `route` span with
+    /// `graph_generation`, `encode`, `solve`, `decode` and `verify`
+    /// children (and a `certify` child for certified refutations).
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
     /// The pipeline's strategy.
     pub fn strategy(&self) -> Strategy {
         self.strategy
@@ -205,46 +213,82 @@ impl RoutingPipeline {
         problem: &RoutingProblem,
         width: u32,
     ) -> Result<RouteResult, PipelineError> {
-        let gen_start = Instant::now();
-        let graph = problem.conflict_graph();
-        let graph_generation = gen_start.elapsed();
+        let span = self.route_span(width, false);
+        let (graph, graph_generation) = problem.conflict_graph_traced(&self.tracer);
 
-        let mut request = self
-            .strategy
-            .solve(&graph, width)
-            .config(self.config.clone())
-            .budget(self.budget);
-        if let Some(token) = &self.cancel {
-            request = request.cancel(token.clone());
-        }
-        if let Some(observer) = &self.observer {
-            request = request.observe(observer.clone());
-        }
-        let mut report = request.run();
+        let mut report = self.request(&graph, width).run();
         report.timing.graph_generation = graph_generation;
 
         let routing = match &report.outcome {
             ColoringOutcome::Colorable(coloring) => {
-                let routing = DetailedRouting::from_tracks(coloring.colors().to_vec());
-                problem
-                    .verify_detailed_routing(&routing, width)
-                    .expect("decoded routings always verify — soundness bug otherwise");
-                Some(routing)
+                Some(self.verify(problem, width, coloring.colors()))
             }
             ColoringOutcome::Unsat => None,
             ColoringOutcome::Unknown(reason) => {
+                span.mark("verdict", "unknown");
                 return Err(PipelineError::Undecided {
                     width,
                     reason: *reason,
-                })
+                });
             }
         };
+        span.mark("verdict", if routing.is_some() { "sat" } else { "unsat" });
 
         Ok(RouteResult {
             width,
             routing,
             report,
         })
+    }
+
+    /// Opens the per-width root span shared by both route paths.
+    fn route_span(&self, width: u32, certified: bool) -> satroute_obs::SpanGuard {
+        self.tracer.span_with(
+            "route",
+            [
+                ("width", FieldValue::from(width)),
+                ("strategy", FieldValue::from(self.strategy.to_string())),
+                ("certified", FieldValue::from(certified)),
+            ],
+        )
+    }
+
+    /// Builds the configured solve request for one width probe.
+    fn request<'g>(
+        &self,
+        graph: &'g satroute_coloring::CspGraph,
+        width: u32,
+    ) -> crate::SolveRequest<'g> {
+        let mut request = self
+            .strategy
+            .solve(graph, width)
+            .config(self.config.clone())
+            .budget(self.budget)
+            .trace(self.tracer.clone());
+        if let Some(token) = &self.cancel {
+            request = request.cancel(token.clone());
+        }
+        if let Some(observer) = &self.observer {
+            request = request.observe(observer.clone());
+        }
+        request
+    }
+
+    /// Converts a decoded coloring into a detailed routing and verifies it
+    /// against the problem, under a `verify` span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if verification fails — a soundness bug, not a run-time
+    /// condition.
+    fn verify(&self, problem: &RoutingProblem, width: u32, tracks: &[u32]) -> DetailedRouting {
+        let span = self.tracer.span("verify");
+        let routing = DetailedRouting::from_tracks(tracks.to_vec());
+        problem
+            .verify_detailed_routing(&routing, width)
+            .expect("decoded routings always verify — soundness bug otherwise");
+        drop(span);
+        routing
     }
 
     /// Proves that `width` tracks are insufficient for `problem`.
@@ -280,90 +324,44 @@ impl RoutingPipeline {
         problem: &RoutingProblem,
         width: u32,
     ) -> Result<(RouteResult, Option<UnroutabilityCertificate>), PipelineError> {
-        use satroute_solver::{CdclSolver, SolveOutcome};
+        let span = self.route_span(width, true);
+        let (graph, graph_generation) = problem.conflict_graph_traced(&self.tracer);
 
-        let gen_start = Instant::now();
-        let graph = problem.conflict_graph();
-        let graph_generation = gen_start.elapsed();
+        let (mut report, formula, proof) = self.request(&graph, width).run_certified();
+        report.timing.graph_generation = graph_generation;
 
-        let encode_start = Instant::now();
-        let encoded = crate::encode::encode_coloring(
-            &graph,
-            width,
-            &self.strategy.encoding.encoding(),
-            self.strategy.symmetry,
-        );
-        let cnf_translation = encode_start.elapsed();
-        let formula_stats = encoded.formula.stats();
-
-        let recorder = Arc::new(MetricsRecorder::new());
-        let solve_start = Instant::now();
-        let mut solver = CdclSolver::with_config(self.config.clone());
-        solver.enable_proof_logging();
-        solver.set_budget(self.budget);
-        if let Some(token) = &self.cancel {
-            solver.set_cancellation(token.clone());
-        }
-        match &self.observer {
-            Some(user) => solver.set_observer(Arc::new(
-                satroute_solver::FanoutObserver::new()
-                    .with(recorder.clone())
-                    .with(user.clone()),
-            )),
-            None => solver.set_observer(recorder.clone()),
-        }
-        solver.add_formula(&encoded.formula);
-        let outcome = solver.solve();
-        let sat_solving = solve_start.elapsed();
-        let solver_stats = *solver.stats();
-        let timing = crate::strategy::TimingBreakdown {
-            graph_generation,
-            cnf_translation,
-            sat_solving,
-        };
-
-        match outcome {
-            SolveOutcome::Sat(model) => {
-                let coloring = crate::decode::decode_coloring(&model, &encoded.decode)
-                    .expect("models of the encoding always decode");
-                let routing = DetailedRouting::from_tracks(coloring.colors().to_vec());
-                problem
-                    .verify_detailed_routing(&routing, width)
-                    .expect("decoded routings always verify");
+        match &report.outcome {
+            ColoringOutcome::Colorable(coloring) => {
+                span.mark("verdict", "sat");
+                let routing = self.verify(problem, width, coloring.colors());
                 let result = RouteResult {
                     width,
                     routing: Some(routing),
-                    report: crate::strategy::ColoringReport {
-                        outcome: ColoringOutcome::Colorable(coloring),
-                        timing,
-                        formula_stats,
-                        solver_stats,
-                        metrics: recorder.snapshot(),
-                    },
+                    report,
                 };
                 Ok((result, None))
             }
-            SolveOutcome::Unsat => {
-                let proof = solver.take_proof().expect("logging was enabled");
+            ColoringOutcome::Unsat => {
+                span.mark("verdict", "unsat");
                 let certificate = UnroutabilityCertificate {
                     width,
-                    formula: encoded.formula,
-                    proof,
+                    formula,
+                    proof: proof.expect("UNSAT certified runs always carry a proof"),
                 };
                 let result = RouteResult {
                     width,
                     routing: None,
-                    report: crate::strategy::ColoringReport {
-                        outcome: ColoringOutcome::Unsat,
-                        timing,
-                        formula_stats,
-                        solver_stats,
-                        metrics: recorder.snapshot(),
-                    },
+                    report,
                 };
                 Ok((result, Some(certificate)))
             }
-            SolveOutcome::Unknown(reason) => Err(PipelineError::Undecided { width, reason }),
+            ColoringOutcome::Unknown(reason) => {
+                span.mark("verdict", "unknown");
+                Err(PipelineError::Undecided {
+                    width,
+                    reason: *reason,
+                })
+            }
         }
     }
 
@@ -413,6 +411,7 @@ impl RoutingPipeline {
 mod tests {
     use super::*;
     use satroute_fpga::benchmarks;
+    use satroute_solver::MetricsRecorder;
 
     #[test]
     fn routes_tiny_suite_at_routable_width() {

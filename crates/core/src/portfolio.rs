@@ -38,8 +38,10 @@ use std::time::{Duration, Instant};
 
 use satroute_cnf::Lit;
 use satroute_coloring::CspGraph;
+use satroute_obs::{FieldValue, Tracer};
 use satroute_solver::{
     CancellationToken, ClauseExchange, RunBudget, SharingConfig, SolverConfig, StopReason,
+    TraceObserver,
 };
 
 use crate::strategy::{ColoringReport, Strategy};
@@ -217,7 +219,7 @@ pub fn run_portfolio_with(
 ///     .with_diversified_configs(true);
 /// assert_eq!(opts.max_threads, Some(4));
 /// ```
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct PortfolioOptions {
     /// Cap on concurrently running members. `None` (the default) uses
     /// [`std::thread::available_parallelism`]. Members beyond the cap are
@@ -233,6 +235,12 @@ pub struct PortfolioOptions {
     /// [`SolverConfig::diversified`]`(i)` of the base configuration
     /// instead of the base itself (member 0 keeps the base).
     pub diversify: bool,
+    /// Trace destination. The disabled default records nothing; an enabled
+    /// tracer gets a `portfolio` root span with one `member` child span per
+    /// member (fields: `index`, `strategy`; counters/marks bridged from the
+    /// member's solver via [`TraceObserver`]), each member's own
+    /// encode/solve/decode spans nesting beneath it.
+    pub tracer: Tracer,
 }
 
 impl PortfolioOptions {
@@ -257,6 +265,12 @@ impl PortfolioOptions {
     /// Enables per-member configuration diversification.
     pub fn with_diversified_configs(mut self, diversify: bool) -> Self {
         self.diversify = diversify;
+        self
+    }
+
+    /// Records the run into `tracer` (see the `tracer` field).
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
         self
     }
 }
@@ -429,12 +443,21 @@ pub fn run_portfolio_opts(
             }
         })
         .collect();
+    let tracer = &opts.tracer;
+    let root = tracer.span_with(
+        "portfolio",
+        [
+            ("members", FieldValue::from(n as u64)),
+            ("k", FieldValue::from(k)),
+        ],
+    );
+    let root_id = root.id();
     let (tx, rx) = mpsc::channel::<(usize, ColoringReport, Duration)>();
     // A fixed worker pool claiming member indices from a shared counter:
     // at most `cap` members run at once, the rest queue.
     let next_member = AtomicUsize::new(0);
 
-    std::thread::scope(|scope| {
+    let result = std::thread::scope(|scope| {
         for _ in 0..cap {
             let tx = tx.clone();
             let stop = stop.clone();
@@ -447,12 +470,30 @@ pub fn run_portfolio_opts(
                 if idx >= n {
                     break;
                 }
-                let member_start = Instant::now();
+                // An explicit parent id: the worker thread's span stack is
+                // empty, so implicit parenting would make members roots.
+                let member_span = tracer.span_under(
+                    root_id,
+                    "member",
+                    [
+                        ("index", FieldValue::from(idx as u64)),
+                        ("strategy", FieldValue::from(strategies[idx].to_string())),
+                    ],
+                );
                 let mut request = strategies[idx]
                     .solve(graph, k)
                     .config(configs[idx].clone())
                     .budget(budget)
-                    .cancel(stop.clone());
+                    .cancel(stop.clone())
+                    .trace(tracer.clone());
+                if tracer.is_enabled() {
+                    // Bridge solver heartbeats and final counters onto the
+                    // member span so traces report per-member props/sec.
+                    request = request.observe(Arc::new(TraceObserver::new(
+                        tracer.clone(),
+                        member_span.id(),
+                    )));
+                }
                 if let (Some(sharing), Some(bus)) = (sharing, bus) {
                     if let Some(exchange) = bus.exchange(idx) {
                         request = request.share(exchange, sharing);
@@ -460,7 +501,7 @@ pub fn run_portfolio_opts(
                 }
                 let report = request.run();
                 // A send fails only if the receiver gave up; ignore.
-                let _ = tx.send((idx, report, member_start.elapsed()));
+                let _ = tx.send((idx, report, member_span.close()));
             });
         }
         drop(tx);
@@ -491,7 +532,12 @@ pub fn run_portfolio_opts(
             members,
             wall_time: first_answer.unwrap_or_else(|| start.elapsed()),
         }
-    })
+    });
+    match result.winner {
+        Some(w) => root.counter("winner", w as u64),
+        None => root.mark("winner", "none"),
+    }
+    result
 }
 
 /// The result of a *simulated* parallel portfolio run (see
@@ -918,6 +964,72 @@ mod tests {
         assert_eq!(b.drain(), vec![clause.clone()]);
         assert_eq!(c.drain(), vec![clause]);
         assert!(b.drain().is_empty(), "drain empties the inbox");
+    }
+
+    #[test]
+    fn traced_portfolio_records_one_member_span_per_member() {
+        let g = random_graph(10, 0.5, 3);
+        let chi = exact::chromatic_number(&g);
+        let strategies = Strategy::paper_portfolio_3();
+        let tree = satroute_obs::TraceTree::new();
+        let opts = PortfolioOptions::new().with_tracer(Tracer::to_sink(tree.clone()));
+        let result = run_portfolio_opts(
+            &g,
+            chi,
+            &strategies,
+            &SolverConfig::default(),
+            RunBudget::default(),
+            None,
+            &opts,
+        );
+        assert!(result.is_decided());
+
+        let forest = tree.forest().expect("trace reconstructs");
+        let roots = forest.roots();
+        assert_eq!(roots.len(), 1, "one portfolio root span");
+        let root = forest.node(roots[0]).unwrap();
+        assert_eq!(root.name, "portfolio");
+        assert_eq!(
+            root.counters.get("winner").copied(),
+            result.winner.map(|w| w as u64)
+        );
+
+        let members = forest.spans_named("member");
+        assert_eq!(members.len(), strategies.len());
+        for member in &members {
+            assert_eq!(member.parent, Some(roots[0]));
+            let idx = match member.field("index") {
+                Some(satroute_obs::FieldValue::U64(i)) => *i as usize,
+                other => panic!("member span missing index field: {other:?}"),
+            };
+            assert_eq!(
+                member.field("strategy").map(|f| f.to_string()),
+                Some(strategies[idx].to_string())
+            );
+            // The TraceObserver bridge put final solver counters on the span.
+            assert_eq!(
+                member.counters.get("conflicts").copied(),
+                Some(result.members[idx].report.solver_stats.conflicts)
+            );
+            assert!(member.marks.contains_key("outcome"), "member {idx}");
+        }
+        // Each member's own encode/solve spans nest beneath its member span.
+        let nested: Vec<_> = forest
+            .spans_named("encode")
+            .into_iter()
+            .chain(forest.spans_named("solve"))
+            .collect();
+        assert!(!nested.is_empty());
+        for span in nested {
+            let parent = span.parent.expect("nested under a member");
+            let mut at = parent;
+            while let Some(node) = forest.node(at) {
+                if node.name == "member" {
+                    break;
+                }
+                at = node.parent.expect("reaches a member span");
+            }
+        }
     }
 
     #[test]

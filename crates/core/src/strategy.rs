@@ -15,18 +15,20 @@
 use std::fmt;
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use satroute_cnf::FormulaStats;
+use satroute_cnf::{CnfFormula, FormulaStats};
 use satroute_coloring::{Coloring, CspGraph};
+use satroute_obs::{FieldValue, Tracer};
 use satroute_solver::{
-    CancellationToken, CdclSolver, ClauseExchange, FanoutObserver, MetricsRecorder, RunBudget,
-    RunMetrics, RunObserver, SharingConfig, SolveOutcome, SolverConfig, SolverStats, StopReason,
+    CancellationToken, CdclSolver, ClauseExchange, DratProof, FanoutObserver, MetricsRecorder,
+    RunBudget, RunMetrics, RunObserver, SharingConfig, SolveOutcome, SolverConfig, SolverStats,
+    StopReason, TraceObserver,
 };
 
 use crate::catalog::EncodingId;
 use crate::decode::decode_coloring;
-use crate::encode::encode_coloring;
+use crate::encode::encode_coloring_traced;
 use crate::symmetry::SymmetryHeuristic;
 
 /// The answer of a strategy run on a K-coloring instance.
@@ -169,6 +171,7 @@ impl Strategy {
             cancel: None,
             observer: None,
             exchange: None,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -218,6 +221,7 @@ pub struct SolveRequest<'a> {
     cancel: Option<CancellationToken>,
     observer: Option<Arc<dyn RunObserver>>,
     exchange: Option<(Arc<dyn ClauseExchange>, SharingConfig)>,
+    tracer: Tracer,
 }
 
 impl fmt::Debug for SolveRequest<'_> {
@@ -277,6 +281,14 @@ impl<'a> SolveRequest<'a> {
         self
     }
 
+    /// Attaches a [`Tracer`]: the run records `encode` (with per-encoding
+    /// CNF-size counters), `solve` and `decode` spans under the caller's
+    /// current span. A disabled tracer (the default) records nothing.
+    pub fn trace(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
     /// Encodes, solves and decodes, consuming the request.
     ///
     /// # Panics
@@ -285,28 +297,56 @@ impl<'a> SolveRequest<'a> {
     /// proper coloring — that would be a soundness bug in the encoder or
     /// solver, not a run-time condition.
     pub fn run(self) -> ColoringReport {
-        let encode_start = Instant::now();
-        let encoded = encode_coloring(
+        self.run_inner(false).0
+    }
+
+    /// Like [`SolveRequest::run`], but with DRAT proof logging enabled:
+    /// also returns the encoded CNF and, on UNSAT, the solver's refutation
+    /// of it. Clause imports are disabled under proof logging, so a
+    /// certified run never records `imported_clauses`.
+    pub fn run_certified(self) -> (ColoringReport, CnfFormula, Option<DratProof>) {
+        let (report, formula, proof) = self.run_inner(true);
+        (
+            report,
+            formula.expect("run_inner(true) always returns the formula"),
+            proof,
+        )
+    }
+
+    fn run_inner(
+        self,
+        with_proof: bool,
+    ) -> (ColoringReport, Option<CnfFormula>, Option<DratProof>) {
+        let tracer = self.tracer.clone();
+        let encoded = encode_coloring_traced(
             self.graph,
             self.k,
             &self.strategy.encoding.encoding(),
             self.strategy.symmetry,
+            &tracer,
         );
-        let cnf_translation = encode_start.elapsed();
         let formula_stats = encoded.formula.stats();
 
+        let solve_span = tracer.span_with(
+            "solve",
+            [("strategy", FieldValue::from(self.strategy.to_string()))],
+        );
         let recorder = Arc::new(MetricsRecorder::new());
-        let observer: Arc<dyn RunObserver> = match &self.observer {
-            Some(user) => Arc::new(
-                FanoutObserver::new()
-                    .with(recorder.clone())
-                    .with(user.clone()),
-            ),
-            None => recorder.clone(),
-        };
+        let mut fanout = FanoutObserver::new().with(recorder.clone() as Arc<dyn RunObserver>);
+        if let Some(user) = &self.observer {
+            fanout = fanout.with(user.clone());
+        }
+        if tracer.is_enabled() {
+            fanout = fanout.with(Arc::new(TraceObserver::new(
+                tracer.clone(),
+                solve_span.id(),
+            )));
+        }
 
-        let solve_start = Instant::now();
         let mut solver = CdclSolver::with_config(self.config);
+        if with_proof {
+            solver.enable_proof_logging();
+        }
         solver.set_budget(self.budget);
         if let Some(token) = self.cancel {
             solver.set_cancellation(token);
@@ -314,12 +354,18 @@ impl<'a> SolveRequest<'a> {
         if let Some((exchange, sharing)) = self.exchange {
             solver.set_exchange(exchange, sharing);
         }
-        solver.set_observer(observer);
+        solver.set_observer(Arc::new(fanout));
         solver.add_formula(&encoded.formula);
         let outcome = solver.solve();
-        let sat_solving = solve_start.elapsed();
+        let sat_solving = solve_span.close();
         let solver_stats = *solver.stats();
+        let proof = if with_proof && matches!(outcome, SolveOutcome::Unsat) {
+            Some(solver.take_proof().expect("logging was enabled"))
+        } else {
+            None
+        };
 
+        let decode_span = tracer.span("decode");
         let outcome = match outcome {
             SolveOutcome::Sat(model) => {
                 let coloring = decode_coloring(&model, &encoded.decode)
@@ -333,18 +379,31 @@ impl<'a> SolveRequest<'a> {
             SolveOutcome::Unsat => ColoringOutcome::Unsat,
             SolveOutcome::Unknown(reason) => ColoringOutcome::Unknown(reason),
         };
+        decode_span.mark(
+            "verdict",
+            match &outcome {
+                ColoringOutcome::Colorable(_) => "sat",
+                ColoringOutcome::Unsat => "unsat",
+                ColoringOutcome::Unknown(_) => "unknown",
+            },
+        );
+        drop(decode_span);
 
-        ColoringReport {
+        let metrics = recorder.snapshot();
+        let report = ColoringReport {
             outcome,
             timing: TimingBreakdown {
                 graph_generation: Duration::ZERO,
-                cnf_translation,
+                // Both stage durations come from span measurements, so the
+                // public timing view and a recorded trace always agree.
+                cnf_translation: encoded.cnf_translation,
                 sat_solving,
             },
             formula_stats,
             solver_stats,
-            metrics: recorder.snapshot(),
-        }
+            metrics,
+        };
+        (report, with_proof.then_some(encoded.formula), proof)
     }
 }
 

@@ -205,6 +205,22 @@ impl RoutingProblem {
         graph
     }
 
+    /// [`RoutingProblem::conflict_graph`] wrapped in a `graph_generation`
+    /// trace span recording subnet/vertex/edge counts; also returns the
+    /// measured wall time so callers can keep their timing views without
+    /// re-measuring.
+    pub fn conflict_graph_traced(
+        &self,
+        tracer: &satroute_obs::Tracer,
+    ) -> (CspGraph, std::time::Duration) {
+        let span = tracer.span("graph_generation");
+        let graph = self.conflict_graph();
+        span.counter("subnets", self.num_subnets() as u64);
+        span.counter("vertices", graph.num_vertices() as u64);
+        span.counter("edges", graph.num_edges() as u64);
+        (graph, span.close())
+    }
+
     /// Checks that `routing` is a valid detailed routing for channel width
     /// `width`.
     ///

@@ -1,11 +1,13 @@
 //! A minimal JSON document model, writer and parser.
 //!
-//! The bench binaries emit machine-readable results with `--json`. The
+//! The trace writer emits one JSON object per line ([`crate::writer`]) and
+//! the bench binaries emit machine-readable results with `--json` (the
+//! bench crate re-exports this module as `satroute_bench::json`). The
 //! workspace builds fully offline, so instead of depending on `serde_json`
 //! this module hand-rolls the small subset of JSON the harness needs:
 //! objects, arrays, strings (with escaping), finite numbers, booleans and
-//! null. The parser exists so round-trip tests can validate everything the
-//! writer emits.
+//! null. The parser exists so trace artifacts can be read back and so
+//! round-trip tests can validate everything the writer emits.
 
 use std::collections::BTreeMap;
 use std::fmt;

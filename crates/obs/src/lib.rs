@@ -1,0 +1,30 @@
+//! Tracing and observability for the satroute workspace.
+//!
+//! The pipeline — routing-problem → conflict graph → CNF encoding →
+//! SAT solving → decode/verify — is instrumented with hierarchical
+//! spans. A [`Tracer`] hands out RAII [`SpanGuard`]s; each span records
+//! its parent, start/end timestamps (µs since the tracer's epoch) and
+//! opening thread, and can carry typed [counters](SpanGuard::counter),
+//! [gauges](SpanGuard::gauge) and string [marks](SpanGuard::mark).
+//! Events fan out to pluggable [`TraceSink`]s: the in-memory
+//! [`TraceTree`] aggregator and the buffered JSONL [`TraceWriter`]
+//! (one JSON object per line, flushed on drop) that backs `--trace`
+//! artifacts. [`SpanForest`] re-builds and validates the span tree from
+//! any event stream, and [`TraceReport`] turns it into the per-phase /
+//! per-encoding / per-member tables behind `satroute trace report`.
+//!
+//! The default [`Tracer`] is disabled and free: call sites thread it
+//! unconditionally and pay one branch when tracing is off.
+
+pub mod event;
+pub mod json;
+pub mod report;
+pub mod tracer;
+pub mod tree;
+pub mod writer;
+
+pub use event::{parse_jsonl, FieldValue, SpanId, TraceEvent};
+pub use report::{EncodingStats, MemberStats, PhaseStats, TraceReport};
+pub use tracer::{BufferSink, SpanGuard, TraceSink, Tracer};
+pub use tree::{SpanForest, SpanNode, TraceTree};
+pub use writer::TraceWriter;

@@ -1,0 +1,92 @@
+//! Buffered JSONL trace artifact writer.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+use crate::event::TraceEvent;
+use crate::tracer::TraceSink;
+
+/// A [`TraceSink`] that writes one JSON object per line through a
+/// [`BufWriter`], flushed on drop — so a `--trace` artifact is complete
+/// once the tracer (and with it the writer) goes out of scope, even if
+/// the process exits through an early return.
+pub struct TraceWriter<W: Write + Send> {
+    out: BufWriter<W>,
+}
+
+impl TraceWriter<File> {
+    /// Creates (truncating) a trace file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation errors.
+    pub fn to_path(path: impl AsRef<Path>) -> io::Result<TraceWriter<File>> {
+        Ok(TraceWriter::to_writer(File::create(path)?))
+    }
+}
+
+impl<W: Write + Send> TraceWriter<W> {
+    /// Wraps any writer (a file, a pipe, a `Vec<u8>` in tests).
+    pub fn to_writer(out: W) -> TraceWriter<W> {
+        TraceWriter {
+            out: BufWriter::new(out),
+        }
+    }
+}
+
+impl<W: Write + Send> TraceSink for TraceWriter<W> {
+    fn record(&mut self, event: &TraceEvent) {
+        // Trace recording is best-effort: an unwritable artifact must not
+        // abort the solve it is observing.
+        let _ = writeln!(self.out, "{}", event.to_json().to_json());
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+impl<W: Write + Send> Drop for TraceWriter<W> {
+    fn drop(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{parse_jsonl, FieldValue};
+    use crate::tracer::Tracer;
+    use std::sync::{Arc, Mutex};
+
+    /// A writer handing its bytes to a shared buffer, to observe what the
+    /// tracer wrote after it is dropped.
+    #[derive(Clone)]
+    struct Shared(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for Shared {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn writes_one_valid_json_object_per_line() {
+        let shared = Shared(Arc::new(Mutex::new(Vec::new())));
+        {
+            let tracer = Tracer::to_sink(TraceWriter::to_writer(shared.clone()));
+            let root = tracer.span_with("route", [("k", FieldValue::U64(4))]);
+            root.counter("edges", 12);
+            root.mark("verdict", "sat");
+        }
+        let text = String::from_utf8(shared.0.lock().unwrap().clone()).unwrap();
+        let events = parse_jsonl(&text).unwrap();
+        assert_eq!(events.len(), 4, "{text}");
+        assert!(text.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+}

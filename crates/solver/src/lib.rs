@@ -63,5 +63,5 @@ pub use proof::{rup_implied, CheckProofError, DratProof, ProofStep};
 pub use run::{
     CancellationToken, ClauseExchange, FanoutObserver, MetricsRecorder, NullObserver,
     ProgressLogger, RunBudget, RunMetrics, RunObserver, SharingConfig, SolveVerdict, SolverEvent,
-    StopReason,
+    StopReason, TraceObserver,
 };

@@ -52,6 +52,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use satroute_cnf::Lit;
+use satroute_obs::{SpanId, Tracer};
 
 use crate::cdcl::SolverStats;
 
@@ -514,13 +515,16 @@ impl RunObserver for MetricsRecorder {
 
 /// An observer that writes one human-readable line per event.
 ///
-/// The default sink is standard error; [`ProgressLogger::to_writer`]
-/// accepts any `Write + Send` sink (tests use a `Vec<u8>` behind a
-/// `Mutex`). Write errors are ignored — progress output must never abort
-/// a solve.
+/// Every line carries the wall time elapsed since the last `Started`
+/// event (`[label +1.2s]`), and the writer is flushed after each event so
+/// progress stays visible when stderr is redirected to a file. The
+/// default sink is standard error; [`ProgressLogger::to_writer`] accepts
+/// any `Write + Send` sink (tests use a `Vec<u8>` behind a `Mutex`).
+/// Write errors are ignored — progress output must never abort a solve.
 pub struct ProgressLogger {
     label: String,
     out: Mutex<Box<dyn Write + Send>>,
+    started: Mutex<Option<Instant>>,
 }
 
 impl ProgressLogger {
@@ -534,6 +538,7 @@ impl ProgressLogger {
         ProgressLogger {
             label: label.into(),
             out: Mutex::new(out),
+            started: Mutex::new(None),
         }
     }
 }
@@ -548,25 +553,32 @@ impl fmt::Debug for ProgressLogger {
 
 impl RunObserver for ProgressLogger {
     fn on_event(&self, event: &SolverEvent) {
+        let elapsed = {
+            let mut started = self.started.lock().expect("logger lock never poisoned");
+            if matches!(event, SolverEvent::Started { .. }) {
+                *started = Some(Instant::now());
+            }
+            started.map(|s| s.elapsed()).unwrap_or(Duration::ZERO)
+        };
         let mut out = self.out.lock().expect("logger lock never poisoned");
-        let label = &self.label;
+        let tag = format!("[{} +{:.1}s]", self.label, elapsed.as_secs_f64());
         // Ignore write errors: logging must not interfere with solving.
         let _ = match *event {
             SolverEvent::Started {
                 num_vars,
                 num_clauses,
-            } => writeln!(out, "[{label}] start: {num_vars} vars, {num_clauses} clauses"),
+            } => writeln!(out, "{tag} start: {num_vars} vars, {num_clauses} clauses"),
             SolverEvent::Restart {
                 restarts,
                 conflicts,
-            } => writeln!(out, "[{label}] restart #{restarts} at {conflicts} conflicts"),
+            } => writeln!(out, "{tag} restart #{restarts} at {conflicts} conflicts"),
             SolverEvent::Reduce {
                 learnts_before,
                 learnts_after,
                 conflicts,
             } => writeln!(
                 out,
-                "[{label}] reduce: {learnts_before} -> {learnts_after} learnts at {conflicts} conflicts"
+                "{tag} reduce: {learnts_before} -> {learnts_after} learnts at {conflicts} conflicts"
             ),
             SolverEvent::Progress {
                 conflicts,
@@ -576,7 +588,7 @@ impl RunObserver for ProgressLogger {
                 elapsed,
             } => writeln!(
                 out,
-                "[{label}] {:.1}s: {conflicts} conflicts, {decisions} decisions, {propagations} props, lbd~{lbd_ema:.1}",
+                "{tag} {:.1}s: {conflicts} conflicts, {decisions} decisions, {propagations} props, lbd~{lbd_ema:.1}",
                 elapsed.as_secs_f64()
             ),
             SolverEvent::Import {
@@ -585,16 +597,94 @@ impl RunObserver for ProgressLogger {
                 conflicts,
             } => writeln!(
                 out,
-                "[{label}] import: {imported} shared clauses ({total_imported} total) at {conflicts} conflicts"
+                "{tag} import: {imported} shared clauses ({total_imported} total) at {conflicts} conflicts"
             ),
             SolverEvent::Finished {
                 verdict, elapsed, ..
             } => writeln!(
                 out,
-                "[{label}] done in {:.3}s: {verdict:?}",
+                "{tag} done in {:.3}s: {verdict:?}",
                 elapsed.as_secs_f64()
             ),
         };
+        // Flush each line so progress survives redirection to a file.
+        let _ = out.flush();
+    }
+}
+
+/// An observer that bridges the solver's event stream into a trace span:
+/// heartbeat measurements from `Progress`, import/restart counters, and
+/// final work counters plus an `outcome` mark from `Finished`.
+///
+/// The portfolio runner attaches one per member span, so a recorded trace
+/// can report conflicts, decisions and propagations (and props/sec) per
+/// member.
+pub struct TraceObserver {
+    tracer: Tracer,
+    span: SpanId,
+}
+
+impl TraceObserver {
+    /// Bridges events onto `span` of `tracer`.
+    pub fn new(tracer: Tracer, span: SpanId) -> Self {
+        TraceObserver { tracer, span }
+    }
+}
+
+impl fmt::Debug for TraceObserver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceObserver")
+            .field("span", &self.span)
+            .finish()
+    }
+}
+
+impl RunObserver for TraceObserver {
+    fn on_event(&self, event: &SolverEvent) {
+        let span = self.span;
+        match *event {
+            SolverEvent::Started {
+                num_vars,
+                num_clauses,
+            } => {
+                self.tracer.counter(span, "num_vars", num_vars as u64);
+                self.tracer.counter(span, "num_clauses", num_clauses as u64);
+            }
+            SolverEvent::Restart { restarts, .. } => {
+                self.tracer.counter(span, "restarts", restarts);
+            }
+            SolverEvent::Reduce { learnts_after, .. } => {
+                self.tracer.counter(span, "learnts", learnts_after as u64);
+            }
+            SolverEvent::Progress {
+                conflicts,
+                decisions,
+                propagations,
+                lbd_ema,
+                ..
+            } => {
+                self.tracer.counter(span, "conflicts", conflicts);
+                self.tracer.counter(span, "decisions", decisions);
+                self.tracer.counter(span, "propagations", propagations);
+                self.tracer.gauge(span, "lbd_ema", lbd_ema);
+            }
+            SolverEvent::Import { total_imported, .. } => {
+                self.tracer
+                    .counter(span, "imported_clauses", total_imported);
+            }
+            SolverEvent::Finished { verdict, stats, .. } => {
+                self.tracer.counter(span, "conflicts", stats.conflicts);
+                self.tracer.counter(span, "decisions", stats.decisions);
+                self.tracer
+                    .counter(span, "propagations", stats.propagations);
+                let outcome = match verdict {
+                    SolveVerdict::Sat => "sat".to_string(),
+                    SolveVerdict::Unsat => "unsat".to_string(),
+                    SolveVerdict::Unknown(reason) => format!("unknown:{reason}"),
+                };
+                self.tracer.mark(span, "outcome", &outcome);
+            }
+        }
     }
 }
 
@@ -727,12 +817,63 @@ mod tests {
         }
 
         let logger = ProgressLogger::to_writer("t", Box::new(Shared(buf.clone())));
+        logger.on_event(&SolverEvent::Started {
+            num_vars: 3,
+            num_clauses: 4,
+        });
         logger.on_event(&SolverEvent::Restart {
             restarts: 2,
             conflicts: 200,
         });
         let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
-        assert!(text.contains("[t] restart #2 at 200 conflicts"), "{text}");
+        assert!(text.contains("[t +0.0s] start: 3 vars"), "{text}");
+        assert!(text.contains("restart #2 at 200 conflicts"), "{text}");
+        // Every line carries the elapsed-since-start tag.
+        assert!(text.lines().all(|l| l.starts_with("[t +")), "{text}");
+    }
+
+    #[test]
+    fn trace_observer_bridges_events_onto_a_span() {
+        use satroute_obs::{TraceEvent, TraceTree};
+
+        let tree = TraceTree::new();
+        let tracer = Tracer::to_sink(tree.clone());
+        let span = tracer.span("member");
+        let obs = TraceObserver::new(tracer.clone(), span.id());
+        obs.on_event(&SolverEvent::Progress {
+            conflicts: 1024,
+            decisions: 2048,
+            propagations: 9001,
+            lbd_ema: 4.5,
+            elapsed: Duration::from_millis(10),
+        });
+        let stats = SolverStats {
+            conflicts: 1500,
+            decisions: 3000,
+            propagations: 12000,
+            ..Default::default()
+        };
+        obs.on_event(&SolverEvent::Finished {
+            verdict: SolveVerdict::Unsat,
+            stats,
+            elapsed: Duration::from_millis(20),
+        });
+        drop(span);
+
+        let forest = tree.forest().unwrap();
+        let member = forest.node(forest.roots()[0]).unwrap();
+        assert_eq!(member.counters.get("conflicts"), Some(&1500));
+        assert_eq!(member.counters.get("propagations"), Some(&12000));
+        assert_eq!(
+            member.marks.get("outcome").map(String::as_str),
+            Some("unsat")
+        );
+        assert_eq!(member.gauges.get("lbd_ema"), Some(&4.5));
+        // The heartbeat arrived before the final counters.
+        let events = tree.events();
+        assert!(events.iter().any(
+            |e| matches!(e, TraceEvent::Counter { name, value: 1024, .. } if name == "conflicts")
+        ));
     }
 
     #[test]

@@ -14,11 +14,16 @@
 //!   suite,
 //! * [`core`] — the paper's contribution: 14 SAT encodings for CSPs,
 //!   symmetry breaking, the encoder/decoder, strategies and the parallel
-//!   portfolio, plus the end-to-end routing pipeline.
+//!   portfolio, plus the end-to-end routing pipeline,
+//! * [`obs`] — the tracing subsystem: hierarchical spans, JSONL trace
+//!   artifacts, and the trace report analyzer.
 //!
 //! The run-control vocabulary (budgets, cancellation, observers) is
 //! re-exported at the crate root: [`RunBudget`], [`CancellationToken`],
-//! [`StopReason`], [`RunMetrics`], [`RunObserver`] and friends.
+//! [`StopReason`], [`RunMetrics`], [`RunObserver`] and friends, as is
+//! the tracing vocabulary from [`obs`]: [`Tracer`], [`TraceWriter`],
+//! [`SpanForest`] and [`TraceReport`] (see "Observability & tracing" in
+//! the README).
 //!
 //! # Quickstart
 //!
@@ -52,9 +57,12 @@ pub use satroute_cnf as cnf;
 pub use satroute_coloring as coloring;
 pub use satroute_core as core;
 pub use satroute_fpga as fpga;
+pub use satroute_obs as obs;
 pub use satroute_solver as solver;
 
 pub use satroute_solver::{
     CancellationToken, FanoutObserver, MetricsRecorder, NullObserver, ProgressLogger, RunBudget,
-    RunMetrics, RunObserver, SolveVerdict, SolverEvent, StopReason,
+    RunMetrics, RunObserver, SolveVerdict, SolverEvent, StopReason, TraceObserver,
 };
+
+pub use satroute_obs::{parse_jsonl, SpanForest, TraceReport, TraceTree, TraceWriter, Tracer};

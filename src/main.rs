@@ -9,6 +9,7 @@
 //! satroute encode <problem.txt|.col> --width <W> [...] emit DIMACS CNF
 //! satroute solve <file.cnf> [--proof <out.drat>]       run the CDCL solver
 //! satroute portfolio <problem.txt> --width <W> [...]   race a solver portfolio
+//! satroute trace report <trace.jsonl> [--json]         analyze a trace artifact
 //! satroute encodings                                   list the 15 encodings
 //! ```
 //!
@@ -27,6 +28,13 @@
 //! stderr), `--json` (machine-readable result on stdout). Budgets are
 //! cooperative — checked at conflict boundaries — so overshoot is bounded
 //! but nonzero; an exhausted budget reports UNKNOWN with its stop reason.
+//!
+//! Tracing: `--trace <out.jsonl>` on `route`, `prove`, `min-width`,
+//! `solve` and `portfolio` records hierarchical spans (graph generation,
+//! encoding, solving, decode) to a JSONL artifact; `satroute trace report
+//! <out.jsonl>` reconstructs the span tree and prints per-phase,
+//! per-encoding and per-member tables (`--json` for machine-readable
+//! output).
 
 use std::fs;
 use std::process::ExitCode;
@@ -38,8 +46,12 @@ use satroute::coloring::dimacs as col_dimacs;
 use satroute::coloring::CspGraph;
 use satroute::core::{encode_coloring, EncodingId, RoutingPipeline, Strategy, SymmetryHeuristic};
 use satroute::fpga::{benchmarks, io as fpga_io, RoutingProblem};
+use satroute::obs::FieldValue;
 use satroute::solver::{CdclSolver, SolveOutcome};
-use satroute::{ProgressLogger, RunBudget};
+use satroute::{
+    parse_jsonl, FanoutObserver, ProgressLogger, RunBudget, RunObserver, SpanForest, TraceObserver,
+    TraceReport, TraceWriter, Tracer,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -69,6 +81,7 @@ struct Options {
     portfolio_share: bool,
     diversify: Option<usize>,
     threads: Option<usize>,
+    trace: Option<String>,
 }
 
 impl Options {
@@ -82,6 +95,16 @@ impl Options {
             budget = budget.with_max_conflicts(n);
         }
         budget
+    }
+
+    /// The tracer implied by `--trace`: a JSONL writer, or disabled.
+    fn tracer(&self) -> Result<Tracer, String> {
+        match &self.trace {
+            Some(path) => Ok(Tracer::to_sink(
+                TraceWriter::to_path(path).map_err(|e| format!("cannot create {path}: {e}"))?,
+            )),
+            None => Ok(Tracer::disabled()),
+        }
     }
 }
 
@@ -103,6 +126,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         portfolio_share: false,
         diversify: None,
         threads: None,
+        trace: None,
     };
     let mut i = 0;
     let take_value = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
@@ -143,6 +167,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 opts.max_conflicts =
                     Some(v.parse().map_err(|_| format!("bad conflict limit `{v}`"))?);
             }
+            "--trace" => opts.trace = Some(take_value(args, &mut i, "--trace")?),
             "--progress" => opts.progress = true,
             "--json" => opts.json = true,
             "--portfolio-share" => opts.portfolio_share = true,
@@ -219,7 +244,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             let width = opts.width.ok_or("route/prove need --width <W>")?;
             let problem = load_problem(path)?;
             let mut pipeline = RoutingPipeline::new(Strategy::new(opts.encoding, opts.symmetry))
-                .with_budget(opts.budget());
+                .with_budget(opts.budget())
+                .with_tracer(opts.tracer()?);
             if opts.progress {
                 pipeline = pipeline.with_observer(Arc::new(ProgressLogger::stderr(command)));
             }
@@ -243,18 +269,26 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             let problem = load_problem(path)?;
             if opts.incremental {
                 use satroute::core::incremental::IncrementalColoring;
+                let tracer = opts.tracer()?;
+                let span = tracer.span_with("min_width", [("incremental", FieldValue::from(true))]);
                 let graph = problem.conflict_graph();
                 let upper = satroute::coloring::dsatur_coloring(&graph)
                     .max_color()
                     .map_or(1, |m| m + 1);
                 let mut inc = IncrementalColoring::new(&graph, upper, opts.symmetry);
                 inc.set_budget(opts.budget());
+                let mut fan = FanoutObserver::new();
                 if opts.progress {
-                    inc.set_observer(Arc::new(ProgressLogger::stderr("min-width")));
+                    fan = fan.with(Arc::new(ProgressLogger::stderr("min-width")));
                 }
+                if tracer.is_enabled() {
+                    fan = fan.with(Arc::new(TraceObserver::new(tracer.clone(), span.id())));
+                }
+                inc.set_observer(Arc::new(fan) as Arc<dyn RunObserver>);
                 let (min, _) = inc
                     .find_min_colors()
                     .ok_or("solver gave up or bound was uncolorable")?;
+                span.counter("min_width", min as u64);
                 if opts.json {
                     println!(
                         "{{\"min_width\":{min},\"incremental\":true,\"conflicts\":{}}}",
@@ -269,7 +303,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             } else {
                 let mut pipeline =
                     RoutingPipeline::new(Strategy::new(opts.encoding, opts.symmetry))
-                        .with_budget(opts.budget());
+                        .with_budget(opts.budget())
+                        .with_tracer(opts.tracer()?);
                 if opts.progress {
                     pipeline =
                         pipeline.with_observer(Arc::new(ProgressLogger::stderr("min-width")));
@@ -345,16 +380,27 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             let path = opts.positional.first().ok_or("solve needs a .cnf file")?;
             let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             let formula = cnf_dimacs::parse_cnf_str(&text).map_err(|e| format!("{e}"))?;
+            let tracer = opts.tracer()?;
+            let span = tracer.span_with(
+                "solve",
+                [("strategy", FieldValue::from(format!("cnf:{path}")))],
+            );
             let mut solver = CdclSolver::new();
             if opts.proof.is_some() {
                 solver.enable_proof_logging();
             }
             solver.set_budget(opts.budget());
+            let mut fan = FanoutObserver::new();
             if opts.progress {
-                solver.set_observer(Arc::new(ProgressLogger::stderr("solve")));
+                fan = fan.with(Arc::new(ProgressLogger::stderr("solve")));
             }
+            if tracer.is_enabled() {
+                fan = fan.with(Arc::new(TraceObserver::new(tracer.clone(), span.id())));
+            }
+            solver.set_observer(Arc::new(fan) as Arc<dyn RunObserver>);
             solver.add_formula(&formula);
             let outcome = solver.solve();
+            drop(span);
             if opts.json {
                 let stats = solver.stats();
                 let (result, reason) = match &outcome {
@@ -432,8 +478,9 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 Some(n) => Strategy::diversified(Strategy::new(opts.encoding, opts.symmetry), n),
                 None => Strategy::paper_portfolio_3(),
             };
-            let mut portfolio_opts =
-                PortfolioOptions::new().with_diversified_configs(opts.diversify.is_some());
+            let mut portfolio_opts = PortfolioOptions::new()
+                .with_diversified_configs(opts.diversify.is_some())
+                .with_tracer(opts.tracer()?);
             if let Some(n) = opts.threads {
                 portfolio_opts = portfolio_opts.with_max_threads(n);
             }
@@ -516,6 +563,34 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 Some(false) => Ok(ExitCode::from(20)),
                 None => Ok(ExitCode::SUCCESS),
             }
+        }
+        "trace" => {
+            let sub = opts
+                .positional
+                .first()
+                .ok_or("trace needs a subcommand (try: trace report <file.jsonl>)")?;
+            if sub != "report" {
+                return Err(format!(
+                    "unknown trace subcommand `{sub}` (try: trace report <file.jsonl>)"
+                ));
+            }
+            let path = opts
+                .positional
+                .get(1)
+                .ok_or("trace report needs a .jsonl trace file")?;
+            let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let events = parse_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+            if events.is_empty() {
+                return Err(format!("{path}: trace contains no events"));
+            }
+            let forest = SpanForest::from_events(&events).map_err(|e| format!("{path}: {e}"))?;
+            let report = TraceReport::from_forest(&forest);
+            if opts.json {
+                println!("{}", report.to_json().to_json());
+            } else {
+                print!("{}", report.render_text(&forest));
+            }
+            Ok(ExitCode::SUCCESS)
         }
         "encodings" => {
             println!("previously used for FPGA routing:");
@@ -613,9 +688,10 @@ fn finish_route(
 fn print_usage() {
     eprintln!(
         "usage: satroute <command> [options]\n\
-         commands: gen, route, prove, min-width, encode, solve, portfolio, encodings\n\
+         commands: gen, route, prove, min-width, encode, solve, portfolio, trace, encodings\n\
          run control: --timeout <secs>, --max-conflicts <n>, --progress, --json\n\
          portfolio: --diversify <N>, --portfolio-share, --threads <T>\n\
+         tracing: --trace <out.jsonl>; trace report <out.jsonl> [--json]\n\
          see the crate README for details"
     );
 }
