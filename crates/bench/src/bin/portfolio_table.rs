@@ -19,13 +19,13 @@
 
 use std::time::{Duration, Instant};
 
-use satroute_bench::json::Value;
 use satroute_bench::{fmt_secs, fmt_speedup, metrics_json, tracer_from_args};
 use satroute_core::{
     run_portfolio_opts, simulate_portfolio, EncodingId, PortfolioOptions, PortfolioResult,
     SimulatedPortfolio, Strategy, SymmetryHeuristic,
 };
 use satroute_fpga::benchmarks;
+use satroute_obs::json::Value;
 use satroute_solver::{RunBudget, SharingConfig, SolverConfig};
 
 /// Members racing concurrently in the sharing experiment. Oversubscribed

@@ -9,10 +9,10 @@
 
 use std::time::Duration;
 
-use satroute_bench::json::Value;
 use satroute_bench::{cell_json, fmt_secs, run_cell};
 use satroute_core::{EncodingId, Strategy, SymmetryHeuristic};
 use satroute_fpga::benchmarks;
+use satroute_obs::json::Value;
 
 fn main() {
     let tiny = std::env::args().any(|a| a == "--tiny");

@@ -15,10 +15,10 @@
 
 use std::time::Duration;
 
-use satroute_bench::json::Value;
 use satroute_bench::{cell_json, fmt_secs, fmt_speedup, run_cell_traced, tracer_from_args};
 use satroute_core::{ColoringOutcome, EncodingId, Strategy, SymmetryHeuristic};
 use satroute_fpga::benchmarks;
+use satroute_obs::json::Value;
 
 fn main() {
     let tiny = std::env::args().any(|a| a == "--tiny");

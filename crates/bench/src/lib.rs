@@ -11,20 +11,30 @@
 //! | `routable`        | §6 prose — all encodings on routable configs |
 //! | `portfolio_table` | §6 prose — 2- and 3-strategy parallel portfolios |
 //! | `sizes`           | ablation A1 — formula sizes per encoding |
+//!
+//! Beyond the paper artifacts, the [`suite`] / [`artifact`] / [`compare`]
+//! modules implement the `satroute bench` regression harness: pinned
+//! deterministic suites whose runs are recorded as `BENCH_*.json`
+//! baselines and diffed/gated against each other (see the crate README,
+//! "Benchmark regression harness"). The JSON document model these share
+//! lives in [`satroute_obs::json`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-// The JSON model moved to `satroute-obs` (the trace writer shares it);
-// re-exported so `satroute_bench::json` paths keep working.
-pub use satroute_obs::json;
+pub mod artifact;
+pub mod compare;
+pub mod suite;
+
+pub use artifact::{BenchArtifact, BenchCell, EnvFingerprint, HistogramSummary, WallTime, SCHEMA};
+pub use compare::{compare, Comparison, GateOptions, Regression};
+pub use suite::{run_suite, SuiteId, SuiteOptions};
 
 use std::time::Duration;
 
 use satroute_core::{ColoringOutcome, ColoringReport, RunMetrics, Strategy};
 use satroute_fpga::benchmarks::BenchmarkInstance;
-
-use crate::json::Value;
+use satroute_obs::json::Value;
 
 /// One measured cell of a results table.
 #[derive(Clone, Debug)]

@@ -1,0 +1,293 @@
+//! Pinned regression suites for `satroute bench run`.
+//!
+//! A suite is a fixed list of (benchmark, strategy, width) triples whose
+//! instances are generated from constant seeds, so the deterministic
+//! columns of the resulting [`BenchArtifact`] (conflicts, decisions,
+//! propagations, CNF shape, outcome) are bit-identical across machines
+//! for a given toolchain — those columns gate regressions anywhere, while
+//! wall time gates only between matching environments (see
+//! [`crate::compare`]).
+
+use std::time::Duration;
+
+use satroute_core::Strategy;
+use satroute_fpga::benchmarks::{self, BenchmarkInstance};
+use satroute_obs::{MetricsRegistry, Tracer};
+use satroute_solver::RunBudget;
+
+use crate::artifact::{BenchArtifact, BenchCell, EnvFingerprint, HistogramSummary, WallTime};
+use crate::fmt_secs;
+
+/// Which pinned suite to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SuiteId {
+    /// The three `tiny_*` instances × two strategies × both calibrated
+    /// widths — seconds of wall time; the CI regression gate.
+    Quick,
+    /// The paper's circuit suite at the unroutable widths (the Table 2
+    /// regime) with the paper's best and baseline strategies — minutes.
+    Paper,
+}
+
+impl SuiteId {
+    /// The suite's artifact name (`"quick"` / `"paper"`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SuiteId::Quick => "quick",
+            SuiteId::Paper => "paper",
+        }
+    }
+}
+
+impl std::str::FromStr for SuiteId {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<SuiteId, String> {
+        match s {
+            "quick" => Ok(SuiteId::Quick),
+            "paper" => Ok(SuiteId::Paper),
+            other => Err(format!("unknown suite `{other}` (try: quick, paper)")),
+        }
+    }
+}
+
+/// Knobs of a suite run.
+#[derive(Clone, Debug)]
+pub struct SuiteOptions {
+    /// Repeat runs per cell; the artifact records the median wall time.
+    pub runs: usize,
+    /// Per-solve budget. The default caps each solve at 60 s wall so a
+    /// pathological regression fails the gate as `unknown:wall` instead
+    /// of hanging CI.
+    pub budget: RunBudget,
+    /// Optional tracer: each cell opens a `cell` span with the run's
+    /// encode/solve/decode spans beneath it.
+    pub tracer: Tracer,
+}
+
+impl Default for SuiteOptions {
+    fn default() -> SuiteOptions {
+        SuiteOptions {
+            runs: 3,
+            budget: RunBudget::new().with_wall(Duration::from_secs(60)),
+            tracer: Tracer::disabled(),
+        }
+    }
+}
+
+/// One triple of a suite's work list.
+struct SuiteCell {
+    instance: BenchmarkInstance,
+    strategy: Strategy,
+    width: u32,
+}
+
+fn quick_cells() -> Vec<SuiteCell> {
+    let strategies = [Strategy::paper_best(), Strategy::paper_baseline()];
+    let mut cells = Vec::new();
+    for instance in benchmarks::suite_tiny() {
+        for strategy in strategies {
+            for width in [instance.routable_width, instance.unroutable_width] {
+                if width == 0 {
+                    continue;
+                }
+                cells.push(SuiteCell {
+                    instance: instance.clone(),
+                    strategy,
+                    width,
+                });
+            }
+        }
+    }
+    cells
+}
+
+fn paper_cells() -> Vec<SuiteCell> {
+    let strategies = [Strategy::paper_best(), Strategy::paper_baseline()];
+    let mut cells = Vec::new();
+    for instance in benchmarks::suite_paper() {
+        for strategy in strategies {
+            let width = instance.unroutable_width;
+            if width == 0 {
+                continue;
+            }
+            cells.push(SuiteCell {
+                instance: instance.clone(),
+                strategy,
+                width,
+            });
+        }
+    }
+    cells
+}
+
+/// Runs `suite` and assembles the artifact. `progress` receives one line
+/// per completed cell (pass `|_| {}` to silence).
+pub fn run_suite(
+    suite: SuiteId,
+    opts: &SuiteOptions,
+    mut progress: impl FnMut(&str),
+) -> BenchArtifact {
+    let cells = match suite {
+        SuiteId::Quick => quick_cells(),
+        SuiteId::Paper => paper_cells(),
+    };
+    let runs = opts.runs.max(1);
+    let mut measured = Vec::with_capacity(cells.len());
+    for cell in &cells {
+        let bench_cell = run_cell(cell, runs, opts);
+        progress(&format!(
+            "{:<56} {:>8}s  {:>9} conflicts  {}",
+            bench_cell.id,
+            fmt_secs(Duration::from_secs_f64(bench_cell.wall_time_s.median)),
+            bench_cell.conflicts,
+            bench_cell.outcome,
+        ));
+        measured.push(bench_cell);
+    }
+    BenchArtifact {
+        schema: crate::artifact::SCHEMA.to_string(),
+        suite: suite.name().to_string(),
+        env: EnvFingerprint::capture(),
+        cells: measured,
+    }
+}
+
+/// Measures one triple: `runs` repeats, each with a fresh metrics
+/// registry; deterministic columns and histograms come from the run with
+/// the median wall time.
+fn run_cell(cell: &SuiteCell, runs: usize, opts: &SuiteOptions) -> BenchCell {
+    let span = opts.tracer.span_with(
+        "cell",
+        [
+            (
+                "benchmark",
+                satroute_obs::FieldValue::from(cell.instance.name.as_str()),
+            ),
+            (
+                "strategy",
+                satroute_obs::FieldValue::from(cell.strategy.to_string()),
+            ),
+            ("width", satroute_obs::FieldValue::from(cell.width)),
+        ],
+    );
+    let mut samples = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let registry = MetricsRegistry::new();
+        let report = cell
+            .strategy
+            .solve(&cell.instance.conflict_graph, cell.width)
+            .budget(opts.budget)
+            .trace(opts.tracer.clone())
+            .metrics(registry.clone())
+            .run();
+        samples.push((report, registry.snapshot()));
+    }
+    drop(span);
+
+    // Median by wall time; ties keep the earlier run (deterministic).
+    let mut order: Vec<usize> = (0..samples.len()).collect();
+    order.sort_by(|&a, &b| {
+        samples[a]
+            .0
+            .metrics
+            .wall_time
+            .cmp(&samples[b].0.metrics.wall_time)
+            .then(a.cmp(&b))
+    });
+    let median_idx = order[order.len() / 2];
+    let (report, snapshot) = &samples[median_idx];
+
+    let walls: Vec<f64> = samples
+        .iter()
+        .map(|(r, _)| r.metrics.wall_time.as_secs_f64())
+        .collect();
+    let min = walls.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = walls.iter().copied().fold(0.0_f64, f64::max);
+
+    let outcome = match &report.outcome {
+        satroute_core::ColoringOutcome::Colorable(_) => "sat".to_string(),
+        satroute_core::ColoringOutcome::Unsat => "unsat".to_string(),
+        satroute_core::ColoringOutcome::Unknown(reason) => format!("unknown:{reason}"),
+    };
+    let histograms = snapshot
+        .histograms()
+        .map(|(name, h)| (name.to_string(), HistogramSummary::of(h)))
+        .collect();
+
+    BenchCell {
+        id: BenchCell::make_id(
+            &cell.instance.name,
+            cell.strategy.encoding.name(),
+            cell.strategy.symmetry.name(),
+            cell.width,
+        ),
+        benchmark: cell.instance.name.clone(),
+        encoding: cell.strategy.encoding.name().to_string(),
+        symmetry: cell.strategy.symmetry.name().to_string(),
+        width: cell.width,
+        runs: runs as u64,
+        wall_time_s: WallTime {
+            median: report.metrics.wall_time.as_secs_f64(),
+            min,
+            max,
+        },
+        conflicts: report.solver_stats.conflicts,
+        decisions: report.solver_stats.decisions,
+        propagations: report.solver_stats.propagations,
+        props_per_sec: report.metrics.propagations_per_sec(),
+        cnf_vars: u64::from(report.formula_stats.num_vars),
+        cnf_clauses: report.formula_stats.num_clauses as u64,
+        outcome,
+        histograms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_suite_is_deterministic_across_repeat_runs() {
+        let opts = SuiteOptions {
+            runs: 1,
+            ..SuiteOptions::default()
+        };
+        let a = run_suite(SuiteId::Quick, &opts, |_| {});
+        let b = run_suite(SuiteId::Quick, &opts, |_| {});
+        assert!(!a.cells.is_empty());
+        assert_eq!(a.cells.len(), b.cells.len());
+        for (ca, cb) in a.cells.iter().zip(&b.cells) {
+            assert_eq!(ca.id, cb.id);
+            assert_eq!(ca.conflicts, cb.conflicts, "{}", ca.id);
+            assert_eq!(ca.propagations, cb.propagations, "{}", ca.id);
+            assert_eq!(ca.cnf_vars, cb.cnf_vars, "{}", ca.id);
+            assert_eq!(ca.cnf_clauses, cb.cnf_clauses, "{}", ca.id);
+            assert_eq!(ca.outcome, cb.outcome, "{}", ca.id);
+        }
+    }
+
+    #[test]
+    fn quick_suite_cells_carry_metrics_histograms() {
+        let opts = SuiteOptions {
+            runs: 1,
+            ..SuiteOptions::default()
+        };
+        let artifact = run_suite(SuiteId::Quick, &opts, |_| {});
+        // Every cell at an unroutable width hits conflicts, so the
+        // solver.lbd histogram must be populated for at least one cell.
+        assert!(artifact
+            .cells
+            .iter()
+            .any(|c| c.histograms.get("solver.lbd").is_some_and(|h| h.count > 0)));
+        // Phase wall-time histograms are recorded for every cell.
+        for cell in &artifact.cells {
+            assert!(
+                cell.histograms.contains_key("phase.sat_solving_us"),
+                "{} lacks phase.sat_solving_us",
+                cell.id
+            );
+        }
+    }
+}

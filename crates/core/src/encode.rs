@@ -18,7 +18,7 @@
 
 use satroute_cnf::{CnfFormula, Lit};
 use satroute_coloring::CspGraph;
-use satroute_obs::{FieldValue, Tracer};
+use satroute_obs::{FieldValue, MetricsRegistry, Tracer};
 
 use crate::catalog::Encoding;
 use crate::pattern::SchemeCnf;
@@ -92,6 +92,31 @@ pub fn encode_coloring_traced(
     symmetry: SymmetryHeuristic,
     tracer: &Tracer,
 ) -> EncodedColoring {
+    encode_coloring_instrumented(
+        graph,
+        k,
+        encoding,
+        symmetry,
+        tracer,
+        &MetricsRegistry::disabled(),
+    )
+}
+
+/// [`encode_coloring_traced`] that additionally feeds a
+/// [`MetricsRegistry`]: the encode wall time lands in the
+/// `encode.wall_us.<encoding>` histogram and the CNF shape in
+/// `encode.vars.<encoding>` / `encode.clauses.<encoding>` /
+/// `encode.literals.<encoding>` — one histogram family per encoding, so
+/// a registry fed by many runs carries the paper's per-encoding
+/// size-comparison directly. A disabled registry records nothing.
+pub fn encode_coloring_instrumented(
+    graph: &CspGraph,
+    k: u32,
+    encoding: &Encoding,
+    symmetry: SymmetryHeuristic,
+    tracer: &Tracer,
+    metrics: &MetricsRegistry,
+) -> EncodedColoring {
     let span = tracer.span_with(
         "encode",
         [
@@ -107,6 +132,22 @@ pub fn encode_coloring_traced(
     span.counter("clauses", stats.num_clauses as u64);
     span.counter("literals", stats.num_literals as u64);
     encoded.cnf_translation = span.close();
+    if metrics.is_enabled() {
+        let name = encoding.name();
+        let micros = u64::try_from(encoded.cnf_translation.as_micros()).unwrap_or(u64::MAX);
+        metrics
+            .histogram(&format!("encode.wall_us.{name}"))
+            .record(micros);
+        metrics
+            .histogram(&format!("encode.vars.{name}"))
+            .record(stats.num_vars as u64);
+        metrics
+            .histogram(&format!("encode.clauses.{name}"))
+            .record(stats.num_clauses as u64);
+        metrics
+            .histogram(&format!("encode.literals.{name}"))
+            .record(stats.num_literals as u64);
+    }
     encoded
 }
 

@@ -15,7 +15,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use satroute_fpga::{DetailedRouting, RoutingProblem};
-use satroute_obs::{FieldValue, Tracer};
+use satroute_obs::{FieldValue, MetricsRegistry, Tracer};
 use satroute_solver::{CancellationToken, RunBudget, RunObserver, SolverConfig, StopReason};
 
 use crate::strategy::{ColoringOutcome, ColoringReport, Strategy};
@@ -127,6 +127,7 @@ pub struct RoutingPipeline {
     cancel: Option<CancellationToken>,
     observer: Option<Arc<dyn RunObserver>>,
     tracer: Tracer,
+    metrics: MetricsRegistry,
 }
 
 impl fmt::Debug for RoutingPipeline {
@@ -150,6 +151,7 @@ impl RoutingPipeline {
             cancel: None,
             observer: None,
             tracer: Tracer::disabled(),
+            metrics: MetricsRegistry::disabled(),
         }
     }
 
@@ -187,6 +189,17 @@ impl RoutingPipeline {
         self
     }
 
+    /// Attaches a [`MetricsRegistry`]: every route additionally records
+    /// `phase.graph_generation_us` and `phase.verify_us` wall-time
+    /// histograms here, on top of the per-solve instruments the
+    /// [`SolveRequest`](crate::SolveRequest) feeds (the `solver.*`
+    /// family, per-encoding CNF sizes and encode/solve/decode phase
+    /// times).
+    pub fn with_metrics(mut self, registry: MetricsRegistry) -> Self {
+        self.metrics = registry;
+        self
+    }
+
     /// The pipeline's strategy.
     pub fn strategy(&self) -> Strategy {
         self.strategy
@@ -215,6 +228,7 @@ impl RoutingPipeline {
     ) -> Result<RouteResult, PipelineError> {
         let span = self.route_span(width, false);
         let (graph, graph_generation) = problem.conflict_graph_traced(&self.tracer);
+        self.record_phase("phase.graph_generation_us", graph_generation);
 
         let mut report = self.request(&graph, width).run();
         report.timing.graph_generation = graph_generation;
@@ -264,7 +278,8 @@ impl RoutingPipeline {
             .solve(graph, width)
             .config(self.config.clone())
             .budget(self.budget)
-            .trace(self.tracer.clone());
+            .trace(self.tracer.clone())
+            .metrics(self.metrics.clone());
         if let Some(token) = &self.cancel {
             request = request.cancel(token.clone());
         }
@@ -287,8 +302,17 @@ impl RoutingPipeline {
         problem
             .verify_detailed_routing(&routing, width)
             .expect("decoded routings always verify — soundness bug otherwise");
-        drop(span);
+        self.record_phase("phase.verify_us", span.close());
         routing
+    }
+
+    /// Records one phase duration into the registry (no-op when metrics
+    /// are disabled).
+    fn record_phase(&self, name: &str, duration: std::time::Duration) {
+        if self.metrics.is_enabled() {
+            let micros = u64::try_from(duration.as_micros()).unwrap_or(u64::MAX);
+            self.metrics.histogram(name).record(micros);
+        }
     }
 
     /// Proves that `width` tracks are insufficient for `problem`.
@@ -326,6 +350,7 @@ impl RoutingPipeline {
     ) -> Result<(RouteResult, Option<UnroutabilityCertificate>), PipelineError> {
         let span = self.route_span(width, true);
         let (graph, graph_generation) = problem.conflict_graph_traced(&self.tracer);
+        self.record_phase("phase.graph_generation_us", graph_generation);
 
         let (mut report, formula, proof) = self.request(&graph, width).run_certified();
         report.timing.graph_generation = graph_generation;

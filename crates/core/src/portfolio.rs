@@ -38,10 +38,10 @@ use std::time::{Duration, Instant};
 
 use satroute_cnf::Lit;
 use satroute_coloring::CspGraph;
-use satroute_obs::{FieldValue, Tracer};
+use satroute_obs::{FieldValue, MetricsRegistry, Tracer};
 use satroute_solver::{
-    CancellationToken, ClauseExchange, RunBudget, SharingConfig, SolverConfig, StopReason,
-    TraceObserver,
+    CancellationToken, ClauseExchange, FanoutObserver, RegistryObserver, RunBudget, RunObserver,
+    SharingConfig, SolverConfig, StopReason, TraceObserver,
 };
 
 use crate::strategy::{ColoringReport, Strategy};
@@ -241,6 +241,14 @@ pub struct PortfolioOptions {
     /// member's solver via [`TraceObserver`]), each member's own
     /// encode/solve/decode spans nesting beneath it.
     pub tracer: Tracer,
+    /// Metrics destination. The disabled default records nothing; an
+    /// enabled registry receives the aggregate `solver.*` instruments
+    /// (fed by every member's solver hot path) plus a
+    /// `portfolio.member_<i>.*` family per member — conflict /
+    /// propagation totals, wall-time histogram, props/sec and outcome
+    /// counts, bridged via
+    /// [`RegistryObserver`](satroute_solver::RegistryObserver).
+    pub metrics: MetricsRegistry,
 }
 
 impl PortfolioOptions {
@@ -271,6 +279,13 @@ impl PortfolioOptions {
     /// Records the run into `tracer` (see the `tracer` field).
     pub fn with_tracer(mut self, tracer: Tracer) -> Self {
         self.tracer = tracer;
+        self
+    }
+
+    /// Records aggregate and per-member metrics into `registry` (see the
+    /// `metrics` field).
+    pub fn with_metrics(mut self, registry: MetricsRegistry) -> Self {
+        self.metrics = registry;
         self
     }
 }
@@ -444,6 +459,7 @@ pub fn run_portfolio_opts(
         })
         .collect();
     let tracer = &opts.tracer;
+    let metrics = &opts.metrics;
     let root = tracer.span_with(
         "portfolio",
         [
@@ -485,15 +501,37 @@ pub fn run_portfolio_opts(
                     .config(configs[idx].clone())
                     .budget(budget)
                     .cancel(stop.clone())
-                    .trace(tracer.clone());
+                    .trace(tracer.clone())
+                    .metrics(metrics.clone());
+                // `observe` replaces rather than appends, so the trace and
+                // metrics bridges must be composed up front.
+                let mut observers: Vec<Arc<dyn RunObserver>> = Vec::new();
                 if tracer.is_enabled() {
                     // Bridge solver heartbeats and final counters onto the
                     // member span so traces report per-member props/sec.
-                    request = request.observe(Arc::new(TraceObserver::new(
+                    observers.push(Arc::new(TraceObserver::new(
                         tracer.clone(),
                         member_span.id(),
                     )));
                 }
+                if metrics.is_enabled() {
+                    // Per-member counter family alongside the shared
+                    // `solver.*` instruments the member's solver feeds.
+                    observers.push(Arc::new(RegistryObserver::new(
+                        metrics,
+                        &format!("portfolio.member_{idx}."),
+                    )));
+                }
+                request = match observers.len() {
+                    0 => request,
+                    1 => request.observe(observers.pop().expect("len checked")),
+                    _ => {
+                        let fanout = observers
+                            .drain(..)
+                            .fold(FanoutObserver::new(), FanoutObserver::with);
+                        request.observe(Arc::new(fanout))
+                    }
+                };
                 if let (Some(sharing), Some(bus)) = (sharing, bus) {
                     if let Some(exchange) = bus.exchange(idx) {
                         request = request.share(exchange, sharing);
@@ -1030,6 +1068,48 @@ mod tests {
                 at = node.parent.expect("reaches a member span");
             }
         }
+    }
+
+    #[test]
+    fn metered_portfolio_populates_per_member_families() {
+        let g = random_graph(10, 0.5, 3);
+        let chi = exact::chromatic_number(&g);
+        let strategies = Strategy::paper_portfolio_2();
+        let registry = MetricsRegistry::new();
+        let opts = PortfolioOptions::new().with_metrics(registry.clone());
+        let result = run_portfolio_opts(
+            &g,
+            chi,
+            &strategies,
+            &SolverConfig::default(),
+            RunBudget::default(),
+            None,
+            &opts,
+        );
+        assert!(result.is_decided());
+
+        let snapshot = registry.snapshot();
+        for (idx, member) in result.members.iter().enumerate() {
+            // RegistryObserver folded the member's final stats into its
+            // prefixed counter family.
+            assert_eq!(
+                snapshot.counter(&format!("portfolio.member_{idx}.conflicts")),
+                Some(member.report.solver_stats.conflicts)
+            );
+            assert_eq!(
+                snapshot
+                    .histogram(&format!("portfolio.member_{idx}.wall_time_us"))
+                    .map(|h| h.count()),
+                Some(1)
+            );
+        }
+        // The shared solver.* family aggregates across members.
+        let total: u64 = result
+            .members
+            .iter()
+            .map(|m| m.report.solver_stats.propagations)
+            .sum();
+        assert_eq!(snapshot.counter("solver.propagations"), Some(total));
     }
 
     #[test]

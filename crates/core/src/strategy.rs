@@ -19,7 +19,7 @@ use std::time::Duration;
 
 use satroute_cnf::{CnfFormula, FormulaStats};
 use satroute_coloring::{Coloring, CspGraph};
-use satroute_obs::{FieldValue, Tracer};
+use satroute_obs::{FieldValue, MetricsRegistry, Tracer};
 use satroute_solver::{
     CancellationToken, CdclSolver, ClauseExchange, DratProof, FanoutObserver, MetricsRecorder,
     RunBudget, RunMetrics, RunObserver, SharingConfig, SolveOutcome, SolverConfig, SolverStats,
@@ -28,7 +28,7 @@ use satroute_solver::{
 
 use crate::catalog::EncodingId;
 use crate::decode::decode_coloring;
-use crate::encode::encode_coloring_traced;
+use crate::encode::encode_coloring_instrumented;
 use crate::symmetry::SymmetryHeuristic;
 
 /// The answer of a strategy run on a K-coloring instance.
@@ -172,6 +172,7 @@ impl Strategy {
             observer: None,
             exchange: None,
             tracer: Tracer::disabled(),
+            metrics: MetricsRegistry::disabled(),
         }
     }
 
@@ -222,6 +223,7 @@ pub struct SolveRequest<'a> {
     observer: Option<Arc<dyn RunObserver>>,
     exchange: Option<(Arc<dyn ClauseExchange>, SharingConfig)>,
     tracer: Tracer,
+    metrics: MetricsRegistry,
 }
 
 impl fmt::Debug for SolveRequest<'_> {
@@ -289,6 +291,17 @@ impl<'a> SolveRequest<'a> {
         self
     }
 
+    /// Attaches a [`MetricsRegistry`]: the solver feeds the `solver.*`
+    /// counters and LBD/restart-interval histograms from its hot path,
+    /// the encoder feeds per-encoding CNF-size histograms
+    /// (`encode.*.<encoding>`), and each pipeline phase records its wall
+    /// time into a `phase.*_us` histogram. A disabled registry (the
+    /// default) records nothing and costs one branch per boundary.
+    pub fn metrics(mut self, registry: MetricsRegistry) -> Self {
+        self.metrics = registry;
+        self
+    }
+
     /// Encodes, solves and decodes, consuming the request.
     ///
     /// # Panics
@@ -318,12 +331,14 @@ impl<'a> SolveRequest<'a> {
         with_proof: bool,
     ) -> (ColoringReport, Option<CnfFormula>, Option<DratProof>) {
         let tracer = self.tracer.clone();
-        let encoded = encode_coloring_traced(
+        let metrics = self.metrics.clone();
+        let encoded = encode_coloring_instrumented(
             self.graph,
             self.k,
             &self.strategy.encoding.encoding(),
             self.strategy.symmetry,
             &tracer,
+            &metrics,
         );
         let formula_stats = encoded.formula.stats();
 
@@ -347,6 +362,7 @@ impl<'a> SolveRequest<'a> {
         if with_proof {
             solver.enable_proof_logging();
         }
+        solver.set_metrics(&metrics);
         solver.set_budget(self.budget);
         if let Some(token) = self.cancel {
             solver.set_cancellation(token);
@@ -387,9 +403,22 @@ impl<'a> SolveRequest<'a> {
                 ColoringOutcome::Unknown(_) => "unknown",
             },
         );
-        drop(decode_span);
+        let decoding = decode_span.close();
 
-        let metrics = recorder.snapshot();
+        if metrics.is_enabled() {
+            let micros = |d: Duration| -> u64 { u64::try_from(d.as_micros()).unwrap_or(u64::MAX) };
+            metrics
+                .histogram("phase.cnf_translation_us")
+                .record(micros(encoded.cnf_translation));
+            metrics
+                .histogram("phase.sat_solving_us")
+                .record(micros(sat_solving));
+            metrics
+                .histogram("phase.decode_us")
+                .record(micros(decoding));
+        }
+
+        let run_metrics = recorder.snapshot();
         let report = ColoringReport {
             outcome,
             timing: TimingBreakdown {
@@ -401,7 +430,7 @@ impl<'a> SolveRequest<'a> {
             },
             formula_stats,
             solver_stats,
-            metrics,
+            metrics: run_metrics,
         };
         (report, with_proof.then_some(encoded.formula), proof)
     }

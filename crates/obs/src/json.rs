@@ -1,8 +1,8 @@
 //! A minimal JSON document model, writer and parser.
 //!
-//! The trace writer emits one JSON object per line ([`crate::writer`]) and
-//! the bench binaries emit machine-readable results with `--json` (the
-//! bench crate re-exports this module as `satroute_bench::json`). The
+//! The trace writer emits one JSON object per line ([`crate::writer`]),
+//! the bench binaries emit machine-readable results with `--json`, and
+//! the `BENCH_*.json` regression artifacts round-trip through it. The
 //! workspace builds fully offline, so instead of depending on `serde_json`
 //! this module hand-rolls the small subset of JSON the harness needs:
 //! objects, arrays, strings (with escaping), finite numbers, booleans and

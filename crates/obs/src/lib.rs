@@ -13,17 +13,26 @@
 //! any event stream, and [`TraceReport`] turns it into the per-phase /
 //! per-encoding / per-member tables behind `satroute trace report`.
 //!
-//! The default [`Tracer`] is disabled and free: call sites thread it
-//! unconditionally and pay one branch when tracing is off.
+//! Alongside the spans, a [`MetricsRegistry`] aggregates named atomic
+//! counters, gauges and log-bucketed histograms (p50/p90/p99/max) fed
+//! from the solver and pipeline hot paths; snapshots subtract via
+//! [`MetricsSnapshot::delta`] and render to JSON or Prometheus-style
+//! text. The `satroute bench` regression harness is built on top of it.
+//!
+//! The default [`Tracer`] and [`MetricsRegistry`] are disabled and
+//! free: call sites thread them unconditionally and pay one branch
+//! when observability is off.
 
 pub mod event;
 pub mod json;
+pub mod metrics;
 pub mod report;
 pub mod tracer;
 pub mod tree;
 pub mod writer;
 
 pub use event::{parse_jsonl, FieldValue, SpanId, TraceEvent};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use report::{EncodingStats, MemberStats, PhaseStats, TraceReport};
 pub use tracer::{BufferSink, SpanGuard, TraceSink, Tracer};
 pub use tree::{SpanForest, SpanNode, TraceTree};

@@ -3,16 +3,54 @@
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
+use std::sync::{Arc, Mutex};
 
 use crate::event::TraceEvent;
 use crate::tracer::TraceSink;
 
 /// A [`TraceSink`] that writes one JSON object per line through a
-/// [`BufWriter`], flushed on drop — so a `--trace` artifact is complete
-/// once the tracer (and with it the writer) goes out of scope, even if
-/// the process exits through an early return.
+/// [`BufWriter`].
+///
+/// Recording is best-effort — an unwritable artifact must not abort
+/// the solve it is observing — but failures are not silent: the first
+/// failed write prints a single warning to stderr, and the error is
+/// retained so [`finish`](TraceWriter::finish) can report it. Handles
+/// are cheap clones of one shared buffer: give one to the
+/// [`Tracer`](crate::tracer::Tracer) and keep another to call
+/// `finish()` once the run completes (the CLI does this for `--trace`
+/// and `bench run` outputs). If `finish` is never called, the buffer
+/// still flushes when the last handle drops, errors ignored as before.
 pub struct TraceWriter<W: Write + Send> {
+    core: Arc<Mutex<WriterCore<W>>>,
+}
+
+struct WriterCore<W: Write + Send> {
     out: BufWriter<W>,
+    first_error: Option<io::Error>,
+    warned: bool,
+}
+
+impl<W: Write + Send> WriterCore<W> {
+    fn note_error(&mut self, err: io::Error) {
+        if !self.warned {
+            self.warned = true;
+            eprintln!(
+                "satroute: warning: trace artifact write failed: {err} \
+                 (further write errors suppressed)"
+            );
+        }
+        if self.first_error.is_none() {
+            self.first_error = Some(err);
+        }
+    }
+}
+
+impl<W: Write + Send> Clone for TraceWriter<W> {
+    fn clone(&self) -> Self {
+        TraceWriter {
+            core: Arc::clone(&self.core),
+        }
+    }
 }
 
 impl TraceWriter<File> {
@@ -30,26 +68,49 @@ impl<W: Write + Send> TraceWriter<W> {
     /// Wraps any writer (a file, a pipe, a `Vec<u8>` in tests).
     pub fn to_writer(out: W) -> TraceWriter<W> {
         TraceWriter {
-            out: BufWriter::new(out),
+            core: Arc::new(Mutex::new(WriterCore {
+                out: BufWriter::new(out),
+                first_error: None,
+                warned: false,
+            })),
         }
+    }
+
+    /// Flushes the shared buffer and reports the first I/O error the
+    /// writer encountered — from any earlier write or from this flush.
+    ///
+    /// Call this on the handle kept outside the tracer once the traced
+    /// run completes; other clones (e.g. the one inside a `Tracer`)
+    /// remain usable but writes after `finish` only land on the next
+    /// flush or final drop.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first write error seen over the writer's lifetime,
+    /// or the flush error if the buffered tail cannot be written.
+    pub fn finish(self) -> io::Result<()> {
+        let mut core = self.core.lock().unwrap();
+        let flushed = core.out.flush();
+        if let Some(err) = core.first_error.take() {
+            return Err(err);
+        }
+        flushed
     }
 }
 
 impl<W: Write + Send> TraceSink for TraceWriter<W> {
     fn record(&mut self, event: &TraceEvent) {
-        // Trace recording is best-effort: an unwritable artifact must not
-        // abort the solve it is observing.
-        let _ = writeln!(self.out, "{}", event.to_json().to_json());
+        let mut core = self.core.lock().unwrap();
+        if let Err(err) = writeln!(core.out, "{}", event.to_json().to_json()) {
+            core.note_error(err);
+        }
     }
 
     fn flush(&mut self) {
-        let _ = self.out.flush();
-    }
-}
-
-impl<W: Write + Send> Drop for TraceWriter<W> {
-    fn drop(&mut self) {
-        let _ = self.out.flush();
+        let mut core = self.core.lock().unwrap();
+        if let Err(err) = core.out.flush() {
+            core.note_error(err);
+        }
     }
 }
 
@@ -75,6 +136,18 @@ mod tests {
         }
     }
 
+    /// A writer that always fails, to exercise the error path.
+    struct Broken;
+
+    impl Write for Broken {
+        fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+            Err(io::Error::new(io::ErrorKind::StorageFull, "disk full"))
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Err(io::Error::new(io::ErrorKind::StorageFull, "disk full"))
+        }
+    }
+
     #[test]
     fn writes_one_valid_json_object_per_line() {
         let shared = Shared(Arc::new(Mutex::new(Vec::new())));
@@ -88,5 +161,33 @@ mod tests {
         let events = parse_jsonl(&text).unwrap();
         assert_eq!(events.len(), 4, "{text}");
         assert!(text.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+
+    #[test]
+    fn finish_flushes_and_reports_success() {
+        let shared = Shared(Arc::new(Mutex::new(Vec::new())));
+        let writer = TraceWriter::to_writer(shared.clone());
+        let handle = writer.clone();
+        {
+            let tracer = Tracer::to_sink(writer);
+            drop(tracer.span("route"));
+        }
+        handle.finish().expect("healthy writer finishes cleanly");
+        let text = String::from_utf8(shared.0.lock().unwrap().clone()).unwrap();
+        assert!(parse_jsonl(&text).unwrap().len() >= 2);
+    }
+
+    #[test]
+    fn finish_surfaces_the_first_write_error() {
+        let writer = TraceWriter::to_writer(Broken);
+        let handle = writer.clone();
+        {
+            let tracer = Tracer::to_sink(writer);
+            // These writes fail; the run must survive them.
+            drop(tracer.span("route"));
+            drop(tracer.span("solve"));
+        }
+        let err = handle.finish().expect_err("broken writer must report");
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
     }
 }

@@ -25,8 +25,9 @@ use crate::outcome::SolveOutcome;
 use crate::proof::DratProof;
 use crate::run::{
     CancellationToken, ClauseExchange, RunBudget, RunObserver, SharingConfig, SolverEvent,
-    StopReason,
+    SolverMetricsHub, StopReason,
 };
+use satroute_obs::MetricsRegistry;
 
 /// Conflicts between cancellation-token polls.
 const CANCEL_POLL_INTERVAL: u64 = 256;
@@ -303,6 +304,9 @@ pub struct CdclSolver {
     lbd_ema: f64,
     /// Approximate bytes held by live learnt clauses (for the memory cap).
     learnt_bytes: u64,
+    /// Pre-resolved metric handles, fed at conflict/restart/finish
+    /// boundaries; disabled by default (one branch per boundary).
+    metrics: SolverMetricsHub,
     /// DRAT proof log (learnt additions + deletions) when enabled.
     proof: Option<DratProof>,
     /// Set when the last `solve_with_assumptions` failed only because of
@@ -354,6 +358,7 @@ impl CdclSolver {
             solve_start: None,
             lbd_ema: 0.0,
             learnt_bytes: 0,
+            metrics: SolverMetricsHub::disabled(),
             proof: None,
             unsat_under_assumptions: false,
         }
@@ -433,6 +438,20 @@ impl CdclSolver {
     /// Removes the installed observer, if any.
     pub fn clear_observer(&mut self) {
         self.observer = ObserverSlot(None);
+    }
+
+    /// Connects this solver to a [`MetricsRegistry`]: conflicts,
+    /// decisions, propagations, restarts and learnt-clause counts feed
+    /// the shared `solver.*` counters, learnt-clause LBD feeds the
+    /// `solver.lbd` histogram, and conflicts-between-restarts feed
+    /// `solver.restart_interval`.
+    ///
+    /// Counters are flushed as deltas at conflict/restart/finish
+    /// boundaries, so the per-propagation hot path is untouched; with a
+    /// [disabled](MetricsRegistry::disabled) registry every boundary
+    /// call is a single branch.
+    pub fn set_metrics(&mut self, registry: &MetricsRegistry) {
+        self.metrics = SolverMetricsHub::from_registry(registry);
     }
 
     /// Connects this solver to a [`ClauseExchange`] for learnt-clause
@@ -621,6 +640,8 @@ impl CdclSolver {
                 .count(),
         });
         let outcome = self.solve_inner(assumptions);
+        let stats = self.stats;
+        self.metrics.on_finish(&stats);
         self.emit(SolverEvent::Finished {
             verdict: outcome.verdict(),
             stats: self.stats,
@@ -681,6 +702,8 @@ impl CdclSolver {
                 SearchResult::Restart => {
                     self.backtrack(0);
                     self.stats.restarts += 1;
+                    let stats = self.stats;
+                    self.metrics.on_restart(&stats);
                     self.emit(SolverEvent::Restart {
                         restarts: self.stats.restarts,
                         conflicts: self.stats.conflicts,
@@ -742,6 +765,10 @@ impl CdclSolver {
                 self.backtrack(backtrack_level);
                 self.record_learnt(learnt);
                 self.decay_activities();
+                if self.metrics.is_enabled() {
+                    let stats = self.stats;
+                    self.metrics.on_conflict(lbd, &stats);
+                }
 
                 if self.stats.conflicts.is_multiple_of(PROGRESS_INTERVAL) {
                     self.emit(SolverEvent::Progress {

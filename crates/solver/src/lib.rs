@@ -62,6 +62,7 @@ pub use outcome::SolveOutcome;
 pub use proof::{rup_implied, CheckProofError, DratProof, ProofStep};
 pub use run::{
     CancellationToken, ClauseExchange, FanoutObserver, MetricsRecorder, NullObserver,
-    ProgressLogger, RunBudget, RunMetrics, RunObserver, SharingConfig, SolveVerdict, SolverEvent,
-    StopReason, TraceObserver,
+    ProgressLogger, RegistryObserver, RunBudget, RunMetrics, RunObserver, SharingConfig,
+    SolveVerdict, SolverEvent, SolverMetricsHub, StopReason, TraceObserver,
+    PROGRESS_LOG_MIN_INTERVAL,
 };

@@ -52,7 +52,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use satroute_cnf::Lit;
-use satroute_obs::{SpanId, Tracer};
+use satroute_obs::{Counter, Gauge, Histogram, MetricsRegistry, SpanId, Tracer};
 
 use crate::cdcl::SolverStats;
 
@@ -521,11 +521,23 @@ impl RunObserver for MetricsRecorder {
 /// default sink is standard error; [`ProgressLogger::to_writer`] accepts
 /// any `Write + Send` sink (tests use a `Vec<u8>` behind a `Mutex`).
 /// Write errors are ignored — progress output must never abort a solve.
+///
+/// Output is rate-limited: intermediate events (restart, reduce,
+/// progress, import) are dropped when less than the configured
+/// [minimum interval](ProgressLogger::with_min_interval) — 100 ms by
+/// default — has passed since the last emitted line, so a hot solve
+/// restarting thousands of times per second cannot drown stderr.
+/// Terminal events (`Started`, `Finished`) are always emitted.
 pub struct ProgressLogger {
     label: String,
     out: Mutex<Box<dyn Write + Send>>,
     started: Mutex<Option<Instant>>,
+    min_interval: Duration,
+    last_emit: Mutex<Option<Instant>>,
 }
+
+/// Default floor between two emitted intermediate progress lines.
+pub const PROGRESS_LOG_MIN_INTERVAL: Duration = Duration::from_millis(100);
 
 impl ProgressLogger {
     /// Logs to standard error with a `label` prefix.
@@ -539,7 +551,18 @@ impl ProgressLogger {
             label: label.into(),
             out: Mutex::new(out),
             started: Mutex::new(None),
+            min_interval: PROGRESS_LOG_MIN_INTERVAL,
+            last_emit: Mutex::new(None),
         }
+    }
+
+    /// Sets the minimum interval between two emitted intermediate lines
+    /// (`Duration::ZERO` disables throttling; tests use this to see
+    /// every event).
+    #[must_use]
+    pub fn with_min_interval(mut self, min_interval: Duration) -> Self {
+        self.min_interval = min_interval;
+        self
     }
 }
 
@@ -553,6 +576,24 @@ impl fmt::Debug for ProgressLogger {
 
 impl RunObserver for ProgressLogger {
     fn on_event(&self, event: &SolverEvent) {
+        let terminal = matches!(
+            event,
+            SolverEvent::Started { .. } | SolverEvent::Finished { .. }
+        );
+        {
+            // Throttle intermediate events; terminal events always pass
+            // and reset the interval clock.
+            let mut last_emit = self.last_emit.lock().expect("logger lock never poisoned");
+            let now = Instant::now();
+            if !terminal {
+                if let Some(last) = *last_emit {
+                    if now.duration_since(last) < self.min_interval {
+                        return;
+                    }
+                }
+            }
+            *last_emit = Some(now);
+        }
         let elapsed = {
             let mut started = self.started.lock().expect("logger lock never poisoned");
             if matches!(event, SolverEvent::Started { .. }) {
@@ -723,6 +764,205 @@ impl RunObserver for FanoutObserver {
     }
 }
 
+/// Pre-resolved [`MetricsRegistry`] handles for the CDCL hot path.
+///
+/// The solver owns one hub and calls it at conflict, restart and finish
+/// boundaries; each call is a single `enabled` branch when metrics are
+/// off. Counters are fed as *deltas* against the last flushed
+/// [`SolverStats`], so per-propagation work costs nothing — the
+/// propagation count reaches the registry in one relaxed add per
+/// conflict instead of one per propagated literal.
+///
+/// Instrument names (shared by every solver feeding one registry):
+/// `solver.conflicts`, `solver.decisions`, `solver.propagations`,
+/// `solver.restarts`, `solver.learnt_clauses` (counters),
+/// `solver.lbd` (histogram of learnt-clause glue) and
+/// `solver.restart_interval` (histogram of conflicts between restarts).
+#[derive(Clone, Default)]
+pub struct SolverMetricsHub {
+    enabled: bool,
+    conflicts: Counter,
+    decisions: Counter,
+    propagations: Counter,
+    restarts: Counter,
+    learnt_clauses: Counter,
+    lbd: Histogram,
+    restart_interval: Histogram,
+    last: SolverStats,
+    last_restart_conflicts: u64,
+}
+
+impl SolverMetricsHub {
+    /// A hub that records nothing (one branch per call).
+    pub fn disabled() -> Self {
+        SolverMetricsHub::default()
+    }
+
+    /// Resolves the `solver.*` instruments of `registry` once, so the
+    /// hot path never touches the registry's name maps.
+    pub fn from_registry(registry: &MetricsRegistry) -> Self {
+        SolverMetricsHub {
+            enabled: registry.is_enabled(),
+            conflicts: registry.counter("solver.conflicts"),
+            decisions: registry.counter("solver.decisions"),
+            propagations: registry.counter("solver.propagations"),
+            restarts: registry.counter("solver.restarts"),
+            learnt_clauses: registry.counter("solver.learnt_clauses"),
+            lbd: registry.histogram("solver.lbd"),
+            restart_interval: registry.histogram("solver.restart_interval"),
+            last: SolverStats::default(),
+            last_restart_conflicts: 0,
+        }
+    }
+
+    /// Whether this hub feeds a live registry.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Called once per learnt conflict with the clause's LBD and the
+    /// solver's cumulative stats.
+    #[inline]
+    pub fn on_conflict(&mut self, lbd: u32, stats: &SolverStats) {
+        if !self.enabled {
+            return;
+        }
+        self.lbd.record(u64::from(lbd));
+        self.flush_deltas(stats);
+    }
+
+    /// Called at each restart boundary; records the conflict interval
+    /// since the previous restart.
+    pub fn on_restart(&mut self, stats: &SolverStats) {
+        if !self.enabled {
+            return;
+        }
+        self.restart_interval
+            .record(stats.conflicts.saturating_sub(self.last_restart_conflicts));
+        self.last_restart_conflicts = stats.conflicts;
+        self.flush_deltas(stats);
+    }
+
+    /// Called when a solve returns, flushing any unflushed tail of the
+    /// work counters.
+    pub fn on_finish(&mut self, stats: &SolverStats) {
+        if !self.enabled {
+            return;
+        }
+        self.flush_deltas(stats);
+    }
+
+    fn flush_deltas(&mut self, stats: &SolverStats) {
+        self.conflicts
+            .add(stats.conflicts.saturating_sub(self.last.conflicts));
+        self.decisions
+            .add(stats.decisions.saturating_sub(self.last.decisions));
+        self.propagations
+            .add(stats.propagations.saturating_sub(self.last.propagations));
+        self.restarts
+            .add(stats.restarts.saturating_sub(self.last.restarts));
+        self.learnt_clauses.add(
+            stats
+                .learnt_clauses
+                .saturating_sub(self.last.learnt_clauses),
+        );
+        self.last = *stats;
+    }
+}
+
+impl fmt::Debug for SolverMetricsHub {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SolverMetricsHub")
+            .field("enabled", &self.enabled)
+            .finish_non_exhaustive()
+    }
+}
+
+/// An observer that folds the event stream into a [`MetricsRegistry`]
+/// under a caller-chosen name prefix.
+///
+/// Where [`SolverMetricsHub`] rides inside one solver, this observer
+/// attaches from the outside — the portfolio runner hangs one per
+/// member (prefix `portfolio.member_<i>.`) so a shared registry ends up
+/// with per-member conflict/propagation totals, wall-time histograms
+/// and outcome counts without touching solver internals.
+pub struct RegistryObserver {
+    wall_time_us: Histogram,
+    conflicts: Counter,
+    decisions: Counter,
+    propagations: Counter,
+    restarts: Counter,
+    import_batches: Counter,
+    imported_clauses: Counter,
+    exported_clauses: Counter,
+    props_per_sec: Gauge,
+    sat: Counter,
+    unsat: Counter,
+    unknown: Counter,
+}
+
+impl RegistryObserver {
+    /// Resolves this observer's instruments under `prefix` (e.g.
+    /// `"portfolio.member_0."`; the empty string puts them at the root).
+    pub fn new(registry: &MetricsRegistry, prefix: &str) -> Self {
+        let name = |suffix: &str| format!("{prefix}{suffix}");
+        RegistryObserver {
+            wall_time_us: registry.histogram(&name("wall_time_us")),
+            conflicts: registry.counter(&name("conflicts")),
+            decisions: registry.counter(&name("decisions")),
+            propagations: registry.counter(&name("propagations")),
+            restarts: registry.counter(&name("restarts")),
+            import_batches: registry.counter(&name("import_batches")),
+            imported_clauses: registry.counter(&name("imported_clauses")),
+            exported_clauses: registry.counter(&name("exported_clauses")),
+            props_per_sec: registry.gauge(&name("props_per_sec")),
+            sat: registry.counter(&name("outcome.sat")),
+            unsat: registry.counter(&name("outcome.unsat")),
+            unknown: registry.counter(&name("outcome.unknown")),
+        }
+    }
+}
+
+impl fmt::Debug for RegistryObserver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RegistryObserver").finish_non_exhaustive()
+    }
+}
+
+impl RunObserver for RegistryObserver {
+    fn on_event(&self, event: &SolverEvent) {
+        match *event {
+            SolverEvent::Import { .. } => self.import_batches.inc(),
+            SolverEvent::Finished {
+                verdict,
+                stats,
+                elapsed,
+            } => {
+                self.conflicts.add(stats.conflicts);
+                self.decisions.add(stats.decisions);
+                self.propagations.add(stats.propagations);
+                self.restarts.add(stats.restarts);
+                self.imported_clauses.add(stats.imported_clauses);
+                self.exported_clauses.add(stats.exported_clauses);
+                let micros = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+                self.wall_time_us.record(micros);
+                let secs = elapsed.as_secs_f64();
+                if secs > 0.0 {
+                    #[allow(clippy::cast_precision_loss)]
+                    self.props_per_sec.set(stats.propagations as f64 / secs);
+                }
+                match verdict {
+                    SolveVerdict::Sat => self.sat.inc(),
+                    SolveVerdict::Unsat => self.unsat.inc(),
+                    SolveVerdict::Unknown(_) => self.unknown.inc(),
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -816,7 +1056,8 @@ mod tests {
             }
         }
 
-        let logger = ProgressLogger::to_writer("t", Box::new(Shared(buf.clone())));
+        let logger = ProgressLogger::to_writer("t", Box::new(Shared(buf.clone())))
+            .with_min_interval(Duration::ZERO);
         logger.on_event(&SolverEvent::Started {
             num_vars: 3,
             num_clauses: 4,
@@ -830,6 +1071,119 @@ mod tests {
         assert!(text.contains("restart #2 at 200 conflicts"), "{text}");
         // Every line carries the elapsed-since-start tag.
         assert!(text.lines().all(|l| l.starts_with("[t +")), "{text}");
+    }
+
+    #[test]
+    fn progress_logger_throttles_intermediate_events() {
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        // A one-hour interval: nothing intermediate can pass after Started.
+        let logger = ProgressLogger::to_writer("t", Box::new(Shared(buf.clone())))
+            .with_min_interval(Duration::from_secs(3600));
+        logger.on_event(&SolverEvent::Started {
+            num_vars: 1,
+            num_clauses: 1,
+        });
+        for n in 1..=100 {
+            logger.on_event(&SolverEvent::Restart {
+                restarts: n,
+                conflicts: n,
+            });
+        }
+        logger.on_event(&SolverEvent::Finished {
+            verdict: SolveVerdict::Sat,
+            stats: SolverStats::default(),
+            elapsed: Duration::from_millis(1),
+        });
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        // Terminal events always land; the 100 restarts are dropped.
+        assert_eq!(text.lines().count(), 2, "{text}");
+        assert!(text.contains("start:"), "{text}");
+        assert!(text.contains("done in"), "{text}");
+    }
+
+    #[test]
+    fn solver_metrics_hub_flushes_deltas() {
+        let registry = MetricsRegistry::new();
+        let mut hub = SolverMetricsHub::from_registry(&registry);
+        assert!(hub.is_enabled());
+
+        let mut stats = SolverStats {
+            conflicts: 1,
+            decisions: 10,
+            propagations: 100,
+            learnt_clauses: 1,
+            ..Default::default()
+        };
+        hub.on_conflict(3, &stats);
+        stats.conflicts = 2;
+        stats.decisions = 25;
+        stats.propagations = 450;
+        stats.learnt_clauses = 2;
+        hub.on_conflict(7, &stats);
+        stats.restarts = 1;
+        hub.on_restart(&stats);
+        stats.propagations = 500;
+        hub.on_finish(&stats);
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("solver.conflicts"), Some(2));
+        assert_eq!(snap.counter("solver.decisions"), Some(25));
+        assert_eq!(snap.counter("solver.propagations"), Some(500));
+        assert_eq!(snap.counter("solver.restarts"), Some(1));
+        assert_eq!(snap.counter("solver.learnt_clauses"), Some(2));
+        let lbd = snap.histogram("solver.lbd").unwrap();
+        assert_eq!(lbd.count(), 2);
+        assert_eq!(lbd.max(), 7);
+        // The restart happened 2 conflicts in.
+        let interval = snap.histogram("solver.restart_interval").unwrap();
+        assert_eq!(interval.count(), 1);
+        assert_eq!(interval.max(), 2);
+
+        // A disabled hub records nothing and costs one branch.
+        let mut off = SolverMetricsHub::disabled();
+        assert!(!off.is_enabled());
+        off.on_conflict(3, &stats);
+        off.on_finish(&stats);
+    }
+
+    #[test]
+    fn registry_observer_folds_finished_stats() {
+        let registry = MetricsRegistry::new();
+        let obs = RegistryObserver::new(&registry, "portfolio.member_0.");
+        obs.on_event(&SolverEvent::Import {
+            imported: 4,
+            total_imported: 4,
+            conflicts: 10,
+        });
+        obs.on_event(&SolverEvent::Finished {
+            verdict: SolveVerdict::Unsat,
+            stats: SolverStats {
+                conflicts: 1500,
+                propagations: 12000,
+                imported_clauses: 4,
+                ..Default::default()
+            },
+            elapsed: Duration::from_millis(500),
+        });
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("portfolio.member_0.conflicts"), Some(1500));
+        assert_eq!(snap.counter("portfolio.member_0.import_batches"), Some(1));
+        assert_eq!(snap.counter("portfolio.member_0.outcome.unsat"), Some(1));
+        assert_eq!(snap.counter("portfolio.member_0.outcome.sat"), Some(0));
+        let wall = snap.histogram("portfolio.member_0.wall_time_us").unwrap();
+        assert_eq!(wall.count(), 1);
+        assert!(snap.gauge("portfolio.member_0.props_per_sec").unwrap() > 0.0);
     }
 
     #[test]

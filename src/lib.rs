@@ -15,8 +15,12 @@
 //! * [`core`] — the paper's contribution: 14 SAT encodings for CSPs,
 //!   symmetry breaking, the encoder/decoder, strategies and the parallel
 //!   portfolio, plus the end-to-end routing pipeline,
-//! * [`obs`] — the tracing subsystem: hierarchical spans, JSONL trace
-//!   artifacts, and the trace report analyzer.
+//! * [`obs`] — the observability subsystem: hierarchical spans, JSONL
+//!   trace artifacts, the trace report analyzer, and the metrics
+//!   registry (counters, gauges, log-bucketed histograms),
+//! * [`bench`] — the table/figure-regeneration harness and the
+//!   `satroute bench` regression suites, `BENCH_*.json` artifacts and
+//!   the comparison gate.
 //!
 //! The run-control vocabulary (budgets, cancellation, observers) is
 //! re-exported at the crate root: [`RunBudget`], [`CancellationToken`],
@@ -53,6 +57,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use satroute_bench as bench;
 pub use satroute_cnf as cnf;
 pub use satroute_coloring as coloring;
 pub use satroute_core as core;
@@ -61,8 +66,12 @@ pub use satroute_obs as obs;
 pub use satroute_solver as solver;
 
 pub use satroute_solver::{
-    CancellationToken, FanoutObserver, MetricsRecorder, NullObserver, ProgressLogger, RunBudget,
-    RunMetrics, RunObserver, SolveVerdict, SolverEvent, StopReason, TraceObserver,
+    CancellationToken, FanoutObserver, MetricsRecorder, NullObserver, ProgressLogger,
+    RegistryObserver, RunBudget, RunMetrics, RunObserver, SolveVerdict, SolverEvent, StopReason,
+    TraceObserver,
 };
 
-pub use satroute_obs::{parse_jsonl, SpanForest, TraceReport, TraceTree, TraceWriter, Tracer};
+pub use satroute_obs::{
+    parse_jsonl, MetricsRegistry, MetricsSnapshot, SpanForest, TraceReport, TraceTree, TraceWriter,
+    Tracer,
+};

@@ -10,6 +10,8 @@
 //! satroute solve <file.cnf> [--proof <out.drat>]       run the CDCL solver
 //! satroute portfolio <problem.txt> --width <W> [...]   race a solver portfolio
 //! satroute trace report <trace.jsonl> [--json]         analyze a trace artifact
+//! satroute bench run [--suite quick|paper] [...]       record a BENCH_*.json baseline
+//! satroute bench compare <base> <cand> [--gate]        diff/gate two baselines
 //! satroute encodings                                   list the 15 encodings
 //! ```
 //!
@@ -34,13 +36,28 @@
 //! encoding, solving, decode) to a JSONL artifact; `satroute trace report
 //! <out.jsonl>` reconstructs the span tree and prints per-phase,
 //! per-encoding and per-member tables (`--json` for machine-readable
-//! output).
+//! output). The writer is explicitly finished before exit so a full
+//! buffer or disk error fails the command instead of truncating the
+//! artifact silently.
+//!
+//! Metrics: `--metrics <out.json|out.prom>` on the same commands enables
+//! the metrics registry (solver conflict/propagation counters, LBD and
+//! restart-interval histograms, per-phase wall times) and writes a final
+//! snapshot in JSON or Prometheus text exposition, chosen by extension.
+//!
+//! Benchmarking: `satroute bench run --suite quick --out BENCH_quick.json`
+//! executes a pinned deterministic suite and records a baseline artifact;
+//! `satroute bench compare <baseline> <candidate> --gate [--threshold 25]`
+//! diffs two artifacts and exits with status 3 when a gated metric
+//! regressed (wall time gates only between timing-comparable
+//! environments; conflicts/CNF shape/outcomes gate everywhere).
 
 use std::fs;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
+use satroute::bench::{compare, BenchArtifact, GateOptions, SuiteId, SuiteOptions};
 use satroute::cnf::dimacs as cnf_dimacs;
 use satroute::coloring::dimacs as col_dimacs;
 use satroute::coloring::CspGraph;
@@ -49,8 +66,8 @@ use satroute::fpga::{benchmarks, io as fpga_io, RoutingProblem};
 use satroute::obs::FieldValue;
 use satroute::solver::{CdclSolver, SolveOutcome};
 use satroute::{
-    parse_jsonl, FanoutObserver, ProgressLogger, RunBudget, RunObserver, SpanForest, TraceObserver,
-    TraceReport, TraceWriter, Tracer,
+    parse_jsonl, FanoutObserver, MetricsRegistry, ProgressLogger, RunBudget, RunObserver,
+    SpanForest, TraceObserver, TraceReport, TraceWriter, Tracer,
 };
 
 fn main() -> ExitCode {
@@ -64,6 +81,7 @@ fn main() -> ExitCode {
     }
 }
 
+#[derive(Clone)]
 struct Options {
     positional: Vec<String>,
     encoding: EncodingId,
@@ -82,6 +100,7 @@ struct Options {
     diversify: Option<usize>,
     threads: Option<usize>,
     trace: Option<String>,
+    metrics: Option<String>,
 }
 
 impl Options {
@@ -97,13 +116,16 @@ impl Options {
         budget
     }
 
-    /// The tracer implied by `--trace`: a JSONL writer, or disabled.
-    fn tracer(&self) -> Result<Tracer, String> {
+    /// The trace writer implied by `--trace`. The caller keeps the
+    /// returned writer (the tracer holds a clone of its shared buffer)
+    /// and calls [`TraceWriter::finish`] once the command completes, so
+    /// write failures surface as errors instead of a truncated artifact.
+    fn trace_writer(&self) -> Result<Option<TraceWriter<fs::File>>, String> {
         match &self.trace {
-            Some(path) => Ok(Tracer::to_sink(
+            Some(path) => Ok(Some(
                 TraceWriter::to_path(path).map_err(|e| format!("cannot create {path}: {e}"))?,
             )),
-            None => Ok(Tracer::disabled()),
+            None => Ok(None),
         }
     }
 }
@@ -127,6 +149,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         diversify: None,
         threads: None,
         trace: None,
+        metrics: None,
     };
     let mut i = 0;
     let take_value = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
@@ -168,6 +191,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     Some(v.parse().map_err(|_| format!("bad conflict limit `{v}`"))?);
             }
             "--trace" => opts.trace = Some(take_value(args, &mut i, "--trace")?),
+            "--metrics" => opts.metrics = Some(take_value(args, &mut i, "--metrics")?),
             "--progress" => opts.progress = true,
             "--json" => opts.json = true,
             "--portfolio-share" => opts.portfolio_share = true,
@@ -215,9 +239,57 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         print_usage();
         return Ok(ExitCode::from(2));
     };
+    if command == "bench" {
+        // The bench family has its own flag vocabulary (--suite, --gate,
+        // --threshold, ...); parse it separately.
+        return run_bench(&args[1..]);
+    }
     let opts = parse_options(&args[1..])?;
+    let trace_writer = opts.trace_writer()?;
+    let tracer = trace_writer
+        .as_ref()
+        .map_or_else(Tracer::disabled, |w| Tracer::to_sink(w.clone()));
+    let registry = if opts.metrics.is_some() {
+        MetricsRegistry::new()
+    } else {
+        MetricsRegistry::disabled()
+    };
 
-    match command.as_str() {
+    let code = dispatch(command, opts.clone(), &tracer, &registry)?;
+
+    if let Some(writer) = trace_writer {
+        let path = opts.trace.as_deref().unwrap_or_default();
+        writer
+            .finish()
+            .map_err(|e| format!("trace artifact {path} incomplete: {e}"))?;
+    }
+    if let Some(path) = &opts.metrics {
+        write_metrics_snapshot(path, &registry)?;
+    }
+    Ok(code)
+}
+
+/// Writes a final registry snapshot to `path`: Prometheus text exposition
+/// for `.prom`, a JSON document otherwise.
+fn write_metrics_snapshot(path: &str, registry: &MetricsRegistry) -> Result<(), String> {
+    let snapshot = registry.snapshot();
+    let text = if path.ends_with(".prom") {
+        snapshot.to_prometheus()
+    } else {
+        let mut s = snapshot.to_json().to_json();
+        s.push('\n');
+        s
+    };
+    fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+fn dispatch(
+    command: &str,
+    opts: Options,
+    tracer: &Tracer,
+    registry: &MetricsRegistry,
+) -> Result<ExitCode, String> {
+    match command {
         "gen" => {
             let name = opts.bench.ok_or("gen needs --bench <name>")?;
             let instance = find_benchmark(&name)?;
@@ -245,7 +317,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             let problem = load_problem(path)?;
             let mut pipeline = RoutingPipeline::new(Strategy::new(opts.encoding, opts.symmetry))
                 .with_budget(opts.budget())
-                .with_tracer(opts.tracer()?);
+                .with_tracer(tracer.clone())
+                .with_metrics(registry.clone());
             if opts.progress {
                 pipeline = pipeline.with_observer(Arc::new(ProgressLogger::stderr(command)));
             }
@@ -269,7 +342,6 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             let problem = load_problem(path)?;
             if opts.incremental {
                 use satroute::core::incremental::IncrementalColoring;
-                let tracer = opts.tracer()?;
                 let span = tracer.span_with("min_width", [("incremental", FieldValue::from(true))]);
                 let graph = problem.conflict_graph();
                 let upper = satroute::coloring::dsatur_coloring(&graph)
@@ -304,7 +376,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 let mut pipeline =
                     RoutingPipeline::new(Strategy::new(opts.encoding, opts.symmetry))
                         .with_budget(opts.budget())
-                        .with_tracer(opts.tracer()?);
+                        .with_tracer(tracer.clone())
+                        .with_metrics(registry.clone());
                 if opts.progress {
                     pipeline =
                         pipeline.with_observer(Arc::new(ProgressLogger::stderr("min-width")));
@@ -380,7 +453,6 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             let path = opts.positional.first().ok_or("solve needs a .cnf file")?;
             let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             let formula = cnf_dimacs::parse_cnf_str(&text).map_err(|e| format!("{e}"))?;
-            let tracer = opts.tracer()?;
             let span = tracer.span_with(
                 "solve",
                 [("strategy", FieldValue::from(format!("cnf:{path}")))],
@@ -389,6 +461,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             if opts.proof.is_some() {
                 solver.enable_proof_logging();
             }
+            solver.set_metrics(registry);
             solver.set_budget(opts.budget());
             let mut fan = FanoutObserver::new();
             if opts.progress {
@@ -480,7 +553,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             };
             let mut portfolio_opts = PortfolioOptions::new()
                 .with_diversified_configs(opts.diversify.is_some())
-                .with_tracer(opts.tracer()?);
+                .with_tracer(tracer.clone())
+                .with_metrics(registry.clone());
             if let Some(n) = opts.threads {
                 portfolio_opts = portfolio_opts.with_max_threads(n);
             }
@@ -611,8 +685,139 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     }
 }
 
+/// `satroute bench run|compare` — the regression harness front end.
+fn run_bench(args: &[String]) -> Result<ExitCode, String> {
+    let Some(sub) = args.first() else {
+        return Err("bench needs a subcommand (try: bench run, bench compare)".to_string());
+    };
+    let args = &args[1..];
+    let take_value = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    match sub.as_str() {
+        "run" => {
+            let mut suite = SuiteId::Quick;
+            let mut out: Option<String> = None;
+            let mut suite_opts = SuiteOptions::default();
+            let mut trace: Option<String> = None;
+            let mut i = 0;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--suite" => {
+                        suite = take_value(args, &mut i, "--suite")?.parse()?;
+                    }
+                    "--out" => out = Some(take_value(args, &mut i, "--out")?),
+                    "--runs" => {
+                        let v = take_value(args, &mut i, "--runs")?;
+                        let n: usize = v.parse().map_err(|_| format!("bad run count `{v}`"))?;
+                        if n == 0 {
+                            return Err("--runs needs at least 1".to_string());
+                        }
+                        suite_opts.runs = n;
+                    }
+                    "--timeout" => {
+                        let v = take_value(args, &mut i, "--timeout")?;
+                        let secs: f64 = v.parse().map_err(|_| format!("bad timeout `{v}`"))?;
+                        if !secs.is_finite() || secs < 0.0 {
+                            return Err(format!("bad timeout `{v}`"));
+                        }
+                        suite_opts.budget =
+                            RunBudget::new().with_wall(Duration::from_secs_f64(secs));
+                    }
+                    "--trace" => trace = Some(take_value(args, &mut i, "--trace")?),
+                    other => return Err(format!("unknown bench run argument `{other}`")),
+                }
+                i += 1;
+            }
+            let out = out.unwrap_or_else(|| format!("BENCH_{}.json", suite.name()));
+            let trace_writer = match &trace {
+                Some(path) => Some(
+                    TraceWriter::to_path(path).map_err(|e| format!("cannot create {path}: {e}"))?,
+                ),
+                None => None,
+            };
+            suite_opts.tracer = trace_writer
+                .as_ref()
+                .map_or_else(Tracer::disabled, |w| Tracer::to_sink(w.clone()));
+
+            let artifact =
+                satroute::bench::run_suite(suite, &suite_opts, |line| eprintln!("{line}"));
+            fs::write(&out, artifact.to_json_string())
+                .map_err(|e| format!("cannot write {out}: {e}"))?;
+            if let Some(writer) = trace_writer {
+                let path = trace.as_deref().unwrap_or_default();
+                writer
+                    .finish()
+                    .map_err(|e| format!("trace artifact {path} incomplete: {e}"))?;
+            }
+            println!(
+                "wrote {out} (suite {}, {} cells, {} runs/cell, {} {})",
+                artifact.suite,
+                artifact.cells.len(),
+                suite_opts.runs,
+                artifact.env.opt_level,
+                artifact.env.rustc,
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        "compare" => {
+            let mut gate_opts = GateOptions::default();
+            let mut json = false;
+            let mut paths: Vec<String> = Vec::new();
+            let mut i = 0;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--gate" => gate_opts.gate = true,
+                    "--threshold" => {
+                        let v = take_value(args, &mut i, "--threshold")?;
+                        let pct: f64 = v.parse().map_err(|_| format!("bad threshold `{v}`"))?;
+                        if !pct.is_finite() || pct < 0.0 {
+                            return Err(format!("bad threshold `{v}`"));
+                        }
+                        gate_opts.threshold_pct = pct;
+                    }
+                    "--json" => json = true,
+                    flag if flag.starts_with("--") => {
+                        return Err(format!("unknown bench compare argument `{flag}`"))
+                    }
+                    positional => paths.push(positional.to_string()),
+                }
+                i += 1;
+            }
+            let [baseline_path, candidate_path] = paths.as_slice() else {
+                return Err("bench compare needs <baseline.json> <candidate.json>".to_string());
+            };
+            let load = |path: &str| -> Result<BenchArtifact, String> {
+                let text =
+                    fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+                BenchArtifact::parse_str(&text).map_err(|e| format!("{path}: {e}"))
+            };
+            let baseline = load(baseline_path)?;
+            let candidate = load(candidate_path)?;
+            let comparison = compare(&baseline, &candidate, &gate_opts);
+            if json {
+                println!("{}", comparison.to_json().to_json());
+            } else {
+                print!("{}", comparison.render_text());
+            }
+            if comparison.gate_failed() {
+                Ok(ExitCode::from(3))
+            } else {
+                Ok(ExitCode::SUCCESS)
+            }
+        }
+        other => Err(format!(
+            "unknown bench subcommand `{other}` (try: bench run, bench compare)"
+        )),
+    }
+}
+
 /// Minimal JSON string quoting for the CLI's `--json` output (the full
-/// document model lives in `satroute-bench`; the CLI only needs strings).
+/// document model lives in `satroute_obs::json`; the CLI only needs
+/// strings).
 fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
@@ -688,10 +893,13 @@ fn finish_route(
 fn print_usage() {
     eprintln!(
         "usage: satroute <command> [options]\n\
-         commands: gen, route, prove, min-width, encode, solve, portfolio, trace, encodings\n\
+         commands: gen, route, prove, min-width, encode, solve, portfolio, trace, bench, encodings\n\
          run control: --timeout <secs>, --max-conflicts <n>, --progress, --json\n\
          portfolio: --diversify <N>, --portfolio-share, --threads <T>\n\
          tracing: --trace <out.jsonl>; trace report <out.jsonl> [--json]\n\
+         metrics: --metrics <out.json|out.prom>\n\
+         bench: bench run [--suite quick|paper] [--out F] [--runs N] [--trace F];\n\
+         \u{20}       bench compare <base> <cand> [--gate] [--threshold PCT] [--json]\n\
          see the crate README for details"
     );
 }

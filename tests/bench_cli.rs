@@ -1,0 +1,229 @@
+//! Integration tests driving `satroute bench run` / `bench compare` end
+//! to end: artifact shape, gate exit codes, and the `--metrics`
+//! exposition flag.
+
+use std::process::Command;
+
+use satroute::bench::{BenchArtifact, SCHEMA};
+
+fn satroute() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_satroute"))
+}
+
+fn tempdir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("satroute_bench_{name}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("can create temp dir");
+    dir
+}
+
+/// Runs the quick suite once and parses the artifact back.
+fn record_quick(dir: &std::path::Path, file: &str) -> BenchArtifact {
+    let out_path = dir.join(file);
+    let out = satroute()
+        .args(["bench", "run", "--suite", "quick", "--runs", "1", "--out"])
+        .arg(&out_path)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "bench run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&out_path).expect("artifact written");
+    BenchArtifact::parse_str(&text).expect("artifact parses")
+}
+
+#[test]
+fn bench_run_writes_a_parseable_artifact() {
+    let dir = tempdir("run");
+    let artifact = record_quick(&dir, "BENCH_quick.json");
+
+    assert_eq!(artifact.schema, SCHEMA);
+    assert_eq!(artifact.suite, "quick");
+    assert!(artifact.env.cpus >= 1);
+    assert!(artifact.env.opt_level == "debug" || artifact.env.opt_level == "release");
+    assert!(!artifact.cells.is_empty());
+    for cell in &artifact.cells {
+        assert!(!cell.benchmark.is_empty());
+        assert!(!cell.encoding.is_empty());
+        assert!(cell.cnf_clauses > 0, "{} has no clauses", cell.id);
+        assert!(
+            cell.outcome == "sat" || cell.outcome == "unsat",
+            "{}: quick suite must decide every cell, got {}",
+            cell.id,
+            cell.outcome
+        );
+        assert!(
+            cell.histograms.contains_key("phase.sat_solving_us"),
+            "{} lacks phase histogram",
+            cell.id
+        );
+    }
+    // The suite covers both the routable and the unroutable regime.
+    assert!(artifact.cells.iter().any(|c| c.outcome == "sat"));
+    assert!(artifact.cells.iter().any(|c| c.outcome == "unsat"));
+}
+
+#[test]
+fn bench_compare_gates_an_injected_wall_time_regression() {
+    let dir = tempdir("gate");
+    let artifact = record_quick(&dir, "base.json");
+
+    // Fabricate both sides with synthetic wall times so machine speed and
+    // the noise floor cannot affect the verdict: candidate is 2.5x slower
+    // on one cell — well past the 25% default threshold.
+    let mut baseline = artifact.clone();
+    for cell in &mut baseline.cells {
+        cell.wall_time_s.median = 0.1;
+        cell.wall_time_s.min = 0.1;
+        cell.wall_time_s.max = 0.1;
+    }
+    let mut regressed = baseline.clone();
+    regressed.cells[0].wall_time_s.median = 0.25;
+    regressed.cells[0].wall_time_s.max = 0.25;
+
+    let base_path = dir.join("BENCH_base.json");
+    let slow_path = dir.join("BENCH_slow.json");
+    std::fs::write(&base_path, baseline.to_json_string()).unwrap();
+    std::fs::write(&slow_path, regressed.to_json_string()).unwrap();
+
+    // Identical artifacts pass the gate.
+    let out = satroute()
+        .args(["bench", "compare"])
+        .args([&base_path, &base_path])
+        .arg("--gate")
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "self-compare failed: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("OK: no gated regressions"));
+
+    // The injected slowdown fails the gate with exit code 3.
+    let out = satroute()
+        .args(["bench", "compare"])
+        .args([&base_path, &slow_path])
+        .arg("--gate")
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(3), "gate must exit 3");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("REGRESSION"), "{text}");
+    assert!(text.contains("wall_time"), "{text}");
+
+    // Without --gate the same pair reports but exits 0.
+    let out = satroute()
+        .args(["bench", "compare"])
+        .args([&base_path, &slow_path])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+}
+
+#[test]
+fn bench_compare_does_not_gate_wall_time_across_environments() {
+    let dir = tempdir("env");
+    let artifact = record_quick(&dir, "base.json");
+
+    let mut baseline = artifact.clone();
+    for cell in &mut baseline.cells {
+        cell.wall_time_s.median = 0.1;
+    }
+    let mut foreign = baseline.clone();
+    foreign.env.cpus = baseline.env.cpus + 64;
+    for cell in &mut foreign.cells {
+        cell.wall_time_s.median = 10.0;
+    }
+    let base_path = dir.join("a.json");
+    let foreign_path = dir.join("b.json");
+    std::fs::write(&base_path, baseline.to_json_string()).unwrap();
+    std::fs::write(&foreign_path, foreign.to_json_string()).unwrap();
+
+    let out = satroute()
+        .args(["bench", "compare"])
+        .args([&base_path, &foreign_path])
+        .arg("--gate")
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "cross-env wall time must not gate: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("environments differ"));
+}
+
+#[test]
+fn bench_compare_gates_deterministic_counters_across_environments() {
+    let dir = tempdir("det");
+    let artifact = record_quick(&dir, "base.json");
+
+    let mut foreign = artifact.clone();
+    foreign.env.rustc = format!("{} (other)", artifact.env.rustc);
+    foreign.cells[0].conflicts = artifact.cells[0].conflicts * 2 + 100;
+
+    let base_path = dir.join("a.json");
+    let foreign_path = dir.join("b.json");
+    std::fs::write(&base_path, artifact.to_json_string()).unwrap();
+    std::fs::write(&foreign_path, foreign.to_json_string()).unwrap();
+
+    let out = satroute()
+        .args(["bench", "compare"])
+        .args([&base_path, &foreign_path])
+        .arg("--gate")
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "conflict regressions gate everywhere: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn metrics_flag_writes_json_and_prometheus_snapshots() {
+    let dir = tempdir("metrics");
+    let problem = dir.join("tiny.txt");
+    let out = satroute()
+        .args(["gen", "--bench", "tiny_b", "--out"])
+        .arg(&problem)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+
+    let json_path = dir.join("metrics.json");
+    let out = satroute()
+        .arg("route")
+        .arg(&problem)
+        .args(["--width", "6", "--metrics"])
+        .arg(&json_path)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = std::fs::read_to_string(&json_path).expect("metrics written");
+    let value = satroute::obs::json::parse(&text).expect("valid JSON");
+    let conflicts = value
+        .get("counters")
+        .and_then(|c| c.get("solver.conflicts"))
+        .and_then(|v| v.as_f64());
+    assert!(conflicts.is_some(), "{text}");
+
+    let prom_path = dir.join("metrics.prom");
+    let out = satroute()
+        .arg("prove")
+        .arg(&problem)
+        .args(["--width", "4", "--metrics"])
+        .arg(&prom_path)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(20), "width 4 is unroutable");
+    let text = std::fs::read_to_string(&prom_path).expect("metrics written");
+    assert!(
+        text.contains("# TYPE satroute_solver_conflicts counter"),
+        "{text}"
+    );
+    assert!(text.contains("satroute_solver_lbd_bucket"), "{text}");
+}
