@@ -64,6 +64,10 @@ pub struct SuiteOptions {
     /// Optional tracer: each cell opens a `cell` span with the run's
     /// encode/solve/decode spans beneath it.
     pub tracer: Tracer,
+    /// Case-sensitive substring filter on cell ids
+    /// (`benchmark/encoding/symmetry/wN`); only matching cells run.
+    /// `None` runs the whole suite.
+    pub filter: Option<String>,
 }
 
 impl Default for SuiteOptions {
@@ -72,6 +76,7 @@ impl Default for SuiteOptions {
             runs: 3,
             budget: RunBudget::new().with_wall(Duration::from_secs(60)),
             tracer: Tracer::disabled(),
+            filter: None,
         }
     }
 }
@@ -129,10 +134,13 @@ pub fn run_suite(
     opts: &SuiteOptions,
     mut progress: impl FnMut(&str),
 ) -> BenchArtifact {
-    let cells = match suite {
+    let mut cells = match suite {
         SuiteId::Quick => quick_cells(),
         SuiteId::Paper => paper_cells(),
     };
+    if let Some(needle) = &opts.filter {
+        cells.retain(|cell| cell_id(cell).contains(needle.as_str()));
+    }
     let runs = opts.runs.max(1);
     let mut measured = Vec::with_capacity(cells.len());
     for cell in &cells {
@@ -152,6 +160,16 @@ pub fn run_suite(
         env: EnvFingerprint::capture(),
         cells: measured,
     }
+}
+
+/// The artifact id a suite cell will be recorded under.
+fn cell_id(cell: &SuiteCell) -> String {
+    BenchCell::make_id(
+        &cell.instance.name,
+        cell.strategy.encoding.name(),
+        cell.strategy.symmetry.name(),
+        cell.width,
+    )
 }
 
 /// Measures one triple: `runs` repeats, each with a fresh metrics
@@ -217,12 +235,7 @@ fn run_cell(cell: &SuiteCell, runs: usize, opts: &SuiteOptions) -> BenchCell {
         .collect();
 
     BenchCell {
-        id: BenchCell::make_id(
-            &cell.instance.name,
-            cell.strategy.encoding.name(),
-            cell.strategy.symmetry.name(),
-            cell.width,
-        ),
+        id: cell_id(cell),
         benchmark: cell.instance.name.clone(),
         encoding: cell.strategy.encoding.name().to_string(),
         symmetry: cell.strategy.symmetry.name().to_string(),
@@ -266,6 +279,25 @@ mod tests {
             assert_eq!(ca.cnf_clauses, cb.cnf_clauses, "{}", ca.id);
             assert_eq!(ca.outcome, cb.outcome, "{}", ca.id);
         }
+    }
+
+    #[test]
+    fn filter_restricts_the_suite_to_matching_cells() {
+        let opts = SuiteOptions {
+            runs: 1,
+            filter: Some("tiny_a/".to_string()),
+            ..SuiteOptions::default()
+        };
+        let artifact = run_suite(SuiteId::Quick, &opts, |_| {});
+        assert!(!artifact.cells.is_empty(), "tiny_a cells must match");
+        assert!(artifact.cells.iter().all(|c| c.id.contains("tiny_a/")));
+
+        let none = SuiteOptions {
+            runs: 1,
+            filter: Some("no-such-cell".to_string()),
+            ..SuiteOptions::default()
+        };
+        assert!(run_suite(SuiteId::Quick, &none, |_| {}).cells.is_empty());
     }
 
     #[test]

@@ -293,7 +293,7 @@ impl PortfolioOptions {
 /// One member's inbox on the [`SharingBus`].
 #[derive(Debug, Default)]
 struct Inbox {
-    clauses: Mutex<Vec<Vec<Lit>>>,
+    clauses: Mutex<Vec<Arc<[Lit]>>>,
 }
 
 /// A member's view of the bus: its own inbox to drain plus every sharing
@@ -306,17 +306,20 @@ struct BusEndpoint {
 
 impl ClauseExchange for BusEndpoint {
     fn export(&self, lits: &[Lit], _lbd: u32) {
+        // One allocation per export; each peer gets a pointer clone, not a
+        // copy of the literal payload.
+        let shared: Arc<[Lit]> = lits.into();
         for peer in &self.peers {
             let mut queue = peer.clauses.lock().expect("inbox lock never poisoned");
             // Drop on overflow: losing a shared clause is always sound
             // (sharing is an accelerator, not a correctness mechanism).
             if queue.len() < INBOX_CAP {
-                queue.push(lits.to_vec());
+                queue.push(Arc::clone(&shared));
             }
         }
     }
 
-    fn drain(&self) -> Vec<Vec<Lit>> {
+    fn drain(&self) -> Vec<Arc<[Lit]>> {
         std::mem::take(&mut *self.mine.clauses.lock().expect("inbox lock never poisoned"))
     }
 }
@@ -997,10 +1000,11 @@ mod tests {
         let b = bus.exchange(1).expect("connected");
         let c = bus.exchange(2).expect("connected");
         let clause = vec![Lit::from_dimacs(1), Lit::from_dimacs(-2)];
+        let delivered: Arc<[Lit]> = clause.as_slice().into();
         a.export(&clause, 2);
         assert!(a.drain().is_empty(), "no self-delivery");
-        assert_eq!(b.drain(), vec![clause.clone()]);
-        assert_eq!(c.drain(), vec![clause]);
+        assert_eq!(b.drain(), vec![Arc::clone(&delivered)]);
+        assert_eq!(c.drain(), vec![delivered]);
         assert!(b.drain().is_empty(), "drain empties the inbox");
     }
 

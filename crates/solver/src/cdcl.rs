@@ -7,7 +7,13 @@
 //! * first-UIP conflict analysis with recursive clause minimization,
 //! * VSIDS variable activities with an indexed max-heap and phase saving,
 //! * Luby-sequence restarts,
-//! * activity-driven learnt-clause database reduction.
+//! * activity-driven learnt-clause database reduction (with an optional
+//!   LBD-tiered policy, see [`ReducePolicy`]).
+//!
+//! Clauses live in a flat [`ClauseArena`](crate::ClauseArena) — one
+//! contiguous `u32` buffer addressed by word offsets — with compacting
+//! garbage collection reclaiming deleted clauses once their share of the
+//! buffer crosses [`SolverConfig::gc_dead_frac`].
 //!
 //! The solver is deterministic: the same formula always produces the same
 //! search, which makes the benchmark tables reproducible run to run.
@@ -19,13 +25,14 @@ use std::time::Instant;
 
 use satroute_cnf::{Assignment, CnfFormula, Lit, Var};
 
+use crate::arena::{ClauseArena, ClauseRef, Tier};
 use crate::heap::VarHeap;
 use crate::luby::luby;
 use crate::outcome::SolveOutcome;
 use crate::proof::DratProof;
 use crate::run::{
     CancellationToken, ClauseExchange, RunBudget, RunObserver, SharingConfig, SolverEvent,
-    SolverMetricsHub, StopReason,
+    SolverMetricsHub, StopReason, StoreSnapshot,
 };
 use satroute_obs::MetricsRegistry;
 
@@ -69,6 +76,29 @@ pub enum RestartScheme {
     Geometric(f64),
 }
 
+/// Learnt-clause database reduction policy.
+///
+/// [`ReducePolicy::Activity`] is the classic MiniSat scheme and the
+/// default: a single activity sort deletes the less-active half. It is the
+/// policy the paper-table baselines were recorded under, so it stays the
+/// default to keep those searches byte-identical.
+///
+/// [`ReducePolicy::Tiered`] retains by the LBD [`Tier`] assigned at learn
+/// time: core clauses (LBD ≤ 3) are never deleted, the mid tier drops its
+/// less-active half, and the local tier keeps only its most active
+/// quarter. Opting in changes which clauses survive, and therefore the
+/// search trajectory.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ReducePolicy {
+    /// Classic MiniSat: one activity sort over all learnt clauses, delete
+    /// the less-active half (skipping binary and locked clauses).
+    #[default]
+    Activity,
+    /// Tier-aware retention: core kept forever, mid by activity, local
+    /// aggressively reduced.
+    Tiered,
+}
+
 /// Tunable parameters of the [`CdclSolver`].
 #[derive(Clone, Debug)]
 pub struct SolverConfig {
@@ -96,6 +126,17 @@ pub struct SolverConfig {
     pub phase_init: PhaseInit,
     /// Restart schedule.
     pub restart_scheme: RestartScheme,
+    /// How `reduce_db` picks which learnt clauses survive.
+    pub reduce_policy: ReducePolicy,
+    /// Hard floor of the learnt-clause limit (MiniSat's classic 1000);
+    /// tests lower it to force database reductions on small formulas.
+    pub learnt_floor: f64,
+    /// Compact the clause arena once deleted clauses occupy at least this
+    /// fraction of it (checked after each database reduction).
+    pub gc_dead_frac: f64,
+    /// Testing knob: additionally run a compacting GC every N conflicts
+    /// (even with nothing dead), to exercise reference remapping.
+    pub debug_force_gc: Option<u64>,
 }
 
 impl Default for SolverConfig {
@@ -110,6 +151,10 @@ impl Default for SolverConfig {
             seed: 0,
             phase_init: PhaseInit::AllFalse,
             restart_scheme: RestartScheme::Luby,
+            reduce_policy: ReducePolicy::Activity,
+            learnt_floor: 1000.0,
+            gc_dead_frac: 0.25,
+            debug_force_gc: None,
         }
     }
 }
@@ -188,6 +233,10 @@ pub struct SolverStats {
     /// (after level-0 simplification; satisfied/tautological deliveries are
     /// not counted).
     pub imported_clauses: u64,
+    /// Compacting garbage collections of the clause arena.
+    pub gc_runs: u64,
+    /// Bytes reclaimed by those collections.
+    pub gc_reclaimed_bytes: u64,
 }
 
 const NO_REASON: u32 = u32::MAX;
@@ -197,17 +246,9 @@ const UNDEF: u8 = 0;
 const FALSE: u8 = 1;
 const TRUE: u8 = 2;
 
-#[derive(Clone, Debug)]
-struct ClauseData {
-    lits: Vec<Lit>,
-    activity: f64,
-    learnt: bool,
-    deleted: bool,
-}
-
 #[derive(Clone, Copy, Debug)]
 struct Watcher {
-    cref: u32,
+    cref: ClauseRef,
     blocker: Lit,
 }
 
@@ -262,11 +303,20 @@ pub struct CdclSolver {
     config: SolverConfig,
     stats: SolverStats,
 
-    clauses: Vec<ClauseData>,
-    /// Indices into `clauses` of learnt clauses (may include deleted ones
-    /// until the next compaction of this list).
-    learnts: Vec<u32>,
+    /// Flat clause storage; every `cref` below is an offset into it.
+    arena: ClauseArena,
+    /// References of learnt clauses (may include deleted ones until the
+    /// next compaction of this list at the end of `reduce_db`).
+    learnts: Vec<ClauseRef>,
     watches: Vec<Vec<Watcher>>,
+    /// Clauses ever attached (learnt included, deletions not subtracted);
+    /// feeds the initial learnt-clause limit exactly as the length of the
+    /// old grow-only clause vector did.
+    allocated_clauses: usize,
+    /// Original (problem) clauses currently attached.
+    original_clauses: usize,
+    /// Live learnt clauses per [`Tier`], indexed by `Tier as usize`.
+    tier_counts: [u64; 3],
 
     assigns: Vec<u8>,
     level: Vec<u32>,
@@ -285,6 +335,12 @@ pub struct CdclSolver {
     seen: Vec<bool>,
     analyze_stack: Vec<Lit>,
     analyze_clear: Vec<Lit>,
+    /// Reusable buffer holding the clause produced by `analyze` (avoids
+    /// one heap allocation per conflict).
+    learnt_buf: Vec<Lit>,
+    /// Per-decision-level stamps for the allocation-free LBD computation.
+    lbd_stamp: Vec<u32>,
+    lbd_gen: u32,
 
     /// False once a top-level conflict has been derived.
     ok: bool,
@@ -331,9 +387,12 @@ impl CdclSolver {
         CdclSolver {
             config,
             stats: SolverStats::default(),
-            clauses: Vec::new(),
+            arena: ClauseArena::new(),
             learnts: Vec::new(),
             watches: Vec::new(),
+            allocated_clauses: 0,
+            original_clauses: 0,
+            tier_counts: [0; 3],
             assigns: Vec::new(),
             level: Vec::new(),
             reason: Vec::new(),
@@ -348,6 +407,9 @@ impl CdclSolver {
             seen: Vec::new(),
             analyze_stack: Vec::new(),
             analyze_clear: Vec::new(),
+            learnt_buf: Vec::new(),
+            lbd_stamp: Vec::new(),
+            lbd_gen: 0,
             ok: true,
             cancel: None,
             budget: RunBudget::default(),
@@ -514,6 +576,8 @@ impl CdclSolver {
         self.activity.resize(n, 0.0);
         self.phase.resize(n, false);
         self.seen.resize(n, false);
+        // Decision levels never exceed the variable count.
+        self.lbd_stamp.resize(n + 1, 0);
         self.watches.resize(n * 2, Vec::new());
         // Diversification: initial phase polarity, plus (for nonzero seeds)
         // a tiny deterministic activity jitter that breaks VSIDS ties
@@ -600,7 +664,7 @@ impl CdclSolver {
                 }
             }
             _ => {
-                self.attach_clause(normalized, false);
+                self.attach_clause(&normalized, false, 0);
             }
         }
         if !self.ok {
@@ -633,15 +697,15 @@ impl CdclSolver {
         self.deadline = self.budget.deadline(start);
         self.emit(SolverEvent::Started {
             num_vars: self.num_vars(),
-            num_clauses: self
-                .clauses
-                .iter()
-                .filter(|c| !c.learnt && !c.deleted)
-                .count(),
+            num_clauses: self.original_clauses,
         });
         let outcome = self.solve_inner(assumptions);
         let stats = self.stats;
         self.metrics.on_finish(&stats);
+        if self.metrics.is_enabled() {
+            let snap = self.store_snapshot();
+            self.metrics.on_store(&snap);
+        }
         self.emit(SolverEvent::Finished {
             verdict: outcome.verdict(),
             stats: self.stats,
@@ -676,7 +740,8 @@ impl CdclSolver {
             return SolveOutcome::Unsat;
         }
 
-        let mut max_learnts = ((self.clauses.len() as f64) * self.config.learnt_ratio).max(1000.0);
+        let mut max_learnts = ((self.allocated_clauses as f64) * self.config.learnt_ratio)
+            .max(self.config.learnt_floor);
         let mut restart_number: u64 = 1;
         let mut conflicts_until_restart = self.restart_interval(restart_number);
 
@@ -738,10 +803,11 @@ impl CdclSolver {
                 if self.decision_level() == 0 {
                     return SearchResult::Unsat;
                 }
-                let (learnt, backtrack_level) = self.analyze(conflict);
+                // `analyze` leaves the learnt clause in `learnt_buf`.
+                let backtrack_level = self.analyze(conflict);
                 // LBD uses the decision levels at conflict time, so it must
                 // be computed before backtracking.
-                let lbd = self.clause_lbd(&learnt);
+                let lbd = self.learnt_buf_lbd();
                 self.stats.sum_lbd += u64::from(lbd);
                 self.lbd_ema = if self.stats.learnt_clauses == 0 {
                     f64::from(lbd)
@@ -752,9 +818,10 @@ impl CdclSolver {
                 // consumed by `record_learnt`.
                 let exported = match &self.exchange.0 {
                     Some(exchange)
-                        if lbd <= self.sharing.max_lbd && learnt.len() <= self.sharing.max_len =>
+                        if lbd <= self.sharing.max_lbd
+                            && self.learnt_buf.len() <= self.sharing.max_len =>
                     {
-                        exchange.export(&learnt, lbd);
+                        exchange.export(&self.learnt_buf, lbd);
                         true
                     }
                     _ => false,
@@ -763,11 +830,16 @@ impl CdclSolver {
                     self.stats.exported_clauses += 1;
                 }
                 self.backtrack(backtrack_level);
-                self.record_learnt(learnt);
+                self.record_learnt(lbd);
                 self.decay_activities();
                 if self.metrics.is_enabled() {
                     let stats = self.stats;
                     self.metrics.on_conflict(lbd, &stats);
+                }
+                if let Some(every) = self.config.debug_force_gc {
+                    if every > 0 && self.stats.conflicts.is_multiple_of(every) {
+                        self.collect_garbage();
+                    }
                 }
 
                 if self.stats.conflicts.is_multiple_of(PROGRESS_INTERVAL) {
@@ -951,7 +1023,7 @@ impl CdclSolver {
 
             // Normalize against the level-0 assignment: drop falsified
             // literals, skip satisfied or tautological deliveries.
-            let mut sorted = lits;
+            let mut sorted = lits.to_vec();
             sorted.sort_unstable();
             sorted.dedup();
             let mut normalized: Vec<Lit> = Vec::with_capacity(sorted.len());
@@ -986,7 +1058,9 @@ impl CdclSolver {
                     }
                 }
                 _ => {
-                    let cref = self.attach_clause(normalized, true);
+                    // The exchange drops LBD on the floor, so classify the
+                    // import by its length — a sound upper bound on LBD.
+                    let cref = self.attach_clause(&normalized, true, normalized.len() as u32);
                     self.bump_clause(cref);
                 }
             }
@@ -1001,17 +1075,27 @@ impl CdclSolver {
         self.ok
     }
 
-    /// Literal block distance of a clause: the number of distinct decision
-    /// levels among its literals (valid only before backtracking past
-    /// them).
-    fn clause_lbd(&self, lits: &[Lit]) -> u32 {
-        let mut levels: Vec<u32> = lits
-            .iter()
-            .map(|l| self.level[usize::from(l.var())])
-            .collect();
-        levels.sort_unstable();
-        levels.dedup();
-        levels.len() as u32
+    /// Literal block distance of the clause in `learnt_buf`: the number of
+    /// distinct decision levels among its literals (valid only before
+    /// backtracking past them). Allocation-free: distinct levels are
+    /// counted with a per-level generation stamp instead of sort + dedup.
+    fn learnt_buf_lbd(&mut self) -> u32 {
+        if self.lbd_gen == u32::MAX {
+            // One wrap in 2^32 conflicts: restart the stamp epoch.
+            self.lbd_stamp.fill(0);
+            self.lbd_gen = 0;
+        }
+        self.lbd_gen += 1;
+        let gen = self.lbd_gen;
+        let mut distinct = 0u32;
+        for &l in &self.learnt_buf {
+            let lev = self.level[usize::from(l.var())] as usize;
+            if self.lbd_stamp[lev] != gen {
+                self.lbd_stamp[lev] = gen;
+                distinct += 1;
+            }
+        }
+        distinct
     }
 
     fn num_assigned(&self) -> usize {
@@ -1067,21 +1151,18 @@ impl CdclSolver {
                     continue;
                 }
 
-                let cref = w.cref as usize;
-                if self.clauses[cref].deleted {
+                let cref = w.cref;
+                if self.arena.is_deleted(cref) {
                     continue; // lazily drop watcher of deleted clause
                 }
 
                 let false_lit = !p;
                 // Ensure the falsified literal is in slot 1.
-                {
-                    let lits = &mut self.clauses[cref].lits;
-                    if lits[0] == false_lit {
-                        lits.swap(0, 1);
-                    }
-                    debug_assert_eq!(lits[1], false_lit);
+                if self.arena.lit(cref, 0) == false_lit {
+                    self.arena.swap_lits(cref, 0, 1);
                 }
-                let first = self.clauses[cref].lits[0];
+                debug_assert_eq!(self.arena.lit(cref, 1), false_lit);
+                let first = self.arena.lit(cref, 0);
                 if first != w.blocker && self.lit_value(first) == TRUE {
                     watchers[kept] = Watcher {
                         cref: w.cref,
@@ -1092,11 +1173,11 @@ impl CdclSolver {
                 }
 
                 // Look for a new literal to watch.
-                let clause_len = self.clauses[cref].lits.len();
+                let clause_len = self.arena.len(cref);
                 for k in 2..clause_len {
-                    let lk = self.clauses[cref].lits[k];
+                    let lk = self.arena.lit(cref, k);
                     if self.lit_value(lk) != FALSE {
-                        self.clauses[cref].lits.swap(1, k);
+                        self.arena.swap_lits(cref, 1, k);
                         self.watches[lk.code() as usize].push(Watcher {
                             cref: w.cref,
                             blocker: first,
@@ -1136,10 +1217,12 @@ impl CdclSolver {
 
     /// First-UIP conflict analysis with recursive minimization.
     ///
-    /// Returns the learnt clause (asserting literal first) and the level to
+    /// Leaves the learnt clause in `learnt_buf` (asserting literal first,
+    /// the literal of the backtrack level second) and returns the level to
     /// backtrack to.
-    fn analyze(&mut self, conflict: u32) -> (Vec<Lit>, u32) {
-        let mut learnt: Vec<Lit> = vec![Lit::from_code(0)]; // slot for UIP
+    fn analyze(&mut self, conflict: ClauseRef) -> u32 {
+        self.learnt_buf.clear();
+        self.learnt_buf.push(Lit::from_code(0)); // slot for UIP
         let mut path_count: u32 = 0;
         let mut p: Option<Lit> = None;
         let mut index = self.trail.len();
@@ -1149,8 +1232,8 @@ impl CdclSolver {
         loop {
             self.bump_clause(confl);
             let start = usize::from(p.is_some());
-            for k in start..self.clauses[confl as usize].lits.len() {
-                let q = self.clauses[confl as usize].lits[k];
+            for k in start..self.arena.len(confl) {
+                let q = self.arena.lit(confl, k);
                 let var = usize::from(q.var());
                 if !self.seen[var] && self.level[var] > 0 {
                     self.seen[var] = true;
@@ -1158,7 +1241,7 @@ impl CdclSolver {
                     if self.level[var] >= current_level {
                         path_count += 1;
                     } else {
-                        learnt.push(q);
+                        self.learnt_buf.push(q);
                     }
                 }
             }
@@ -1175,7 +1258,7 @@ impl CdclSolver {
             self.seen[var] = false;
             path_count -= 1;
             if path_count == 0 {
-                learnt[0] = !lit;
+                self.learnt_buf[0] = !lit;
                 break;
             }
             p = Some(lit);
@@ -1183,27 +1266,26 @@ impl CdclSolver {
             debug_assert_ne!(confl, NO_REASON, "non-decision literal must have a reason");
         }
 
-        // `seen` is still set for learnt[1..]; reuse it for minimization.
-        for &l in &learnt {
-            self.analyze_clear.push(l);
-        }
-        self.seen[usize::from(learnt[0].var())] = true;
+        // `seen` is still set for learnt_buf[1..]; reuse it for
+        // minimization.
+        self.analyze_clear.extend_from_slice(&self.learnt_buf);
+        self.seen[usize::from(self.learnt_buf[0].var())] = true;
 
-        let abstract_levels = learnt[1..]
+        let abstract_levels = self.learnt_buf[1..]
             .iter()
             .fold(0u64, |acc, l| acc | self.abstract_level(l.var()));
-        let original_len = learnt.len();
+        let original_len = self.learnt_buf.len();
         let mut kept = 1;
-        for idx in 1..learnt.len() {
-            let l = learnt[idx];
+        for idx in 1..original_len {
+            let l = self.learnt_buf[idx];
             if self.reason[usize::from(l.var())] == NO_REASON
                 || !self.lit_redundant(l, abstract_levels)
             {
-                learnt[kept] = l;
+                self.learnt_buf[kept] = l;
                 kept += 1;
             }
         }
-        learnt.truncate(kept);
+        self.learnt_buf.truncate(kept);
         self.stats.minimized_literals += (original_len - kept) as u64;
 
         // Clear the `seen` markers.
@@ -1213,22 +1295,20 @@ impl CdclSolver {
 
         // Compute backtrack level and move the corresponding literal to
         // slot 1 (second watch).
-        let backtrack_level = if learnt.len() == 1 {
+        if self.learnt_buf.len() == 1 {
             0
         } else {
             let mut max_i = 1;
-            for i in 2..learnt.len() {
-                if self.level[usize::from(learnt[i].var())]
-                    > self.level[usize::from(learnt[max_i].var())]
+            for i in 2..self.learnt_buf.len() {
+                if self.level[usize::from(self.learnt_buf[i].var())]
+                    > self.level[usize::from(self.learnt_buf[max_i].var())]
                 {
                     max_i = i;
                 }
             }
-            learnt.swap(1, max_i);
-            self.level[usize::from(learnt[1].var())]
-        };
-
-        (learnt, backtrack_level)
+            self.learnt_buf.swap(1, max_i);
+            self.level[usize::from(self.learnt_buf[1].var())]
+        }
     }
 
     fn abstract_level(&self, var: Var) -> u64 {
@@ -1246,9 +1326,9 @@ impl CdclSolver {
         while let Some(l) = self.analyze_stack.pop() {
             let reason = self.reason[usize::from(l.var())];
             debug_assert_ne!(reason, NO_REASON);
-            let clause_len = self.clauses[reason as usize].lits.len();
+            let clause_len = self.arena.len(reason);
             for k in 1..clause_len {
-                let q = self.clauses[reason as usize].lits[k];
+                let q = self.arena.lit(reason, k);
                 let var = usize::from(q.var());
                 if self.seen[var] || self.level[var] == 0 {
                     continue;
@@ -1270,28 +1350,38 @@ impl CdclSolver {
         true
     }
 
-    fn record_learnt(&mut self, learnt: Vec<Lit>) {
+    /// Installs the clause left in `learnt_buf` by `analyze`.
+    fn record_learnt(&mut self, lbd: u32) {
         self.stats.learnt_clauses += 1;
         if let Some(proof) = &mut self.proof {
-            proof.push_add(learnt.clone());
+            proof.push_add_from(self.learnt_buf.iter().copied());
         }
-        match learnt.len() {
+        match self.learnt_buf.len() {
             0 => unreachable!("learnt clauses are never empty"),
             1 => {
-                self.enqueue(learnt[0], NO_REASON);
+                let unit = self.learnt_buf[0];
+                self.enqueue(unit, NO_REASON);
             }
             _ => {
-                let asserting = learnt[0];
-                let cref = self.attach_clause(learnt, true);
+                let asserting = self.learnt_buf[0];
+                // Take the buffer so `attach_clause` can borrow the rest of
+                // the solver; hand it back for the next conflict.
+                let buf = std::mem::take(&mut self.learnt_buf);
+                let cref = self.attach_clause(&buf, true, lbd);
+                self.learnt_buf = buf;
                 self.bump_clause(cref);
                 self.enqueue(asserting, cref);
             }
         }
     }
 
-    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> u32 {
+    /// Copies `lits` into the arena, hooks up both watchers, and (for
+    /// learnt clauses) records `lbd`, the retention [`Tier`] it implies,
+    /// and the learnt-byte accounting.
+    fn attach_clause(&mut self, lits: &[Lit], learnt: bool, lbd: u32) -> ClauseRef {
         debug_assert!(lits.len() >= 2);
-        let cref = self.clauses.len() as u32;
+        let cref = self.arena.alloc(lits, learnt);
+        self.allocated_clauses += 1;
         self.watches[lits[0].code() as usize].push(Watcher {
             cref,
             blocker: lits[1],
@@ -1300,23 +1390,17 @@ impl CdclSolver {
             cref,
             blocker: lits[0],
         });
-        self.clauses.push(ClauseData {
-            lits,
-            activity: 0.0,
-            learnt,
-            deleted: false,
-        });
         if learnt {
+            let tier = Tier::for_lbd(lbd);
+            self.arena.set_lbd(cref, lbd);
+            self.arena.set_tier(cref, tier);
+            self.tier_counts[tier as usize] += 1;
             self.learnts.push(cref);
-            self.learnt_bytes += Self::clause_bytes(self.clauses[cref as usize].lits.len());
+            self.learnt_bytes += ClauseArena::clause_bytes(lits.len());
+        } else {
+            self.original_clauses += 1;
         }
         cref
-    }
-
-    /// Rough per-clause memory estimate for the learnt-memory cap:
-    /// literal storage plus fixed `ClauseData` overhead.
-    fn clause_bytes(len: usize) -> u64 {
-        (len * std::mem::size_of::<Lit>() + std::mem::size_of::<ClauseData>()) as u64
     }
 
     fn backtrack(&mut self, target_level: u32) {
@@ -1362,15 +1446,16 @@ impl CdclSolver {
             .decreased_key_of_others_or_increased_own(var.index(), &self.activity);
     }
 
-    fn bump_clause(&mut self, cref: u32) {
-        let c = &mut self.clauses[cref as usize];
-        if !c.learnt {
+    fn bump_clause(&mut self, cref: ClauseRef) {
+        if !self.arena.is_learnt(cref) {
             return;
         }
-        c.activity += self.cla_inc;
-        if c.activity > 1e20 {
+        let bumped = self.arena.activity(cref) + self.cla_inc;
+        self.arena.set_activity(cref, bumped);
+        if bumped > 1e20 {
             for &l in &self.learnts {
-                self.clauses[l as usize].activity *= 1e-20;
+                let rescaled = self.arena.activity(l) * 1e-20;
+                self.arena.set_activity(l, rescaled);
             }
             self.cla_inc *= 1e-20;
         }
@@ -1381,22 +1466,64 @@ impl CdclSolver {
         self.cla_inc /= self.config.clause_decay;
     }
 
-    fn is_locked(&self, cref: u32) -> bool {
-        let first = self.clauses[cref as usize].lits[0];
+    fn is_locked(&self, cref: ClauseRef) -> bool {
+        let first = self.arena.lit(cref, 0);
         self.lit_value(first) == TRUE && self.reason[usize::from(first.var())] == cref
     }
 
-    /// Removes roughly half of the learnt clauses, keeping the most active
-    /// ones, binary clauses and clauses that are reasons for current
-    /// assignments.
+    /// Marks one learnt clause deleted: tier/byte accounting, the DRAT
+    /// deletion record, and the arena's dead-word bookkeeping. The watcher
+    /// lists still reference the clause until the next GC drops them
+    /// lazily.
+    fn delete_learnt(&mut self, cref: ClauseRef) {
+        debug_assert!(self.arena.is_learnt(cref) && !self.arena.is_deleted(cref));
+        if let Some(proof) = &mut self.proof {
+            proof.push_delete_from(self.arena.lits(cref));
+        }
+        self.tier_counts[self.arena.tier(cref) as usize] -= 1;
+        self.learnt_bytes = self
+            .learnt_bytes
+            .saturating_sub(ClauseArena::clause_bytes(self.arena.len(cref)));
+        self.arena.delete(cref);
+        self.stats.deleted_clauses += 1;
+    }
+
+    /// Reduces the learnt-clause database per the configured
+    /// [`ReducePolicy`], compacts the `learnts` index, and runs the
+    /// arena GC if enough of the buffer is dead.
+    ///
+    /// `learnts` holds no deleted references on entry — deletions happen
+    /// only here, and this function ends with the retain below — so no
+    /// pre-filtering pass is needed.
     fn reduce_db(&mut self) {
-        self.learnts.retain(|&c| !self.clauses[c as usize].deleted);
         let learnts_before = self.learnts.len();
-        let mut sorted: Vec<u32> = self.learnts.clone();
+        match self.config.reduce_policy {
+            ReducePolicy::Activity => self.reduce_by_activity(),
+            ReducePolicy::Tiered => self.reduce_tiered(),
+        }
+        self.learnts.retain(|&c| !self.arena.is_deleted(c));
+        self.emit(SolverEvent::Reduce {
+            learnts_before,
+            learnts_after: self.learnts.len(),
+            conflicts: self.stats.conflicts,
+        });
+        if self.arena.wants_gc(self.config.gc_dead_frac) {
+            self.collect_garbage();
+        } else if self.metrics.is_enabled() {
+            let snap = self.store_snapshot();
+            self.metrics.on_store(&snap);
+        }
+    }
+
+    /// Classic MiniSat reduction: remove roughly the less-active half of
+    /// the learnt clauses, keeping binary clauses and clauses that are
+    /// reasons for current assignments.
+    fn reduce_by_activity(&mut self) {
+        let mut sorted: Vec<ClauseRef> = self.learnts.clone();
         sorted.sort_by(|&a, &b| {
-            self.clauses[a as usize]
-                .activity
-                .partial_cmp(&self.clauses[b as usize].activity)
+            self.arena
+                .activity(a)
+                .partial_cmp(&self.arena.activity(b))
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
         let target = sorted.len() / 2;
@@ -1405,28 +1532,138 @@ impl CdclSolver {
             if removed >= target {
                 break;
             }
-            let c = &self.clauses[cref as usize];
-            if c.lits.len() <= 2 || self.is_locked(cref) {
+            if self.arena.len(cref) <= 2 || self.is_locked(cref) {
                 continue;
             }
-            let c = &mut self.clauses[cref as usize];
-            c.deleted = true;
-            let lits = std::mem::take(&mut c.lits);
-            self.learnt_bytes = self
-                .learnt_bytes
-                .saturating_sub(Self::clause_bytes(lits.len()));
-            if let Some(proof) = &mut self.proof {
-                proof.push_delete(lits);
-            }
+            self.delete_learnt(cref);
             removed += 1;
         }
-        self.stats.deleted_clauses += removed as u64;
-        self.learnts.retain(|&c| !self.clauses[c as usize].deleted);
-        self.emit(SolverEvent::Reduce {
-            learnts_before,
-            learnts_after: self.learnts.len(),
-            conflicts: self.stats.conflicts,
-        });
+    }
+
+    /// Tier-aware reduction: [`Tier::Core`] clauses are never deleted, the
+    /// mid tier drops its less-active half, and the local tier keeps only
+    /// its most active quarter. Binary and locked clauses always survive.
+    fn reduce_tiered(&mut self) {
+        let mut mid: Vec<ClauseRef> = Vec::new();
+        let mut local: Vec<ClauseRef> = Vec::new();
+        for &cref in &self.learnts {
+            match self.arena.tier(cref) {
+                Tier::Core => {}
+                Tier::Mid => mid.push(cref),
+                Tier::Local => local.push(cref),
+            }
+        }
+        let by_activity = |arena: &ClauseArena, a: &ClauseRef, b: &ClauseRef| {
+            arena
+                .activity(*a)
+                .partial_cmp(&arena.activity(*b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        };
+        mid.sort_by(|a, b| by_activity(&self.arena, a, b));
+        local.sort_by(|a, b| by_activity(&self.arena, a, b));
+        for (tier, keep_frac) in [(mid, 0.5f64), (local, 0.25f64)] {
+            let target = tier.len() - (tier.len() as f64 * keep_frac).ceil() as usize;
+            let mut removed = 0;
+            for &cref in &tier {
+                if removed >= target {
+                    break;
+                }
+                if self.arena.len(cref) <= 2 || self.is_locked(cref) {
+                    continue;
+                }
+                self.delete_learnt(cref);
+                removed += 1;
+            }
+        }
+    }
+
+    /// Compacts the clause arena and remaps every live [`ClauseRef`]:
+    /// watcher lists (watchers of dead clauses are dropped, preserving
+    /// survivor order, exactly like the lazy drop in `propagate`), the
+    /// trail's `reason` slots, and the `learnts` index. Reason clauses are
+    /// never deleted (they are locked), so their remap always resolves.
+    fn collect_garbage(&mut self) {
+        let reclaimed = self.arena.dead_bytes();
+        let fwd = self.arena.compact();
+        for watchers in &mut self.watches {
+            watchers.retain_mut(|w| match fwd.resolve(w.cref) {
+                Some(new_cref) => {
+                    w.cref = new_cref;
+                    true
+                }
+                None => false,
+            });
+        }
+        for &lit in &self.trail {
+            let var = usize::from(lit.var());
+            let reason = self.reason[var];
+            if reason != NO_REASON {
+                self.reason[var] = fwd
+                    .resolve(reason)
+                    .expect("reason clauses are locked and survive GC");
+            }
+        }
+        for cref in &mut self.learnts {
+            *cref = fwd
+                .resolve(*cref)
+                .expect("learnts index holds only live clauses outside reduce_db");
+        }
+        self.stats.gc_runs += 1;
+        self.stats.gc_reclaimed_bytes += reclaimed;
+        if self.metrics.is_enabled() {
+            let snap = self.store_snapshot();
+            self.metrics.on_gc(reclaimed, &snap);
+        }
+        self.debug_check_refs();
+    }
+
+    /// Debug-build invariant check run after every GC: every watcher
+    /// references a live clause that still watches the list's literal,
+    /// every trail `reason` and every `learnts` entry resolves to a live
+    /// clause of the right kind. Compiles to nothing in release builds.
+    fn debug_check_refs(&self) {
+        if !cfg!(debug_assertions) {
+            return;
+        }
+        for (code, watchers) in self.watches.iter().enumerate() {
+            let watched = Lit::from_code(code as u32);
+            for w in watchers {
+                assert!(
+                    !self.arena.is_deleted(w.cref),
+                    "watcher references a deleted clause after GC"
+                );
+                assert!(
+                    self.arena.lit(w.cref, 0) == watched || self.arena.lit(w.cref, 1) == watched,
+                    "watched literal must sit in one of the first two slots"
+                );
+            }
+        }
+        for &lit in &self.trail {
+            let reason = self.reason[usize::from(lit.var())];
+            if reason != NO_REASON {
+                assert!(
+                    !self.arena.is_deleted(reason),
+                    "trail reason references a deleted clause after GC"
+                );
+            }
+        }
+        for &cref in &self.learnts {
+            assert!(
+                self.arena.is_learnt(cref) && !self.arena.is_deleted(cref),
+                "learnts index must hold live learnt clauses after GC"
+            );
+        }
+    }
+
+    /// Current clause-store gauges for the metrics hub.
+    fn store_snapshot(&self) -> StoreSnapshot {
+        StoreSnapshot {
+            live_bytes: self.arena.live_bytes(),
+            dead_bytes: self.arena.dead_bytes(),
+            tier_core: self.tier_counts[Tier::Core as usize],
+            tier_mid: self.tier_counts[Tier::Mid as usize],
+            tier_local: self.tier_counts[Tier::Local as usize],
+        }
     }
 
     fn extract_model(&self) -> Assignment {
@@ -1574,6 +1811,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "minutes under the interpreter")]
     fn pigeonhole_5_into_4_is_unsat_and_counts_conflicts() {
         let n = 5i64;
         let h = 4i64;
@@ -1907,6 +2145,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "minutes under the interpreter")]
     fn diversified_members_agree_on_the_verdict() {
         // Different seeds/phases/restart schemes explore different orders
         // but must reach the same answer.
@@ -1933,20 +2172,27 @@ mod tests {
     /// In-memory exchange used by the sharing unit tests.
     #[derive(Default)]
     struct VecExchange {
-        inbox: std::sync::Mutex<Vec<Vec<Lit>>>,
-        exported: std::sync::Mutex<Vec<Vec<Lit>>>,
+        inbox: std::sync::Mutex<Vec<Arc<[Lit]>>>,
+        exported: std::sync::Mutex<Vec<Arc<[Lit]>>>,
+    }
+
+    impl VecExchange {
+        fn queue(&self, lits: Vec<Lit>) {
+            self.inbox.lock().unwrap().push(lits.into());
+        }
     }
 
     impl ClauseExchange for VecExchange {
         fn export(&self, lits: &[Lit], _lbd: u32) {
-            self.exported.lock().unwrap().push(lits.to_vec());
+            self.exported.lock().unwrap().push(lits.into());
         }
-        fn drain(&self) -> Vec<Vec<Lit>> {
+        fn drain(&self) -> Vec<Arc<[Lit]>> {
             std::mem::take(&mut *self.inbox.lock().unwrap())
         }
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "minutes under the interpreter")]
     fn exports_honor_the_sharing_filter_and_counters() {
         let ex = Arc::new(VecExchange::default());
         let sharing = SharingConfig::new().with_max_len(10);
@@ -1968,11 +2214,8 @@ mod tests {
         // Units x1 and ¬x1 queued by a "peer": the import at solve start
         // derives the top-level conflict without any search.
         let ex = Arc::new(VecExchange::default());
-        {
-            let mut inbox = ex.inbox.lock().unwrap();
-            inbox.push(vec![lit(1)]);
-            inbox.push(vec![lit(-1)]);
-        }
+        ex.queue(vec![lit(1)]);
+        ex.queue(vec![lit(-1)]);
         let mut s = CdclSolver::new();
         s.set_exchange(ex, SharingConfig::new());
         s.ensure_vars(1);
@@ -1987,11 +2230,8 @@ mod tests {
         let a = f.new_var();
         f.add_clause([Lit::positive(a)]);
         let ex = Arc::new(VecExchange::default());
-        {
-            let mut inbox = ex.inbox.lock().unwrap();
-            inbox.push(vec![Lit::positive(a)]); // satisfied at level 0
-            inbox.push(vec![lit(2), lit(-2)]); // tautology
-        }
+        ex.queue(vec![Lit::positive(a)]); // satisfied at level 0
+        ex.queue(vec![lit(2), lit(-2)]); // tautology
         let mut s = CdclSolver::new();
         s.set_exchange(ex, SharingConfig::new());
         s.add_formula(&f);
@@ -2002,7 +2242,7 @@ mod tests {
     #[test]
     fn imports_are_skipped_while_proof_logging() {
         let ex = Arc::new(VecExchange::default());
-        ex.inbox.lock().unwrap().push(vec![lit(1)]);
+        ex.queue(vec![lit(1)]);
         let mut s = CdclSolver::new();
         s.enable_proof_logging();
         s.set_exchange(ex, SharingConfig::new());
@@ -2012,6 +2252,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "minutes under the interpreter")]
     fn shared_clauses_flow_between_two_solvers() {
         // Solver A refutes and exports; its glue clauses are fed to solver
         // B working on the same formula. B must reach the same verdict and
@@ -2032,6 +2273,129 @@ mod tests {
         b.add_formula(&f);
         assert!(b.solve().is_unsat());
         assert!(b.stats().imported_clauses > 0);
+    }
+
+    /// Configuration pair that reduces the learnt database aggressively;
+    /// `gc` toggles only the arena compaction, never the search.
+    fn reducing_config(gc: bool) -> SolverConfig {
+        SolverConfig {
+            learnt_ratio: 0.0,
+            learnt_floor: 5.0,
+            debug_force_gc: if gc { Some(3) } else { None },
+            gc_dead_frac: if gc { 0.0 } else { 2.0 },
+            ..SolverConfig::default()
+        }
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore = "minutes under the interpreter")]
+    fn forced_gc_is_search_transparent() {
+        // Same reductions, same search — GC only moves bytes. The run with
+        // compaction forced every 3 conflicts must match the GC-free run
+        // on every search statistic, and `debug_check_refs` (active in
+        // debug builds) validates every watcher/reason after each GC.
+        let f = pigeonhole(6, 5);
+        let mut with_gc = CdclSolver::with_config(reducing_config(true));
+        with_gc.add_formula(&f);
+        assert!(with_gc.solve().is_unsat());
+        let mut without_gc = CdclSolver::with_config(reducing_config(false));
+        without_gc.add_formula(&f);
+        assert!(without_gc.solve().is_unsat());
+
+        assert!(with_gc.stats().gc_runs > 0, "forced GC must have run");
+        assert!(with_gc.stats().gc_reclaimed_bytes > 0);
+        assert_eq!(without_gc.stats().gc_runs, 0);
+        assert_eq!(with_gc.stats().conflicts, without_gc.stats().conflicts);
+        assert_eq!(with_gc.stats().decisions, without_gc.stats().decisions);
+        assert_eq!(
+            with_gc.stats().propagations,
+            without_gc.stats().propagations
+        );
+        assert_eq!(
+            with_gc.stats().deleted_clauses,
+            without_gc.stats().deleted_clauses
+        );
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore = "minutes under the interpreter")]
+    fn forced_gc_preserves_proof_validity() {
+        let f = pigeonhole(5, 4);
+        let mut s = CdclSolver::with_config(reducing_config(true));
+        s.enable_proof_logging();
+        s.add_formula(&f);
+        assert!(s.solve().is_unsat());
+        assert!(s.stats().gc_runs > 0);
+        let proof = s.take_proof().expect("proof logging was enabled");
+        proof.check(&f).expect("DRAT proof must verify after GC");
+    }
+
+    #[test]
+    fn tiered_reduction_spares_core_and_keeps_tier_quotas() {
+        // White-box: attach learnt clauses with known LBDs and equal
+        // activities, then reduce. Core survives untouched; mid keeps its
+        // top half; local keeps its top quarter.
+        let mut s = CdclSolver::with_config(SolverConfig {
+            reduce_policy: ReducePolicy::Tiered,
+            gc_dead_frac: 2.0, // keep ClauseRefs stable for the asserts
+            ..SolverConfig::default()
+        });
+        s.ensure_vars(40);
+        let clause = |base: i64| vec![lit(base), lit(base + 1), lit(base + 2)];
+        let core = s.attach_clause(&clause(1), true, 2);
+        let mids: Vec<ClauseRef> = (0..4)
+            .map(|i| s.attach_clause(&clause(4 + 3 * i), true, 5))
+            .collect();
+        let locals: Vec<ClauseRef> = (0..4)
+            .map(|i| s.attach_clause(&clause(16 + 3 * i), true, 9))
+            .collect();
+        assert_eq!(s.tier_counts, [1, 4, 4]);
+
+        s.reduce_db();
+
+        let live = |refs: &[ClauseRef]| refs.iter().filter(|&&c| !s.arena.is_deleted(c)).count();
+        assert!(!s.arena.is_deleted(core), "core clauses are never deleted");
+        assert_eq!(live(&mids), 2, "mid tier keeps half");
+        assert_eq!(live(&locals), 1, "local tier keeps a quarter");
+        assert_eq!(s.tier_counts, [1, 2, 1]);
+        let snap = s.store_snapshot();
+        assert_eq!((snap.tier_core, snap.tier_mid, snap.tier_local), (1, 2, 1));
+        assert_eq!(s.learnts.len(), 4, "learnts index drops deleted refs");
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore = "minutes under the interpreter")]
+    fn tiered_policy_solves_correctly_under_pressure() {
+        let f = pigeonhole(6, 5);
+        let mut s = CdclSolver::with_config(SolverConfig {
+            reduce_policy: ReducePolicy::Tiered,
+            ..reducing_config(true)
+        });
+        s.add_formula(&f);
+        assert!(s.solve().is_unsat());
+        assert!(s.stats().deleted_clauses > 0, "reductions must fire");
+        assert!(s.stats().gc_runs > 0);
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore = "minutes under the interpreter")]
+    fn gc_compacts_the_arena_after_reductions() {
+        let f = pigeonhole(6, 5);
+        let mut s = CdclSolver::with_config(SolverConfig {
+            learnt_ratio: 0.0,
+            learnt_floor: 5.0,
+            gc_dead_frac: 0.1,
+            ..SolverConfig::default()
+        });
+        s.add_formula(&f);
+        assert!(s.solve().is_unsat());
+        assert!(s.stats().gc_runs > 0, "reduction churn must trigger GC");
+        let snap = s.store_snapshot();
+        assert!(
+            snap.dead_bytes as f64 <= 0.1 * (snap.live_bytes + snap.dead_bytes).max(1) as f64
+                || snap.dead_bytes == 0,
+            "post-GC arena stays under the dead-byte threshold at finish: {snap:?}"
+        );
     }
 
     #[test]

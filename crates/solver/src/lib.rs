@@ -45,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod cdcl;
 mod dpll;
 mod heap;
@@ -55,7 +56,8 @@ mod proof;
 pub mod preprocess;
 pub mod run;
 
-pub use cdcl::{CdclSolver, PhaseInit, RestartScheme, SolverConfig, SolverStats};
+pub use arena::{ClauseArena, ClauseRef, Forwarding, Tier};
+pub use cdcl::{CdclSolver, PhaseInit, ReducePolicy, RestartScheme, SolverConfig, SolverStats};
 pub use dpll::DpllSolver;
 pub use luby::luby;
 pub use outcome::SolveOutcome;
@@ -63,6 +65,6 @@ pub use proof::{rup_implied, CheckProofError, DratProof, ProofStep};
 pub use run::{
     CancellationToken, ClauseExchange, FanoutObserver, MetricsRecorder, NullObserver,
     ProgressLogger, RegistryObserver, RunBudget, RunMetrics, RunObserver, SharingConfig,
-    SolveVerdict, SolverEvent, SolverMetricsHub, StopReason, TraceObserver,
+    SolveVerdict, SolverEvent, SolverMetricsHub, StopReason, StoreSnapshot, TraceObserver,
     PROGRESS_LOG_MIN_INTERVAL,
 };

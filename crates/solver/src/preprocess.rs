@@ -303,6 +303,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "minutes under the interpreter")]
     fn preprocess_and_solve_agrees_with_plain_solving() {
         use rand::rngs::StdRng;
         use rand::{Rng, SeedableRng};

@@ -116,9 +116,21 @@ impl DratProof {
         self.steps.push(ProofStep::Add(lits));
     }
 
+    /// Appends an addition step from any literal source (e.g. straight
+    /// from a clause-arena iterator, without an intermediate `Vec`).
+    pub fn push_add_from(&mut self, lits: impl IntoIterator<Item = Lit>) {
+        self.steps.push(ProofStep::Add(lits.into_iter().collect()));
+    }
+
     /// Appends a deletion step.
     pub fn push_delete(&mut self, lits: Vec<Lit>) {
         self.steps.push(ProofStep::Delete(lits));
+    }
+
+    /// Appends a deletion step from any literal source.
+    pub fn push_delete_from(&mut self, lits: impl IntoIterator<Item = Lit>) {
+        self.steps
+            .push(ProofStep::Delete(lits.into_iter().collect()));
     }
 
     /// Verifies this proof refutes `formula`.

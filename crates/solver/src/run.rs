@@ -189,12 +189,16 @@ impl SharingConfig {
 ///
 /// Implementations are shared across threads and must return quickly; they
 /// sit on the conflict path of every participating solver.
+///
+/// Delivered clauses are `Arc<[Lit]>` so a bus fanning one export out to
+/// many peers clones a pointer per mailbox instead of copying the literal
+/// payload per peer.
 pub trait ClauseExchange: Send + Sync {
     /// Offers a learnt clause (already filtered by the exporter) to peers.
     fn export(&self, lits: &[Lit], lbd: u32);
 
     /// Takes every clause peers have offered since the last call.
-    fn drain(&self) -> Vec<Vec<Lit>>;
+    fn drain(&self) -> Vec<Arc<[Lit]>>;
 }
 
 /// Declarative resource limits for one solve (or one portfolio of solves).
@@ -778,6 +782,11 @@ impl RunObserver for FanoutObserver {
 /// `solver.restarts`, `solver.learnt_clauses` (counters),
 /// `solver.lbd` (histogram of learnt-clause glue) and
 /// `solver.restart_interval` (histogram of conflicts between restarts).
+///
+/// Clause-store instruments, fed at reduce/GC/finish boundaries from
+/// [`StoreSnapshot`]s: `solver.arena.live_bytes`, `solver.arena.dead_bytes`,
+/// `solver.tier.core`, `solver.tier.mid`, `solver.tier.local` (gauges),
+/// `solver.arena.gc_runs` and `solver.arena.reclaimed_bytes` (counters).
 #[derive(Clone, Default)]
 pub struct SolverMetricsHub {
     enabled: bool,
@@ -788,8 +797,33 @@ pub struct SolverMetricsHub {
     learnt_clauses: Counter,
     lbd: Histogram,
     restart_interval: Histogram,
+    arena_live_bytes: Gauge,
+    arena_dead_bytes: Gauge,
+    arena_gc_runs: Counter,
+    arena_reclaimed_bytes: Counter,
+    tier_core: Gauge,
+    tier_mid: Gauge,
+    tier_local: Gauge,
     last: SolverStats,
     last_restart_conflicts: u64,
+}
+
+/// A point-in-time view of the solver's clause store, produced by the
+/// solver at reduce/GC/finish boundaries and folded into the registry by
+/// [`SolverMetricsHub::on_store`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreSnapshot {
+    /// Bytes occupied by live clauses in the arena.
+    pub live_bytes: u64,
+    /// Bytes occupied by deleted clauses awaiting compaction.
+    pub dead_bytes: u64,
+    /// Live learnt clauses in the core tier (LBD ≤ 3, kept forever under
+    /// the tiered policy).
+    pub tier_core: u64,
+    /// Live learnt clauses in the mid tier.
+    pub tier_mid: u64,
+    /// Live learnt clauses in the local tier.
+    pub tier_local: u64,
 }
 
 impl SolverMetricsHub {
@@ -810,6 +844,13 @@ impl SolverMetricsHub {
             learnt_clauses: registry.counter("solver.learnt_clauses"),
             lbd: registry.histogram("solver.lbd"),
             restart_interval: registry.histogram("solver.restart_interval"),
+            arena_live_bytes: registry.gauge("solver.arena.live_bytes"),
+            arena_dead_bytes: registry.gauge("solver.arena.dead_bytes"),
+            arena_gc_runs: registry.counter("solver.arena.gc_runs"),
+            arena_reclaimed_bytes: registry.counter("solver.arena.reclaimed_bytes"),
+            tier_core: registry.gauge("solver.tier.core"),
+            tier_mid: registry.gauge("solver.tier.mid"),
+            tier_local: registry.gauge("solver.tier.local"),
             last: SolverStats::default(),
             last_restart_conflicts: 0,
         }
@@ -851,6 +892,30 @@ impl SolverMetricsHub {
             return;
         }
         self.flush_deltas(stats);
+    }
+
+    /// Folds a clause-store snapshot into the arena/tier gauges. Called at
+    /// reduce, GC and finish boundaries — never per conflict.
+    pub fn on_store(&mut self, snap: &StoreSnapshot) {
+        if !self.enabled {
+            return;
+        }
+        self.arena_live_bytes.set(snap.live_bytes as f64);
+        self.arena_dead_bytes.set(snap.dead_bytes as f64);
+        self.tier_core.set(snap.tier_core as f64);
+        self.tier_mid.set(snap.tier_mid as f64);
+        self.tier_local.set(snap.tier_local as f64);
+    }
+
+    /// Called after each compacting GC with the bytes it reclaimed and the
+    /// post-collection store snapshot.
+    pub fn on_gc(&mut self, reclaimed_bytes: u64, snap: &StoreSnapshot) {
+        if !self.enabled {
+            return;
+        }
+        self.arena_gc_runs.inc();
+        self.arena_reclaimed_bytes.add(reclaimed_bytes);
+        self.on_store(snap);
     }
 
     fn flush_deltas(&mut self, stats: &SolverStats) {

@@ -10,7 +10,7 @@
 //! satroute solve <file.cnf> [--proof <out.drat>]       run the CDCL solver
 //! satroute portfolio <problem.txt> --width <W> [...]   race a solver portfolio
 //! satroute trace report <trace.jsonl> [--json]         analyze a trace artifact
-//! satroute bench run [--suite quick|paper] [...]       record a BENCH_*.json baseline
+//! satroute bench run [--suite quick|paper] [--filter S] record a BENCH_*.json baseline
 //! satroute bench compare <base> <cand> [--gate]        diff/gate two baselines
 //! satroute encodings                                   list the 15 encodings
 //! ```
@@ -728,6 +728,9 @@ fn run_bench(args: &[String]) -> Result<ExitCode, String> {
                             RunBudget::new().with_wall(Duration::from_secs_f64(secs));
                     }
                     "--trace" => trace = Some(take_value(args, &mut i, "--trace")?),
+                    "--filter" => {
+                        suite_opts.filter = Some(take_value(args, &mut i, "--filter")?);
+                    }
                     other => return Err(format!("unknown bench run argument `{other}`")),
                 }
                 i += 1;
@@ -745,6 +748,14 @@ fn run_bench(args: &[String]) -> Result<ExitCode, String> {
 
             let artifact =
                 satroute::bench::run_suite(suite, &suite_opts, |line| eprintln!("{line}"));
+            if artifact.cells.is_empty() {
+                if let Some(needle) = &suite_opts.filter {
+                    return Err(format!(
+                        "--filter `{needle}` matches no cell of suite {}",
+                        suite.name()
+                    ));
+                }
+            }
             fs::write(&out, artifact.to_json_string())
                 .map_err(|e| format!("cannot write {out}: {e}"))?;
             if let Some(writer) = trace_writer {
@@ -898,7 +909,7 @@ fn print_usage() {
          portfolio: --diversify <N>, --portfolio-share, --threads <T>\n\
          tracing: --trace <out.jsonl>; trace report <out.jsonl> [--json]\n\
          metrics: --metrics <out.json|out.prom>\n\
-         bench: bench run [--suite quick|paper] [--out F] [--runs N] [--trace F];\n\
+         bench: bench run [--suite quick|paper] [--out F] [--runs N] [--trace F] [--filter S];\n\
          \u{20}       bench compare <base> <cand> [--gate] [--threshold PCT] [--json]\n\
          see the crate README for details"
     );

@@ -210,6 +210,34 @@ fn metrics_flag_writes_json_and_prometheus_snapshots() {
         .and_then(|c| c.get("solver.conflicts"))
         .and_then(|v| v.as_f64());
     assert!(conflicts.is_some(), "{text}");
+    // Clause-store families introduced with the flat arena: occupancy and
+    // tier gauges plus GC counters must appear in every snapshot, even
+    // when no GC ran (zero-valued families are still registered).
+    for gauge in [
+        "solver.arena.live_bytes",
+        "solver.tier.core",
+        "solver.tier.mid",
+        "solver.tier.local",
+    ] {
+        let found = value
+            .get("gauges")
+            .and_then(|g| g.get(gauge))
+            .and_then(|v| v.as_f64());
+        assert!(found.is_some(), "missing gauge {gauge} in {text}");
+    }
+    for counter in ["solver.arena.gc_runs", "solver.arena.reclaimed_bytes"] {
+        let found = value
+            .get("counters")
+            .and_then(|c| c.get(counter))
+            .and_then(|v| v.as_f64());
+        assert!(found.is_some(), "missing counter {counter} in {text}");
+    }
+    let live = value
+        .get("gauges")
+        .and_then(|g| g.get("solver.arena.live_bytes"))
+        .and_then(|v| v.as_f64())
+        .unwrap();
+    assert!(live > 0.0, "a solved instance must leave live clause bytes");
 
     let prom_path = dir.join("metrics.prom");
     let out = satroute()
@@ -226,4 +254,62 @@ fn metrics_flag_writes_json_and_prometheus_snapshots() {
         "{text}"
     );
     assert!(text.contains("satroute_solver_lbd_bucket"), "{text}");
+    assert!(
+        text.contains("# TYPE satroute_solver_arena_gc_runs counter"),
+        "{text}"
+    );
+    assert!(
+        text.contains("# TYPE satroute_solver_arena_live_bytes gauge"),
+        "{text}"
+    );
+    assert!(text.contains("satroute_solver_tier_core"), "{text}");
+}
+
+#[test]
+fn bench_run_filter_restricts_and_rejects_unmatched() {
+    let dir = tempdir("filter");
+    let out_path = dir.join("BENCH_filtered.json");
+    let out = satroute()
+        .args([
+            "bench", "run", "--suite", "quick", "--runs", "1", "--filter", "tiny_a/", "--out",
+        ])
+        .arg(&out_path)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "filtered bench run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&out_path).expect("artifact written");
+    let artifact = BenchArtifact::parse_str(&text).expect("artifact parses");
+    assert!(!artifact.cells.is_empty());
+    assert!(
+        artifact.cells.iter().all(|c| c.id.contains("tiny_a/")),
+        "filter must drop non-matching cells"
+    );
+
+    // A filter that matches nothing is an error (exit 2), not an empty
+    // artifact silently passed to `bench compare`.
+    let out = satroute()
+        .args([
+            "bench",
+            "run",
+            "--suite",
+            "quick",
+            "--runs",
+            "1",
+            "--filter",
+            "no-such-cell",
+            "--out",
+        ])
+        .arg(dir.join("BENCH_empty.json"))
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("matches no cell"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 }

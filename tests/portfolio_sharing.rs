@@ -77,7 +77,7 @@ fn shared_and_unshared_portfolios_agree_with_the_oracle() {
 #[derive(Default)]
 struct RecordingExchange {
     exported: Mutex<Vec<Vec<Lit>>>,
-    deliveries: Mutex<Vec<Vec<Lit>>>,
+    deliveries: Mutex<Vec<Arc<[Lit]>>>,
 }
 
 impl ClauseExchange for RecordingExchange {
@@ -85,7 +85,7 @@ impl ClauseExchange for RecordingExchange {
         self.exported.lock().unwrap().push(lits.to_vec());
     }
 
-    fn drain(&self) -> Vec<Vec<Lit>> {
+    fn drain(&self) -> Vec<Arc<[Lit]>> {
         std::mem::take(&mut *self.deliveries.lock().unwrap())
     }
 }
@@ -172,7 +172,7 @@ fn preloaded_shared_clauses_do_not_increase_conflicts() {
     let cold_conflicts = cold.stats().conflicts;
 
     let feed = Arc::new(RecordingExchange::default());
-    *feed.deliveries.lock().unwrap() = shared;
+    *feed.deliveries.lock().unwrap() = shared.iter().map(|c| c.as_slice().into()).collect();
     let mut warm = CdclSolver::new();
     warm.set_exchange(feed, SharingConfig::default());
     warm.add_formula(&enc.formula);
