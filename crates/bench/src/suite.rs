@@ -8,11 +8,11 @@
 //! wall time gates only between matching environments (see
 //! [`crate::compare`]).
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use satroute_core::Strategy;
+use satroute_core::{RoutingPipeline, Strategy, WidthSearch};
 use satroute_fpga::benchmarks::{self, BenchmarkInstance};
-use satroute_obs::{MetricsRegistry, Tracer};
+use satroute_obs::{MetricsRegistry, MetricsSnapshot, Tracer};
 use satroute_solver::RunBudget;
 
 use crate::artifact::{BenchArtifact, BenchCell, EnvFingerprint, HistogramSummary, WallTime};
@@ -27,15 +27,23 @@ pub enum SuiteId {
     /// The paper's circuit suite at the unroutable widths (the Table 2
     /// regime) with the paper's best and baseline strategies — minutes.
     Paper,
+    /// Full minimum-width ladders on the `tiny_*` instances, warm
+    /// (assumption-based, one solver) versus cold (re-encode per width),
+    /// for both reference strategies. Cells record *total ladder*
+    /// conflicts and the found minimum width in the outcome column, so
+    /// the gate catches both performance and answer regressions of the
+    /// incremental path.
+    Incremental,
 }
 
 impl SuiteId {
-    /// The suite's artifact name (`"quick"` / `"paper"`).
+    /// The suite's artifact name (`"quick"` / `"paper"` / `"incremental"`).
     #[must_use]
     pub fn name(self) -> &'static str {
         match self {
             SuiteId::Quick => "quick",
             SuiteId::Paper => "paper",
+            SuiteId::Incremental => "incremental",
         }
     }
 }
@@ -47,7 +55,10 @@ impl std::str::FromStr for SuiteId {
         match s {
             "quick" => Ok(SuiteId::Quick),
             "paper" => Ok(SuiteId::Paper),
-            other => Err(format!("unknown suite `{other}` (try: quick, paper)")),
+            "incremental" => Ok(SuiteId::Incremental),
+            other => Err(format!(
+                "unknown suite `{other}` (try: quick, paper, incremental)"
+            )),
         }
     }
 }
@@ -81,11 +92,21 @@ impl Default for SuiteOptions {
     }
 }
 
-/// One triple of a suite's work list.
+/// What a suite cell measures.
+#[derive(Clone, Copy)]
+enum CellKind {
+    /// One solve at a fixed channel width.
+    Solve { width: u32 },
+    /// A whole minimum-width ladder; `warm` selects the assumption-based
+    /// incremental search over the re-encode-per-width baseline.
+    Ladder { warm: bool },
+}
+
+/// One entry of a suite's work list.
 struct SuiteCell {
     instance: BenchmarkInstance,
     strategy: Strategy,
-    width: u32,
+    kind: CellKind,
 }
 
 fn quick_cells() -> Vec<SuiteCell> {
@@ -100,7 +121,24 @@ fn quick_cells() -> Vec<SuiteCell> {
                 cells.push(SuiteCell {
                     instance: instance.clone(),
                     strategy,
-                    width,
+                    kind: CellKind::Solve { width },
+                });
+            }
+        }
+    }
+    cells
+}
+
+fn incremental_cells() -> Vec<SuiteCell> {
+    let strategies = [Strategy::paper_best(), Strategy::paper_baseline()];
+    let mut cells = Vec::new();
+    for instance in benchmarks::suite_tiny() {
+        for strategy in strategies {
+            for warm in [true, false] {
+                cells.push(SuiteCell {
+                    instance: instance.clone(),
+                    strategy,
+                    kind: CellKind::Ladder { warm },
                 });
             }
         }
@@ -120,7 +158,7 @@ fn paper_cells() -> Vec<SuiteCell> {
             cells.push(SuiteCell {
                 instance: instance.clone(),
                 strategy,
-                width,
+                kind: CellKind::Solve { width },
             });
         }
     }
@@ -137,6 +175,7 @@ pub fn run_suite(
     let mut cells = match suite {
         SuiteId::Quick => quick_cells(),
         SuiteId::Paper => paper_cells(),
+        SuiteId::Incremental => incremental_cells(),
     };
     if let Some(needle) = &opts.filter {
         cells.retain(|cell| cell_id(cell).contains(needle.as_str()));
@@ -162,20 +201,35 @@ pub fn run_suite(
     }
 }
 
-/// The artifact id a suite cell will be recorded under.
+/// The artifact id a suite cell will be recorded under. Ladder cells use
+/// a `ladder-warm` / `ladder-cold` final segment in place of `wN`, since
+/// they sweep widths rather than pinning one.
 fn cell_id(cell: &SuiteCell) -> String {
-    BenchCell::make_id(
-        &cell.instance.name,
-        cell.strategy.encoding.name(),
-        cell.strategy.symmetry.name(),
-        cell.width,
-    )
+    match cell.kind {
+        CellKind::Solve { width } => BenchCell::make_id(
+            &cell.instance.name,
+            cell.strategy.encoding.name(),
+            cell.strategy.symmetry.name(),
+            width,
+        ),
+        CellKind::Ladder { warm } => format!(
+            "{}/{}/{}/ladder-{}",
+            cell.instance.name,
+            cell.strategy.encoding.name(),
+            cell.strategy.symmetry.name(),
+            if warm { "warm" } else { "cold" }
+        ),
+    }
 }
 
-/// Measures one triple: `runs` repeats, each with a fresh metrics
+/// Measures one cell: `runs` repeats, each with a fresh metrics
 /// registry; deterministic columns and histograms come from the run with
 /// the median wall time.
 fn run_cell(cell: &SuiteCell, runs: usize, opts: &SuiteOptions) -> BenchCell {
+    let width = match cell.kind {
+        CellKind::Solve { width } => width,
+        CellKind::Ladder { warm } => return run_ladder_cell(cell, warm, runs, opts),
+    };
     let span = opts.tracer.span_with(
         "cell",
         [
@@ -187,7 +241,7 @@ fn run_cell(cell: &SuiteCell, runs: usize, opts: &SuiteOptions) -> BenchCell {
                 "strategy",
                 satroute_obs::FieldValue::from(cell.strategy.to_string()),
             ),
-            ("width", satroute_obs::FieldValue::from(cell.width)),
+            ("width", satroute_obs::FieldValue::from(width)),
         ],
     );
     let mut samples = Vec::with_capacity(runs);
@@ -195,7 +249,7 @@ fn run_cell(cell: &SuiteCell, runs: usize, opts: &SuiteOptions) -> BenchCell {
         let registry = MetricsRegistry::new();
         let report = cell
             .strategy
-            .solve(&cell.instance.conflict_graph, cell.width)
+            .solve(&cell.instance.conflict_graph, width)
             .budget(opts.budget)
             .trace(opts.tracer.clone())
             .metrics(registry.clone())
@@ -239,7 +293,7 @@ fn run_cell(cell: &SuiteCell, runs: usize, opts: &SuiteOptions) -> BenchCell {
         benchmark: cell.instance.name.clone(),
         encoding: cell.strategy.encoding.name().to_string(),
         symmetry: cell.strategy.symmetry.name().to_string(),
-        width: cell.width,
+        width,
         runs: runs as u64,
         wall_time_s: WallTime {
             median: report.metrics.wall_time.as_secs_f64(),
@@ -254,6 +308,147 @@ fn run_cell(cell: &SuiteCell, runs: usize, opts: &SuiteOptions) -> BenchCell {
         cnf_clauses: report.formula_stats.num_clauses as u64,
         outcome,
         histograms,
+    }
+}
+
+/// Measures one minimum-width ladder end to end: global routing,
+/// encoding, and every width probe. The deterministic columns are ladder
+/// *totals* — warm reads the cumulative counters of its single solver,
+/// cold sums over its per-width solvers — and the outcome column records
+/// the answer (`min_width=N`), so the gate catches a wrong minimum as
+/// loudly as a slow one.
+fn run_ladder_cell(cell: &SuiteCell, warm: bool, runs: usize, opts: &SuiteOptions) -> BenchCell {
+    struct Sample {
+        wall: Duration,
+        outcome: String,
+        width: u32,
+        conflicts: u64,
+        decisions: u64,
+        propagations: u64,
+        cnf_vars: u64,
+        cnf_clauses: u64,
+        snapshot: MetricsSnapshot,
+    }
+
+    let span = opts.tracer.span_with(
+        "cell",
+        [
+            (
+                "benchmark",
+                satroute_obs::FieldValue::from(cell.instance.name.as_str()),
+            ),
+            (
+                "strategy",
+                satroute_obs::FieldValue::from(cell.strategy.to_string()),
+            ),
+            ("warm", satroute_obs::FieldValue::from(warm)),
+        ],
+    );
+    let mut samples = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let registry = MetricsRegistry::new();
+        let pipeline = RoutingPipeline::new(cell.strategy)
+            .with_budget(opts.budget)
+            .with_tracer(opts.tracer.clone())
+            .with_metrics(registry.clone());
+        let start = Instant::now();
+        let result = if warm {
+            pipeline.find_min_width_incremental(&cell.instance.problem)
+        } else {
+            pipeline.find_min_width(&cell.instance.problem)
+        };
+        let wall = start.elapsed();
+        let sample = match result {
+            Ok(search) => {
+                let (conflicts, decisions, propagations) = ladder_totals(&search, warm);
+                let shape = search.probes.last().map(|p| &p.report.formula_stats);
+                Sample {
+                    wall,
+                    outcome: format!("min_width={}", search.min_width),
+                    width: search.min_width,
+                    conflicts,
+                    decisions,
+                    propagations,
+                    cnf_vars: shape.map_or(0, |s| u64::from(s.num_vars)),
+                    cnf_clauses: shape.map_or(0, |s| s.num_clauses as u64),
+                    snapshot: registry.snapshot(),
+                }
+            }
+            Err(e) => Sample {
+                wall,
+                outcome: format!("unknown:{e}"),
+                width: 0,
+                conflicts: 0,
+                decisions: 0,
+                propagations: 0,
+                cnf_vars: 0,
+                cnf_clauses: 0,
+                snapshot: registry.snapshot(),
+            },
+        };
+        samples.push(sample);
+    }
+    drop(span);
+
+    // Median by wall time; ties keep the earlier run (deterministic).
+    let mut order: Vec<usize> = (0..samples.len()).collect();
+    order.sort_by(|&a, &b| samples[a].wall.cmp(&samples[b].wall).then(a.cmp(&b)));
+    let median = &samples[order[order.len() / 2]];
+    let walls: Vec<f64> = samples.iter().map(|s| s.wall.as_secs_f64()).collect();
+    let min = walls.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = walls.iter().copied().fold(0.0_f64, f64::max);
+    let secs = median.wall.as_secs_f64();
+    let histograms = median
+        .snapshot
+        .histograms()
+        .map(|(name, h)| (name.to_string(), HistogramSummary::of(h)))
+        .collect();
+
+    BenchCell {
+        id: cell_id(cell),
+        benchmark: cell.instance.name.clone(),
+        encoding: cell.strategy.encoding.name().to_string(),
+        symmetry: cell.strategy.symmetry.name().to_string(),
+        width: median.width,
+        runs: runs as u64,
+        wall_time_s: WallTime {
+            median: secs,
+            min,
+            max,
+        },
+        conflicts: median.conflicts,
+        decisions: median.decisions,
+        propagations: median.propagations,
+        props_per_sec: if secs > 0.0 {
+            median.propagations as f64 / secs
+        } else {
+            0.0
+        },
+        cnf_vars: median.cnf_vars,
+        cnf_clauses: median.cnf_clauses,
+        outcome: median.outcome.clone(),
+        histograms,
+    }
+}
+
+/// Ladder totals for the deterministic columns: the warm ladder's single
+/// solver reports cumulative counters (its last probe *is* the total);
+/// the cold ladder sums its independent per-width solvers.
+fn ladder_totals(search: &WidthSearch, warm: bool) -> (u64, u64, u64) {
+    if warm {
+        search.probes.last().map_or((0, 0, 0), |p| {
+            let s = &p.report.solver_stats;
+            (s.conflicts, s.decisions, s.propagations)
+        })
+    } else {
+        search.probes.iter().fold((0, 0, 0), |acc, p| {
+            let s = &p.report.solver_stats;
+            (
+                acc.0 + s.conflicts,
+                acc.1 + s.decisions,
+                acc.2 + s.propagations,
+            )
+        })
     }
 }
 
@@ -298,6 +493,40 @@ mod tests {
             ..SuiteOptions::default()
         };
         assert!(run_suite(SuiteId::Quick, &none, |_| {}).cells.is_empty());
+    }
+
+    #[test]
+    fn incremental_suite_agrees_and_saves_conflicts_somewhere() {
+        let opts = SuiteOptions {
+            runs: 1,
+            ..SuiteOptions::default()
+        };
+        let artifact = run_suite(SuiteId::Incremental, &opts, |_| {});
+        let warm_cells: Vec<_> = artifact
+            .cells
+            .iter()
+            .filter(|c| c.id.ends_with("ladder-warm"))
+            .collect();
+        assert!(!warm_cells.is_empty());
+        let mut strictly_lower = 0;
+        for warm in warm_cells {
+            let cold_id = warm.id.replace("ladder-warm", "ladder-cold");
+            let cold = artifact
+                .cells
+                .iter()
+                .find(|c| c.id == cold_id)
+                .expect("every warm ladder has a cold twin");
+            // Same answer (the outcome column carries `min_width=N`).
+            assert!(warm.outcome.starts_with("min_width="), "{}", warm.outcome);
+            assert_eq!(warm.outcome, cold.outcome, "{}", warm.id);
+            if warm.conflicts < cold.conflicts {
+                strictly_lower += 1;
+            }
+        }
+        assert!(
+            strictly_lower > 0,
+            "warm ladders must beat cold on total conflicts somewhere"
+        );
     }
 
     #[test]

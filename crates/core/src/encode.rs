@@ -151,6 +151,152 @@ pub fn encode_coloring_instrumented(
     encoded
 }
 
+/// The output of [`encode_coloring_incremental`]: one CNF encoded at the
+/// upper-bound width plus per-track *activation selectors* that let a
+/// single warm solver probe every width `0..=upper` with assumptions.
+///
+/// For each track `d` a fresh selector variable `s_d` is allocated (after
+/// all vertex blocks, so the [`DecodeMap`] is unchanged) together with the
+/// clauses `¬s_d ∨ ¬pattern_v(d)` for every vertex `v`. Assuming `s_d`
+/// *true* therefore disables track `d` for the whole graph; a width-`W`
+/// probe assumes `{s_d : d ≥ W}` and leaves the remaining selectors free.
+/// Because patterns are conjunctions this works for every catalog
+/// encoding, not just single-positive-literal indexings like muldirect.
+///
+/// Soundness of decoding at width `W < upper`: the structural clauses'
+/// totality guarantee forces some pattern true for each vertex, and the
+/// activation clauses falsify every pattern `≥ W`, so the decoded color is
+/// `< W`. Symmetry restrictions emitted at `upper` stay sound at smaller
+/// widths because they only ever *forbid* high tracks.
+#[derive(Clone, Debug)]
+pub struct IncrementalEncoding {
+    /// The CNF instance at the upper-bound width, including activation
+    /// clauses; satisfiable with `{s_d : d ≥ W}` assumed iff the graph is
+    /// `W`-colorable (under the sound symmetry restrictions).
+    pub formula: CnfFormula,
+    /// Decoder state (identical to the non-incremental encode at `upper`).
+    pub decode: DecodeMap,
+    /// `selectors[d]` = the positive literal of track `d`'s selector
+    /// variable; assuming it disables the track.
+    pub selectors: Vec<Lit>,
+    /// Wall time spent encoding (the `encode_incremental` span's duration).
+    pub cnf_translation: std::time::Duration,
+}
+
+impl IncrementalEncoding {
+    /// The upper-bound width the instance was encoded at.
+    #[must_use]
+    pub fn upper(&self) -> u32 {
+        self.selectors.len() as u32
+    }
+
+    /// The assumption vector for a width-`width` probe: the selectors of
+    /// every track `≥ width`, highest track first (so consecutive
+    /// downward probes share an assumption prefix).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` exceeds the encoded upper bound.
+    #[must_use]
+    pub fn assumptions_for_width(&self, width: u32) -> Vec<Lit> {
+        assert!(
+            width <= self.upper(),
+            "width {width} above encoded upper bound {}",
+            self.upper()
+        );
+        (width..self.upper())
+            .rev()
+            .map(|d| self.selectors[d as usize])
+            .collect()
+    }
+
+    /// Maps a failed-assumption literal back to the track it disables, or
+    /// `None` for literals that are not positive selector occurrences.
+    #[must_use]
+    pub fn track_of(&self, selector: Lit) -> Option<u32> {
+        self.selectors
+            .iter()
+            .position(|&s| s == selector)
+            .map(|d| d as u32)
+    }
+}
+
+/// Encodes the coloring problem once at width `upper` with per-track
+/// activation selectors, for assumption-based width probing (see
+/// [`IncrementalEncoding`]).
+///
+/// # Panics
+///
+/// Panics if `upper == 0` — the ladder needs at least one track to hang
+/// selectors on (a width-0 probe is expressed by assuming *all* selectors).
+pub fn encode_coloring_incremental(
+    graph: &CspGraph,
+    upper: u32,
+    encoding: &Encoding,
+    symmetry: SymmetryHeuristic,
+) -> IncrementalEncoding {
+    encode_coloring_incremental_traced(graph, upper, encoding, symmetry, &Tracer::disabled())
+}
+
+/// [`encode_coloring_incremental`] with trace instrumentation: an
+/// `encode_incremental` span wrapping the usual encode child spans plus an
+/// `activation_selectors` span counting the selector clauses.
+pub fn encode_coloring_incremental_traced(
+    graph: &CspGraph,
+    upper: u32,
+    encoding: &Encoding,
+    symmetry: SymmetryHeuristic,
+    tracer: &Tracer,
+) -> IncrementalEncoding {
+    assert!(upper > 0, "incremental encoding needs at least one track");
+    let span = tracer.span_with(
+        "encode_incremental",
+        [
+            ("encoding", FieldValue::from(encoding.name())),
+            ("upper", FieldValue::from(upper)),
+            ("vertices", FieldValue::from(graph.num_vertices())),
+            ("edges", FieldValue::from(graph.num_edges())),
+        ],
+    );
+    let base = encode_inner(graph, upper, encoding, symmetry, tracer);
+    let mut formula = base.formula;
+    let decode = base.decode;
+
+    let sel_span = tracer.span("activation_selectors");
+    let before = formula.num_clauses();
+    let selectors: Vec<Lit> = (0..upper)
+        .map(|_| Lit::positive(formula.new_var()))
+        .collect();
+    let negations: Vec<Vec<Lit>> = decode
+        .scheme
+        .patterns
+        .iter()
+        .map(|p| p.negation_clause())
+        .collect();
+    for &offset in &decode.offsets {
+        for (d, neg) in negations.iter().enumerate() {
+            let mut clause = Vec::with_capacity(neg.len() + 1);
+            clause.push(!selectors[d]);
+            clause.extend(neg.iter().map(|&l| Lit::from_code(l.code() + 2 * offset)));
+            formula.add_clause(clause);
+        }
+    }
+    sel_span.counter("clauses", (formula.num_clauses() - before) as u64);
+    drop(sel_span);
+
+    let stats = formula.stats();
+    span.counter("variables", stats.num_vars as u64);
+    span.counter("clauses", stats.num_clauses as u64);
+    span.counter("literals", stats.num_literals as u64);
+    let cnf_translation = span.close();
+    IncrementalEncoding {
+        formula,
+        decode,
+        selectors,
+        cnf_translation,
+    }
+}
+
 fn encode_inner(
     graph: &CspGraph,
     k: u32,
@@ -345,6 +491,43 @@ mod tests {
         );
         // Only conflict clauses: 3 edges × 5 values.
         assert_eq!(enc.formula.num_clauses(), 15);
+    }
+
+    #[test]
+    fn incremental_encoding_adds_selectors_after_vertex_blocks() {
+        let enc = encode_coloring_incremental(
+            &triangle(),
+            3,
+            &EncodingId::Muldirect.encoding(),
+            SymmetryHeuristic::None,
+        );
+        let per = enc.decode.scheme.num_vars;
+        // Decode map identical to the plain encode; selectors appended.
+        assert_eq!(enc.decode.offsets, vec![0, per, 2 * per]);
+        assert_eq!(enc.formula.num_vars(), 3 * per + 3);
+        assert_eq!(enc.upper(), 3);
+        // Base clauses (3 ALO + 9 conflicts) + 3 vertices × 3 activations.
+        assert_eq!(enc.formula.num_clauses(), 12 + 9);
+    }
+
+    #[test]
+    fn incremental_assumption_vectors_probe_suffixes() {
+        let enc = encode_coloring_incremental(
+            &triangle(),
+            3,
+            &EncodingId::IteLinear.encoding(),
+            SymmetryHeuristic::S1,
+        );
+        // Full-width probe assumes nothing; width 1 disables tracks 2 and
+        // 1, highest first; width 0 disables everything.
+        assert!(enc.assumptions_for_width(3).is_empty());
+        assert_eq!(
+            enc.assumptions_for_width(1),
+            vec![enc.selectors[2], enc.selectors[1]]
+        );
+        assert_eq!(enc.assumptions_for_width(0).len(), 3);
+        assert_eq!(enc.track_of(enc.selectors[2]), Some(2));
+        assert_eq!(enc.track_of(!enc.selectors[2]), None);
     }
 
     #[test]

@@ -3,69 +3,436 @@
 //! The paper's flow re-encodes and re-solves from scratch for every channel
 //! width. Modern SAT solvers offer a cheaper alternative — the MiniSat
 //! assumption interface — which this module exploits as an extension: the
-//! instance is encoded **once** with the muldirect encoding at an upper
-//! bound `W_max` on the width, and narrower widths are probed by *assuming*
-//! `¬x_{v,d}` for every track `d ≥ W`. All clauses learnt at one width
-//! remain valid at every other width (assumptions never enter the formula),
-//! so the descending search reuses the solver's accumulated knowledge.
+//! instance is encoded **once** at an upper bound `W_max` on the width with
+//! one *activation selector* per track (see
+//! [`encode_coloring_incremental`]), and narrower widths are probed by
+//! assuming the selectors of every track `d ≥ W`. All clauses learnt at one
+//! width remain valid at every other width (assumptions never enter the
+//! formula), so the descending search reuses the solver's accumulated
+//! knowledge — learnt DB, VSIDS scores and saved phases included.
 //!
-//! This works because the muldirect (and direct) indexing patterns are
-//! single positive literals, making "value d is forbidden" expressible as
-//! one assumption literal.
+//! Because selectors disable whole *patterns*, this works for every catalog
+//! encoding; the historical muldirect-only trick (one assumption per vertex
+//! and track) survives only inside the deprecated [`IncrementalColoring`]
+//! shim, which now delegates here.
+//!
+//! When a probe is UNSAT the solver's final-conflict analysis
+//! ([`CdclSolver::failed_assumptions`]) yields the subset of selectors that
+//! already contradict the formula; the lowest track `m` in that core proves
+//! every width `≤ m` uncolorable, so the ladder can stop without probing
+//! the widths the core covers ([`IncrementalSession::core_lower_bound`]).
 
 use std::sync::Arc;
 
-use satroute_cnf::Lit;
+use satroute_cnf::FormulaStats;
 use satroute_coloring::{Coloring, CspGraph};
+use satroute_obs::{FieldValue, MetricsRegistry, Tracer};
 use satroute_solver::{
-    CancellationToken, CdclSolver, RunBudget, RunObserver, SolveOutcome, SolverConfig,
+    CancellationToken, CdclSolver, FanoutObserver, MetricsRecorder, RunBudget, RunObserver,
+    SolveOutcome, SolverConfig, TraceObserver,
 };
 
 use crate::catalog::EncodingId;
 use crate::decode::decode_coloring;
-use crate::encode::{encode_coloring, DecodeMap};
-use crate::strategy::ColoringOutcome;
+use crate::encode::{encode_coloring_incremental_traced, IncrementalEncoding};
+use crate::strategy::{ColoringOutcome, ColoringReport, Strategy, TimingBreakdown};
 use crate::symmetry::SymmetryHeuristic;
 
-/// An incremental k-colorability oracle for one graph: encode once (with
-/// muldirect at an upper bound), probe any `k ≤ upper` via assumptions.
+/// Builder for an [`IncrementalSession`], returned by
+/// [`Strategy::incremental`]. Mirrors the [`crate::SolveRequest`] idiom:
+/// chain configuration calls, then [`IncrementalSessionBuilder::build`].
+pub struct IncrementalSessionBuilder<'a> {
+    strategy: Strategy,
+    graph: &'a CspGraph,
+    upper: u32,
+    config: SolverConfig,
+    budget: RunBudget,
+    cancel: Option<CancellationToken>,
+    observer: Option<Arc<dyn RunObserver>>,
+    tracer: Tracer,
+    metrics: MetricsRegistry,
+}
+
+impl std::fmt::Debug for IncrementalSessionBuilder<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IncrementalSessionBuilder")
+            .field("strategy", &self.strategy)
+            .field("upper", &self.upper)
+            .field("budget", &self.budget)
+            .field("observed", &self.observer.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> IncrementalSessionBuilder<'a> {
+    pub(crate) fn new(strategy: Strategy, graph: &'a CspGraph, upper: u32) -> Self {
+        IncrementalSessionBuilder {
+            strategy,
+            graph,
+            upper,
+            config: SolverConfig::default(),
+            budget: RunBudget::default(),
+            cancel: None,
+            observer: None,
+            tracer: Tracer::disabled(),
+            metrics: MetricsRegistry::disabled(),
+        }
+    }
+
+    /// Sets the solver configuration (defaults to
+    /// [`SolverConfig::default`]).
+    #[must_use]
+    pub fn config(mut self, config: SolverConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Imposes a [`RunBudget`] on the session. Integer caps apply to the
+    /// solver's *cumulative* counters (conflicts accumulate across
+    /// probes); a shared `deadline_at` or wall budget bounds the whole
+    /// ladder.
+    #[must_use]
+    pub fn budget(mut self, budget: RunBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Attaches a cooperative cancellation token; cancelling any clone of
+    /// it stops the current and all subsequent probes.
+    #[must_use]
+    pub fn cancel(mut self, token: CancellationToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Attaches an observer receiving every probe's event stream.
+    #[must_use]
+    pub fn observe(mut self, observer: Arc<dyn RunObserver>) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Attaches a [`Tracer`]: the encode records an `encode_incremental`
+    /// span and each probe a `width_probe` span (field `width`) carrying
+    /// the solver's event stream. A disabled tracer records nothing.
+    #[must_use]
+    pub fn trace(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// Attaches a [`MetricsRegistry`]: the solver feeds the `solver.*`
+    /// family and the session counts `incremental.probes` and
+    /// `incremental.reused_conflicts` (conflicts carried into each probe
+    /// from earlier ones — the state a cold ladder would have thrown
+    /// away).
+    #[must_use]
+    pub fn metrics(mut self, registry: MetricsRegistry) -> Self {
+        self.metrics = registry;
+        self
+    }
+
+    /// Encodes the instance once at the upper bound and loads the warm
+    /// solver.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `upper == 0`.
+    #[must_use]
+    pub fn build(self) -> IncrementalSession {
+        assert!(self.upper >= 1, "the upper color bound must be positive");
+        let encoding = encode_coloring_incremental_traced(
+            self.graph,
+            self.upper,
+            &self.strategy.encoding.encoding(),
+            self.strategy.symmetry,
+            &self.tracer,
+        );
+        let formula_stats = encoding.formula.stats();
+        let mut solver = CdclSolver::with_config(self.config);
+        solver.set_metrics(&self.metrics);
+        solver.set_budget(self.budget);
+        if let Some(token) = self.cancel {
+            solver.set_cancellation(token);
+        }
+        solver.add_formula(&encoding.formula);
+        IncrementalSession {
+            strategy: self.strategy,
+            solver,
+            encoding,
+            formula_stats,
+            observer: self.observer,
+            tracer: self.tracer,
+            metrics: self.metrics,
+            probes: 0,
+            failed_tracks: Vec::new(),
+            encode_time_pending: true,
+        }
+    }
+}
+
+/// An incremental k-colorability oracle for one graph: encode once at an
+/// upper bound (any catalog encoding), probe any `k ≤ upper` by flipping
+/// selector assumptions on one warm [`CdclSolver`].
+///
+/// Built by [`Strategy::incremental`]. The session keeps the solver's
+/// learnt clauses, activity scores and saved phases across probes; probe
+/// answers are independent of probe order.
 ///
 /// # Examples
 ///
 /// ```
 /// use satroute_coloring::CspGraph;
-/// use satroute_core::incremental::IncrementalColoring;
-/// use satroute_core::SymmetryHeuristic;
+/// use satroute_core::Strategy;
 ///
 /// // A 5-cycle: chromatic number 3.
 /// let g = CspGraph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
-/// let mut inc = IncrementalColoring::new(&g, 4, SymmetryHeuristic::S1);
-/// assert!(inc.solve_at(3).is_colorable());
-/// assert!(!inc.solve_at(2).is_colorable());
-/// let (min, coloring) = inc.find_min_colors().expect("graph has vertices");
+/// let mut session = Strategy::paper_best().incremental(&g, 4).build();
+/// assert!(session.solve_at(3).is_colorable());
+/// assert!(!session.solve_at(2).is_colorable());
+/// let (min, coloring) = session.find_min_colors().expect("graph is colorable");
 /// assert_eq!(min, 3);
 /// assert!(coloring.is_proper(&g));
 /// ```
+pub struct IncrementalSession {
+    strategy: Strategy,
+    solver: CdclSolver,
+    encoding: IncrementalEncoding,
+    formula_stats: FormulaStats,
+    observer: Option<Arc<dyn RunObserver>>,
+    tracer: Tracer,
+    metrics: MetricsRegistry,
+    probes: u64,
+    /// Tracks named by the failed-assumption core of the last UNSAT probe.
+    failed_tracks: Vec<u32>,
+    /// The one-time encode wall time is charged to the first probe's
+    /// `cnf_translation` so ladder timing sums stay honest.
+    encode_time_pending: bool,
+}
+
+impl std::fmt::Debug for IncrementalSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IncrementalSession")
+            .field("strategy", &self.strategy)
+            .field("upper", &self.upper())
+            .field("probes", &self.probes)
+            .field("failed_tracks", &self.failed_tracks)
+            .finish_non_exhaustive()
+    }
+}
+
+impl IncrementalSession {
+    /// The encoded upper bound.
+    #[must_use]
+    pub fn upper(&self) -> u32 {
+        self.encoding.upper()
+    }
+
+    /// The session's strategy.
+    #[must_use]
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// Number of probes run so far.
+    #[must_use]
+    pub fn probes(&self) -> u64 {
+        self.probes
+    }
+
+    /// Solver work counters accumulated across all probes so far.
+    #[must_use]
+    pub fn solver_stats(&self) -> &satroute_solver::SolverStats {
+        self.solver.stats()
+    }
+
+    /// The tracks named by the failed-assumption core of the most recent
+    /// UNSAT probe (ascending). Empty unless the last probe was UNSAT
+    /// under its selector assumptions.
+    #[must_use]
+    pub fn failed_tracks(&self) -> &[u32] {
+        &self.failed_tracks
+    }
+
+    /// The width lower bound certified by the last UNSAT probe's core:
+    /// with `m` the lowest track in the core, every width `≤ m` is
+    /// uncolorable, so the minimum width is at least `m + 1`. `None` when
+    /// the last probe was not UNSAT-under-assumptions.
+    #[must_use]
+    pub fn core_lower_bound(&self) -> Option<u32> {
+        self.failed_tracks.first().map(|&m| m + 1)
+    }
+
+    /// Probes k-colorability for any `k ≤ upper`, returning the full
+    /// report. `solver_stats` in the report are the session's *cumulative*
+    /// counters at the end of the probe; `metrics` cover this probe alone.
+    /// On an UNSAT answer the report's `failed_assumptions` carries the
+    /// selector core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > upper` (those tracks were not encoded).
+    pub fn probe(&mut self, k: u32) -> ColoringReport {
+        assert!(
+            k <= self.upper(),
+            "width {k} exceeds the encoded upper bound {}",
+            self.upper()
+        );
+        let span = self.tracer.span_with(
+            "width_probe",
+            [
+                ("width", FieldValue::from(k)),
+                ("strategy", FieldValue::from(self.strategy.to_string())),
+            ],
+        );
+        let recorder = Arc::new(MetricsRecorder::new());
+        let mut fanout = FanoutObserver::new().with(recorder.clone() as Arc<dyn RunObserver>);
+        if let Some(user) = &self.observer {
+            fanout = fanout.with(user.clone());
+        }
+        if self.tracer.is_enabled() {
+            fanout = fanout.with(Arc::new(TraceObserver::new(self.tracer.clone(), span.id())));
+        }
+        self.solver.set_observer(Arc::new(fanout));
+
+        let reused = self.solver.stats().conflicts;
+        self.probes += 1;
+        if self.metrics.is_enabled() {
+            self.metrics.counter("incremental.probes").add(1);
+            self.metrics
+                .counter("incremental.reused_conflicts")
+                .add(reused);
+        }
+
+        let assumptions = self.encoding.assumptions_for_width(k);
+        let outcome = self.solver.solve_with_assumptions(&assumptions);
+        let sat_solving = span.close();
+
+        self.failed_tracks.clear();
+        let mut failed_assumptions = None;
+        if self.solver.unsat_under_assumptions() {
+            let core = self.solver.failed_assumptions().to_vec();
+            self.failed_tracks = core
+                .iter()
+                .filter_map(|&l| self.encoding.track_of(l))
+                .collect();
+            self.failed_tracks.sort_unstable();
+            failed_assumptions = Some(core);
+        }
+
+        let outcome = match outcome {
+            SolveOutcome::Sat(model) => {
+                let coloring = decode_coloring(&model, &self.encoding.decode)
+                    .expect("models of the encoding always decode (totality)");
+                debug_assert!(
+                    coloring.colors().iter().all(|&c| c < k),
+                    "selectors force decoded colors below the probed width"
+                );
+                ColoringOutcome::Colorable(coloring)
+            }
+            SolveOutcome::Unsat => ColoringOutcome::Unsat,
+            SolveOutcome::Unknown(reason) => ColoringOutcome::Unknown(reason),
+        };
+
+        let cnf_translation = if self.encode_time_pending {
+            self.encode_time_pending = false;
+            self.encoding.cnf_translation
+        } else {
+            std::time::Duration::ZERO
+        };
+        ColoringReport {
+            outcome,
+            timing: TimingBreakdown {
+                graph_generation: std::time::Duration::ZERO,
+                cnf_translation,
+                sat_solving,
+            },
+            formula_stats: self.formula_stats,
+            solver_stats: *self.solver.stats(),
+            metrics: recorder.snapshot(),
+            failed_assumptions,
+        }
+    }
+
+    /// Probes k-colorability for any `k ≤ upper` (outcome only; see
+    /// [`IncrementalSession::probe`] for the full report).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > upper`.
+    pub fn solve_at(&mut self, k: u32) -> ColoringOutcome {
+        self.probe(k).outcome
+    }
+
+    /// Walks `k` downward from the upper bound to the smallest colorable
+    /// `k` on the warm solver, jumping past widths each SAT model already
+    /// proves achievable (a model using `c` colors makes probing widths in
+    /// `c..k` pointless) and stopping at the first UNSAT answer, whose
+    /// failed-assumption core certifies the lower bound for every skipped
+    /// width below it.
+    ///
+    /// Returns `None` if even the upper bound is uncolorable (possible
+    /// when the caller's bound is not from a greedy coloring) or if a
+    /// probe exhausts a budget.
+    pub fn find_min_colors(&mut self) -> Option<(u32, Coloring)> {
+        let mut best: Option<(u32, Coloring)> = None;
+        let mut k = self.upper();
+        loop {
+            match self.solve_at(k) {
+                ColoringOutcome::Colorable(c) => {
+                    let used = c.max_color().map_or(0, |m| m + 1);
+                    best = Some((used, c));
+                    if used == 0 {
+                        // Only possible for a vertex-free graph.
+                        return best;
+                    }
+                    k = used - 1;
+                }
+                ColoringOutcome::Unsat => {
+                    // Every track in the core is ≥ k, so the core's lower
+                    // bound (min track + 1) confirms that no width below
+                    // the best coloring can work — including the widths
+                    // the model jumps skipped.
+                    debug_assert!(self.failed_tracks.iter().all(|&d| d >= k));
+                    debug_assert!(
+                        best.is_none() || self.core_lower_bound().is_none_or(|lb| lb == k + 1)
+                    );
+                    return best;
+                }
+                ColoringOutcome::Unknown(_) => return None,
+            }
+        }
+    }
+}
+
+/// An incremental k-colorability oracle: encode once, probe via
+/// assumptions.
+///
+/// Superseded by [`IncrementalSession`] (built with
+/// [`Strategy::incremental`]), which supports every catalog encoding and
+/// the full run-control surface. This type remains as a thin shim over a
+/// muldirect session.
 #[derive(Debug)]
 pub struct IncrementalColoring {
-    solver: CdclSolver,
-    decode: DecodeMap,
-    upper: u32,
-    num_vertices: usize,
+    session: IncrementalSession,
 }
 
 impl IncrementalColoring {
     /// Encodes `graph` for colorings with up to `upper` colors.
     ///
-    /// `symmetry` restrictions are emitted for `upper` colors; they remain
-    /// sound for every smaller width (the color-swap argument only uses
-    /// colors below each position).
-    ///
     /// # Panics
     ///
     /// Panics if `upper == 0`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Strategy::incremental(graph, upper).build() instead"
+    )]
     pub fn new(graph: &CspGraph, upper: u32, symmetry: SymmetryHeuristic) -> Self {
-        Self::with_config(graph, upper, symmetry, SolverConfig::default())
+        IncrementalColoring {
+            session: Strategy::new(EncodingId::Muldirect, symmetry)
+                .incremental(graph, upper)
+                .build(),
+        }
     }
 
     /// Like [`IncrementalColoring::new`] with an explicit solver
@@ -74,50 +441,60 @@ impl IncrementalColoring {
     /// # Panics
     ///
     /// Panics if `upper == 0`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Strategy::incremental(graph, upper).config(..).build() instead"
+    )]
     pub fn with_config(
         graph: &CspGraph,
         upper: u32,
         symmetry: SymmetryHeuristic,
         config: SolverConfig,
     ) -> Self {
-        assert!(upper >= 1, "the upper color bound must be positive");
-        let encoded = encode_coloring(graph, upper, &EncodingId::Muldirect.encoding(), symmetry);
-        let mut solver = CdclSolver::with_config(config);
-        solver.add_formula(&encoded.formula);
         IncrementalColoring {
-            solver,
-            decode: encoded.decode,
-            upper,
-            num_vertices: graph.num_vertices(),
+            session: Strategy::new(EncodingId::Muldirect, symmetry)
+                .incremental(graph, upper)
+                .config(config)
+                .build(),
         }
     }
 
-    /// Imposes a [`RunBudget`] on every subsequent probe. Integer caps
-    /// apply to the solver's cumulative counters (conflicts accumulate
-    /// across probes); a shared `deadline_at` bounds the whole search.
+    /// Imposes a [`RunBudget`] on every subsequent probe.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the IncrementalSessionBuilder::budget builder step instead"
+    )]
     pub fn set_budget(&mut self, budget: RunBudget) {
-        self.solver.set_budget(budget);
+        self.session.solver.set_budget(budget);
     }
 
     /// Attaches a cooperative cancellation token to every subsequent
     /// probe.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the IncrementalSessionBuilder::cancel builder step instead"
+    )]
     pub fn set_cancellation(&mut self, token: CancellationToken) {
-        self.solver.set_cancellation(token);
+        self.session.solver.set_cancellation(token);
     }
 
     /// Attaches an observer receiving each probe's event stream.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the IncrementalSessionBuilder::observe builder step instead"
+    )]
     pub fn set_observer(&mut self, observer: Arc<dyn RunObserver>) {
-        self.solver.set_observer(observer);
+        self.session.observer = Some(observer);
     }
 
     /// The encoded upper bound.
     pub fn upper(&self) -> u32 {
-        self.upper
+        self.session.upper()
     }
 
     /// Solver work counters accumulated across all probes so far.
     pub fn solver_stats(&self) -> &satroute_solver::SolverStats {
-        self.solver.stats()
+        self.session.solver_stats()
     }
 
     /// Probes k-colorability for any `k <= upper`.
@@ -126,57 +503,16 @@ impl IncrementalColoring {
     ///
     /// Panics if `k > upper` (those colors were not encoded).
     pub fn solve_at(&mut self, k: u32) -> ColoringOutcome {
-        assert!(
-            k <= self.upper,
-            "width {k} exceeds the encoded upper bound {}",
-            self.upper
-        );
-        // Disable every color >= k on every vertex. Muldirect patterns are
-        // single positive literals, so "color d off" is one assumption.
-        let mut assumptions = Vec::with_capacity(self.num_vertices * (self.upper - k) as usize);
-        for &offset in &self.decode.offsets {
-            for d in k..self.upper {
-                let pattern = &self.decode.scheme.patterns[d as usize];
-                debug_assert_eq!(pattern.len(), 1, "muldirect patterns are unit");
-                let lit = pattern.lits()[0];
-                assumptions.push(!Lit::from_code(lit.code() + 2 * offset));
-            }
-        }
-        match self.solver.solve_with_assumptions(&assumptions) {
-            SolveOutcome::Sat(model) => {
-                let coloring = decode_coloring(&model, &self.decode)
-                    .expect("models of the encoding always decode");
-                debug_assert!(coloring.colors().iter().all(|&c| c < k || k == 0));
-                ColoringOutcome::Colorable(coloring)
-            }
-            SolveOutcome::Unsat => ColoringOutcome::Unsat,
-            SolveOutcome::Unknown(reason) => ColoringOutcome::Unknown(reason),
-        }
+        self.session.solve_at(k)
     }
 
     /// Walks `k` downward from the upper bound to the smallest colorable
     /// `k`, reusing learnt clauses between probes.
     ///
-    /// Returns `None` if even the upper bound is uncolorable (possible when
-    /// the caller's bound is not from a greedy coloring), if the graph has
-    /// no vertices (0 colors suffice, there is nothing to search), or if a
-    /// probe exhausts a conflict budget.
+    /// Returns `None` if even the upper bound is uncolorable, or if a
+    /// probe exhausts a budget.
     pub fn find_min_colors(&mut self) -> Option<(u32, Coloring)> {
-        let mut best: Option<(u32, Coloring)> = None;
-        let mut k = self.upper;
-        loop {
-            match self.solve_at(k) {
-                ColoringOutcome::Colorable(c) => {
-                    best = Some((k, c));
-                    if k == 0 {
-                        return best;
-                    }
-                    k -= 1;
-                }
-                ColoringOutcome::Unsat => return best,
-                ColoringOutcome::Unknown(_) => return None,
-            }
-        }
+        self.session.find_min_colors()
     }
 }
 
@@ -194,8 +530,10 @@ mod tests {
                 .max_color()
                 .map_or(1, |m| m + 1);
             for sym in SymmetryHeuristic::ALL {
-                let mut inc = IncrementalColoring::new(&g, upper, sym);
-                let (min, coloring) = inc.find_min_colors().expect("upper bound colors");
+                let mut session = Strategy::new(EncodingId::Muldirect, sym)
+                    .incremental(&g, upper)
+                    .build();
+                let (min, coloring) = session.find_min_colors().expect("upper bound colors");
                 assert_eq!(min, chi, "seed {seed} sym {sym}");
                 assert!(coloring.is_proper(&g));
                 assert!(coloring.max_color().unwrap_or(0) < min.max(1));
@@ -204,13 +542,36 @@ mod tests {
     }
 
     #[test]
+    fn every_encoding_supports_incremental_probing() {
+        // The selector mechanism must work beyond muldirect: for each
+        // catalog encoding the probe answers agree with the exact oracle.
+        let g = random_graph(9, 0.5, 11);
+        let chi = exact::chromatic_number(&g);
+        let upper = chi + 2;
+        for id in EncodingId::ALL {
+            let mut session = Strategy::new(id, SymmetryHeuristic::S1)
+                .incremental(&g, upper)
+                .build();
+            for k in (1..=upper).rev() {
+                assert_eq!(
+                    session.solve_at(k).is_colorable(),
+                    k >= chi,
+                    "{id} at k={k}"
+                );
+            }
+            let lb = session.core_lower_bound();
+            assert_eq!(lb, Some(chi), "{id} core bound");
+        }
+    }
+
+    #[test]
     fn probes_agree_with_from_scratch_solving() {
         let g = random_graph(12, 0.5, 9);
         let upper = 8;
-        let mut inc = IncrementalColoring::new(&g, upper, SymmetryHeuristic::None);
+        let mut session = Strategy::paper_baseline().incremental(&g, upper).build();
         for k in (1..=upper).rev() {
-            let incremental = inc.solve_at(k).is_colorable();
-            let scratch = crate::strategy::Strategy::paper_baseline()
+            let incremental = session.solve_at(k).is_colorable();
+            let scratch = Strategy::paper_baseline()
                 .solve_coloring(&g, k)
                 .outcome
                 .is_colorable();
@@ -221,12 +582,16 @@ mod tests {
     #[test]
     fn probing_up_and_down_is_consistent() {
         let g = random_graph(10, 0.5, 2);
-        let mut inc = IncrementalColoring::new(&g, 6, SymmetryHeuristic::S1);
+        let mut session = Strategy::new(EncodingId::Muldirect, SymmetryHeuristic::S1)
+            .incremental(&g, 6)
+            .build();
         let down: Vec<bool> = (1..=6)
             .rev()
-            .map(|k| inc.solve_at(k).is_colorable())
+            .map(|k| session.solve_at(k).is_colorable())
             .collect();
-        let up: Vec<bool> = (1..=6).map(|k| inc.solve_at(k).is_colorable()).collect();
+        let up: Vec<bool> = (1..=6)
+            .map(|k| session.solve_at(k).is_colorable())
+            .collect();
         let down_rev: Vec<bool> = down.into_iter().rev().collect();
         assert_eq!(down_rev, up, "answers must not depend on probe order");
         // Colorability is monotone in k.
@@ -236,45 +601,101 @@ mod tests {
     }
 
     #[test]
+    fn unsat_probe_reports_selector_core() {
+        // Triangle, upper 4: width 2 is UNSAT and the core must name only
+        // assumed tracks (≥ 2) including track 2.
+        let g = CspGraph::from_edges(3, [(0, 1), (1, 2), (0, 2)]);
+        let mut session = Strategy::paper_best().incremental(&g, 4).build();
+        let report = session.probe(2);
+        assert_eq!(report.outcome, ColoringOutcome::Unsat);
+        let core = report.failed_assumptions.expect("UNSAT under selectors");
+        assert!(!core.is_empty());
+        assert!(session.failed_tracks().iter().all(|&d| (2..4).contains(&d)));
+        assert_eq!(session.core_lower_bound(), Some(3));
+        // SAT probes clear the core.
+        let report = session.probe(3);
+        assert!(report.outcome.is_colorable());
+        assert!(report.failed_assumptions.is_none());
+        assert!(session.failed_tracks().is_empty());
+    }
+
+    #[test]
     fn cancelled_probe_returns_unknown_and_search_gives_up() {
         use satroute_solver::StopReason;
         let g = random_graph(12, 0.5, 4);
-        let mut inc = IncrementalColoring::new(&g, 6, SymmetryHeuristic::None);
         let token = CancellationToken::new();
-        inc.set_cancellation(token.clone());
+        let mut session = Strategy::paper_baseline()
+            .incremental(&g, 6)
+            .cancel(token.clone())
+            .build();
         token.cancel();
         assert_eq!(
-            inc.solve_at(3),
+            session.solve_at(3),
             ColoringOutcome::Unknown(StopReason::Cancelled)
         );
-        assert!(inc.find_min_colors().is_none());
+        assert!(session.find_min_colors().is_none());
+    }
+
+    #[test]
+    fn session_feeds_metrics_and_observer() {
+        let g = random_graph(10, 0.5, 3);
+        let registry = MetricsRegistry::new();
+        let recorder = Arc::new(MetricsRecorder::new());
+        let mut session = Strategy::paper_best()
+            .incremental(&g, 5)
+            .metrics(registry.clone())
+            .observe(recorder.clone())
+            .build();
+        let (_min, _coloring) = session.find_min_colors().expect("colorable");
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("incremental.probes"), Some(session.probes()));
+        assert!(snap.counter("incremental.reused_conflicts").is_some());
+        // The observer saw the last probe's Finished event.
+        assert!(recorder.snapshot().sat.is_some());
     }
 
     #[test]
     #[should_panic]
     fn probing_above_upper_panics() {
         let g = random_graph(5, 0.5, 1);
-        let mut inc = IncrementalColoring::new(&g, 3, SymmetryHeuristic::None);
-        let _ = inc.solve_at(4);
+        let mut session = Strategy::paper_baseline().incremental(&g, 3).build();
+        let _ = session.solve_at(4);
     }
 
     #[test]
     fn unsatisfiable_upper_bound_returns_none() {
         // A triangle with upper = 2: no coloring exists at all.
         let g = CspGraph::from_edges(3, [(0, 1), (1, 2), (0, 2)]);
-        let mut inc = IncrementalColoring::new(&g, 2, SymmetryHeuristic::None);
-        assert!(inc.find_min_colors().is_none());
+        let mut session = Strategy::paper_baseline().incremental(&g, 2).build();
+        assert!(session.find_min_colors().is_none());
     }
 
     #[test]
     fn empty_graph_needs_one_color_at_most() {
         let g = CspGraph::new(4);
-        let mut inc = IncrementalColoring::new(&g, 3, SymmetryHeuristic::S1);
-        let (min, coloring) = inc.find_min_colors().expect("colorable");
-        // Edgeless graphs are 1-colorable; the search bottoms out at k = 1
-        // (k = 0 is probed and refuted by the at-least-one clauses... which
-        // under all-disabled assumptions is UNSAT-under-assumptions).
+        let mut session = Strategy::new(EncodingId::Muldirect, SymmetryHeuristic::S1)
+            .incremental(&g, 3)
+            .build();
+        let (min, coloring) = session.find_min_colors().expect("colorable");
+        // Edgeless graphs are 1-colorable; k = 0 is probed and refuted by
+        // the activation clauses plus the at-least-one totality clauses.
         assert_eq!(min, 1);
         assert_eq!(coloring.len(), 4);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_answer_correctly() {
+        let g = random_graph(10, 0.45, 5);
+        let chi = exact::chromatic_number(&g);
+        let upper = satroute_coloring::dsatur_coloring(&g)
+            .max_color()
+            .map_or(1, |m| m + 1);
+        let mut inc = IncrementalColoring::new(&g, upper, SymmetryHeuristic::S1);
+        inc.set_budget(RunBudget::new());
+        let (min, coloring) = inc.find_min_colors().expect("upper bound colors");
+        assert_eq!(min, chi);
+        assert!(coloring.is_proper(&g));
+        assert!(inc.upper() == upper && inc.solver_stats().decisions > 0);
     }
 }

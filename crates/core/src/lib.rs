@@ -31,7 +31,10 @@
 //!   between diversified same-strategy members.
 //! * [`pipeline`] — the full FPGA flow: global routing → conflict graph →
 //!   SAT → detailed routing / unroutability proof.
-//! * [`incremental`] — assumption-based incremental width search.
+//! * [`incremental`] — assumption-based incremental width search: encode
+//!   once at an upper bound with per-track activation selectors, probe any
+//!   width on one warm solver ([`IncrementalSession`], built by
+//!   [`Strategy::incremental`]).
 //!
 //! Run control (budgets, cancellation tokens, observers) comes from
 //! [`satroute_solver::run`] and is threaded through every entry point;
@@ -72,8 +75,12 @@ pub mod symmetry;
 
 pub use catalog::{Encoding, EncodingId, ParseEncodingError};
 pub use decode::{decode_coloring, DecodeError};
-pub use encode::{encode_coloring, encode_coloring_traced, DecodeMap, EncodedColoring};
+pub use encode::{
+    encode_coloring, encode_coloring_incremental, encode_coloring_incremental_traced,
+    encode_coloring_traced, DecodeMap, EncodedColoring, IncrementalEncoding,
+};
 pub use hier::TopScheme;
+pub use incremental::{IncrementalSession, IncrementalSessionBuilder};
 pub use ite::IteTree;
 pub use pattern::{Pattern, SchemeCnf};
 pub use pipeline::{

@@ -40,14 +40,25 @@ impl RouteResult {
 }
 
 /// The trace of a minimum-width search.
+///
+/// **Certificate invariant:** whenever `min_width > 0`, the final probe is
+/// the UNSAT answer at `min_width - 1` that certifies optimality — the
+/// descending loop always probes one width below the best routing before
+/// stopping, including width 0 after a width-1 success. The single
+/// exception is `min_width == 0` (a problem with no subnets at all), where
+/// no narrower width exists to refute and the last probe is the width-0
+/// routing itself.
 #[derive(Clone, Debug)]
 pub struct WidthSearch {
     /// The minimum channel width with a detailed routing.
     pub min_width: u32,
     /// A verified routing at `min_width`.
     pub routing: DetailedRouting,
-    /// Every width probed, with its result (including the UNSAT proof at
-    /// `min_width - 1` that certifies optimality).
+    /// Every width probed, with its result (including, when
+    /// `min_width > 0`, the UNSAT proof at `min_width - 1` that certifies
+    /// optimality). The incremental ladder
+    /// ([`RoutingPipeline::find_min_width_incremental`]) records fewer
+    /// probes: widths a SAT model already proves achievable are skipped.
     pub probes: Vec<RouteResult>,
 }
 
@@ -392,7 +403,12 @@ impl RoutingPipeline {
 
     /// Finds the minimum channel width for which `problem` has a detailed
     /// routing, walking downward from a greedy upper bound and certifying
-    /// optimality with the final UNSAT answer.
+    /// optimality with the final UNSAT answer (see the [`WidthSearch`]
+    /// certificate invariant).
+    ///
+    /// Each probe re-encodes and solves from scratch;
+    /// [`RoutingPipeline::find_min_width_incremental`] answers the same
+    /// question on one warm solver.
     ///
     /// # Errors
     ///
@@ -424,6 +440,108 @@ impl RoutingPipeline {
 
         let (min_width, routing) = best
             .expect("the DSATUR upper bound is always routable, so at least one probe succeeds");
+        Ok(WidthSearch {
+            min_width,
+            routing,
+            probes,
+        })
+    }
+
+    /// Like [`RoutingPipeline::find_min_width`], but on one warm solver:
+    /// the instance is encoded once at the DSATUR upper bound with
+    /// per-track activation selectors
+    /// ([`Strategy::incremental`](crate::Strategy::incremental)) and the
+    /// ladder sweeps downward by flipping assumptions, keeping learnt
+    /// clauses, VSIDS activity and saved phases between probes.
+    ///
+    /// Returns the same `min_width` as the from-scratch search and
+    /// preserves the [`WidthSearch`] certificate invariant, but skips
+    /// widths each SAT model already proves achievable (a model using `c`
+    /// colors jumps the next probe straight to `c - 1`), and on the final
+    /// UNSAT answer the failed-assumption core certifies the bound for
+    /// every skipped width (the probe's
+    /// [`failed_assumptions`](crate::ColoringReport::failed_assumptions)).
+    /// Per-probe reports carry the session's *cumulative* solver counters.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Undecided`] if any probe gives up.
+    pub fn find_min_width_incremental(
+        &self,
+        problem: &RoutingProblem,
+    ) -> Result<WidthSearch, PipelineError> {
+        let ladder_span = self.tracer.span_with(
+            "width_ladder",
+            [("strategy", FieldValue::from(self.strategy.to_string()))],
+        );
+        let (graph, graph_generation) = problem.conflict_graph_traced(&self.tracer);
+        self.record_phase("phase.graph_generation_us", graph_generation);
+        let upper = satroute_coloring::dsatur_coloring(&graph)
+            .max_color()
+            .map_or(1, |m| m + 1);
+
+        let mut builder = self
+            .strategy
+            .incremental(&graph, upper)
+            .config(self.config.clone())
+            .budget(self.budget)
+            .trace(self.tracer.clone())
+            .metrics(self.metrics.clone());
+        if let Some(token) = &self.cancel {
+            builder = builder.cancel(token.clone());
+        }
+        if let Some(observer) = &self.observer {
+            builder = builder.observe(observer.clone());
+        }
+        let mut session = builder.build();
+
+        let mut probes = Vec::new();
+        let mut best: Option<(u32, DetailedRouting)> = None;
+        let mut width = upper;
+        loop {
+            let mut report = session.probe(width);
+            if probes.is_empty() {
+                report.timing.graph_generation = graph_generation;
+            }
+            let routing = match &report.outcome {
+                ColoringOutcome::Colorable(coloring) => {
+                    // The decoded tracks are valid at the (possibly
+                    // narrower) width the model actually uses; verify and
+                    // record the routing there, then jump below it.
+                    let used = coloring.max_color().map_or(0, |m| m + 1);
+                    let routing = self.verify(problem, used, coloring.colors());
+                    best = Some((used, routing.clone()));
+                    Some(routing)
+                }
+                ColoringOutcome::Unsat => None,
+                ColoringOutcome::Unknown(reason) => {
+                    ladder_span.mark("verdict", "unknown");
+                    return Err(PipelineError::Undecided {
+                        width,
+                        reason: *reason,
+                    });
+                }
+            };
+            let routable = routing.is_some();
+            probes.push(RouteResult {
+                width,
+                routing,
+                report,
+            });
+            if !routable {
+                break;
+            }
+            match best.as_ref().map(|(w, _)| *w) {
+                Some(0) | None => break,
+                Some(used) => width = used - 1,
+            }
+        }
+
+        let (min_width, routing) = best
+            .expect("the DSATUR upper bound is always routable, so at least one probe succeeds");
+        ladder_span.mark("verdict", "done");
+        ladder_span.counter("min_width", u64::from(min_width));
+        ladder_span.counter("probes", probes.len() as u64);
         Ok(WidthSearch {
             min_width,
             routing,
@@ -478,11 +596,104 @@ mod tests {
         // min_width lies between the clique bound and the DSATUR bound.
         assert!(search.min_width <= inst.routable_width);
         assert!(search.min_width > inst.unroutable_width.saturating_sub(1));
-        // The last probe is the UNSAT certificate (unless min_width hit 1
-        // with an edgeless graph, which the tiny suite never produces).
+        // The WidthSearch certificate invariant: min_width > 0, so the
+        // last probe is the UNSAT answer one width below.
         let last = search.probes.last().unwrap();
         assert!(last.is_unroutable());
         assert_eq!(last.width, search.min_width - 1);
+    }
+
+    /// A problem whose conflict graph has one vertex and no edges: the
+    /// minimum width is 1.
+    fn single_net_problem() -> RoutingProblem {
+        use satroute_fpga::{Architecture, GlobalRouter, Net, Netlist, Side, Terminal};
+        let arch = Architecture::new(3, 1).unwrap();
+        let net = Net::new(vec![
+            Terminal {
+                x: 0,
+                y: 0,
+                side: Side::South,
+            },
+            Terminal {
+                x: 2,
+                y: 0,
+                side: Side::South,
+            },
+        ])
+        .unwrap();
+        let netlist = Netlist::new(&arch, vec![net]).unwrap();
+        let routing = GlobalRouter::new().route(&arch, &netlist).unwrap();
+        RoutingProblem::new(arch, netlist, routing)
+    }
+
+    /// A problem with no nets at all: zero tracks suffice.
+    fn net_free_problem() -> RoutingProblem {
+        use satroute_fpga::{Architecture, GlobalRouter, Netlist};
+        let arch = Architecture::new(3, 1).unwrap();
+        let netlist = Netlist::new(&arch, vec![]).unwrap();
+        let routing = GlobalRouter::new().route(&arch, &netlist).unwrap();
+        RoutingProblem::new(arch, netlist, routing)
+    }
+
+    #[test]
+    fn width_one_minimum_still_probes_width_zero_for_the_certificate() {
+        // Pins the WidthSearch invariant at its edge: a width-1 success
+        // must be followed by the width-0 UNSAT probe.
+        let problem = single_net_problem();
+        for search in [
+            RoutingPipeline::new(Strategy::paper_best())
+                .find_min_width(&problem)
+                .unwrap(),
+            RoutingPipeline::new(Strategy::paper_best())
+                .find_min_width_incremental(&problem)
+                .unwrap(),
+        ] {
+            assert_eq!(search.min_width, 1);
+            let last = search.probes.last().unwrap();
+            assert!(last.is_unroutable(), "width 0 must be probed and refuted");
+            assert_eq!(last.width, 0);
+        }
+    }
+
+    #[test]
+    fn net_free_problem_has_min_width_zero_without_certificate() {
+        // The documented exception: min_width == 0 leaves nothing to
+        // refute, so every probe is SAT.
+        let problem = net_free_problem();
+        for search in [
+            RoutingPipeline::new(Strategy::paper_best())
+                .find_min_width(&problem)
+                .unwrap(),
+            RoutingPipeline::new(Strategy::paper_best())
+                .find_min_width_incremental(&problem)
+                .unwrap(),
+        ] {
+            assert_eq!(search.min_width, 0);
+            assert!(search.probes.iter().all(|p| !p.is_unroutable()));
+        }
+    }
+
+    #[test]
+    fn incremental_min_width_agrees_with_from_scratch() {
+        for inst in benchmarks::suite_tiny() {
+            let pipeline = RoutingPipeline::new(Strategy::paper_best());
+            let cold = pipeline.find_min_width(&inst.problem).unwrap();
+            let warm = pipeline.find_min_width_incremental(&inst.problem).unwrap();
+            assert_eq!(warm.min_width, cold.min_width, "{}", inst.name);
+            inst.problem
+                .verify_detailed_routing(&warm.routing, warm.min_width)
+                .unwrap();
+            // The warm ladder never probes more widths than the cold one
+            // (model jumps can only remove probes)...
+            assert!(warm.probes.len() <= cold.probes.len());
+            // ...and preserves the certificate invariant.
+            if warm.min_width > 0 {
+                let last = warm.probes.last().unwrap();
+                assert!(last.is_unroutable());
+                assert_eq!(last.width, warm.min_width - 1);
+                assert!(last.report.failed_assumptions.is_some());
+            }
+        }
     }
 
     #[test]

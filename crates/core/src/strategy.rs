@@ -17,7 +17,7 @@ use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use std::time::Duration;
 
-use satroute_cnf::{CnfFormula, FormulaStats};
+use satroute_cnf::{CnfFormula, FormulaStats, Lit};
 use satroute_coloring::{Coloring, CspGraph};
 use satroute_obs::{FieldValue, MetricsRegistry, Tracer};
 use satroute_solver::{
@@ -104,6 +104,12 @@ pub struct ColoringReport {
     /// Aggregated run observations (rates, restarts, LBD trend, stop
     /// reason) recorded by the always-attached [`MetricsRecorder`].
     pub metrics: RunMetrics,
+    /// When the outcome is [`ColoringOutcome::Unsat`] *under assumptions*
+    /// (a run built with [`SolveRequest::assume`], or an incremental
+    /// width probe), the subset of the assumptions the solver's
+    /// final-conflict analysis found contradictory with the formula.
+    /// `None` for unconditional answers.
+    pub failed_assumptions: Option<Vec<Lit>>,
 }
 
 /// A single parallel-portfolio constituent: an encoding plus a
@@ -173,7 +179,37 @@ impl Strategy {
             exchange: None,
             tracer: Tracer::disabled(),
             metrics: MetricsRegistry::disabled(),
+            assumptions: Vec::new(),
         }
+    }
+
+    /// Starts building an incremental width-ladder session on `graph`,
+    /// encoded once at the `upper` bound: chain the same run-control
+    /// calls as [`Strategy::solve`], then
+    /// [`build`](crate::incremental::IncrementalSessionBuilder::build).
+    ///
+    /// The returned [`IncrementalSession`](crate::IncrementalSession)
+    /// probes any width `≤ upper` by flipping selector assumptions on one
+    /// warm solver, keeping learnt clauses, activity and phases between
+    /// probes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use satroute_coloring::random_graph;
+    /// use satroute_core::Strategy;
+    ///
+    /// let g = random_graph(10, 0.4, 7);
+    /// let mut session = Strategy::paper_best().incremental(&g, 6).build();
+    /// let (min, _coloring) = session.find_min_colors().expect("colorable");
+    /// assert!(min <= 6);
+    /// ```
+    pub fn incremental<'a>(
+        &self,
+        graph: &'a CspGraph,
+        upper: u32,
+    ) -> crate::incremental::IncrementalSessionBuilder<'a> {
+        crate::incremental::IncrementalSessionBuilder::new(*self, graph, upper)
     }
 
     /// Solves the K-coloring problem of `graph` with default solver
@@ -224,6 +260,7 @@ pub struct SolveRequest<'a> {
     exchange: Option<(Arc<dyn ClauseExchange>, SharingConfig)>,
     tracer: Tracer,
     metrics: MetricsRegistry,
+    assumptions: Vec<Lit>,
 }
 
 impl fmt::Debug for SolveRequest<'_> {
@@ -291,6 +328,20 @@ impl<'a> SolveRequest<'a> {
         self
     }
 
+    /// Solves under `assumptions` — literals of the *encoded CNF* (use the
+    /// [`DecodeMap`](crate::DecodeMap) variable layout: vertex `v`'s block
+    /// starts at `offsets[v]`) forced true for this run only, without
+    /// dropping down to [`CdclSolver`].
+    ///
+    /// When the run comes back UNSAT only because of the assumptions, the
+    /// report's [`failed_assumptions`](ColoringReport::failed_assumptions)
+    /// carries the contradictory subset from the solver's final-conflict
+    /// analysis; the graph itself has *not* been proven uncolorable.
+    pub fn assume(mut self, assumptions: &[Lit]) -> Self {
+        self.assumptions = assumptions.to_vec();
+        self
+    }
+
     /// Attaches a [`MetricsRegistry`]: the solver feeds the `solver.*`
     /// counters and LBD/restart-interval histograms from its hot path,
     /// the encoder feeds per-encoding CNF-size histograms
@@ -317,6 +368,12 @@ impl<'a> SolveRequest<'a> {
     /// also returns the encoded CNF and, on UNSAT, the solver's refutation
     /// of it. Clause imports are disabled under proof logging, so a
     /// certified run never records `imported_clauses`.
+    ///
+    /// An UNSAT answer that holds only *under assumptions* (a request
+    /// built with [`SolveRequest::assume`]) refutes nothing: the DRAT log
+    /// contains implied clauses but no empty clause, so no proof is
+    /// returned — the report's `failed_assumptions` is the certificate
+    /// for that case.
     pub fn run_certified(self) -> (ColoringReport, CnfFormula, Option<DratProof>) {
         let (report, formula, proof) = self.run_inner(true);
         (
@@ -372,10 +429,18 @@ impl<'a> SolveRequest<'a> {
         }
         solver.set_observer(Arc::new(fanout));
         solver.add_formula(&encoded.formula);
-        let outcome = solver.solve();
+        let outcome = solver.solve_with_assumptions(&self.assumptions);
         let sat_solving = solve_span.close();
         let solver_stats = *solver.stats();
-        let proof = if with_proof && matches!(outcome, SolveOutcome::Unsat) {
+        let failed_assumptions = (matches!(outcome, SolveOutcome::Unsat)
+            && solver.unsat_under_assumptions())
+        .then(|| solver.failed_assumptions().to_vec());
+        // UNSAT-under-assumptions refutes nothing, so there is no proof to
+        // take: the DRAT log never derived the empty clause.
+        let proof = if with_proof
+            && matches!(outcome, SolveOutcome::Unsat)
+            && !solver.unsat_under_assumptions()
+        {
             Some(solver.take_proof().expect("logging was enabled"))
         } else {
             None
@@ -431,6 +496,7 @@ impl<'a> SolveRequest<'a> {
             formula_stats,
             solver_stats,
             metrics: run_metrics,
+            failed_assumptions,
         };
         (report, with_proof.then_some(encoded.formula), proof)
     }
@@ -534,6 +600,57 @@ mod tests {
         let report =
             Strategy::paper_baseline().solve_coloring_with(&g, 8, &SolverConfig::default(), None);
         assert!(report.outcome.is_decided());
+    }
+
+    #[test]
+    fn assumed_run_steers_the_model() {
+        use satroute_cnf::Var;
+        // Muldirect layout: vertex v's block starts at v*k, pattern d is
+        // the single positive literal of local var d. Pin vertex 0 to
+        // color 1.
+        let g = CspGraph::from_edges(2, [(0, 1)]);
+        let pin = [Lit::positive(Var::new(1)), Lit::negative(Var::new(0))];
+        let report = Strategy::paper_baseline().solve(&g, 2).assume(&pin).run();
+        let coloring = report.outcome.coloring().expect("still satisfiable");
+        assert_eq!(coloring.colors(), &[1, 0]);
+        assert!(report.failed_assumptions.is_none());
+    }
+
+    #[test]
+    fn assumed_run_reports_failed_assumptions() {
+        use satroute_cnf::Var;
+        // Forbid both colors of vertex 0: UNSAT under assumptions only.
+        let g = CspGraph::from_edges(2, [(0, 1)]);
+        let forbid = [Lit::negative(Var::new(0)), Lit::negative(Var::new(1))];
+        let report = Strategy::paper_baseline()
+            .solve(&g, 2)
+            .assume(&forbid)
+            .run();
+        assert_eq!(report.outcome, ColoringOutcome::Unsat);
+        let core = report.failed_assumptions.expect("unsat under assumptions");
+        assert!(!core.is_empty());
+        assert!(core.iter().all(|l| forbid.contains(l)));
+        // The same graph without assumptions is colorable and carries no
+        // core.
+        let report = Strategy::paper_baseline().solve_coloring(&g, 2);
+        assert!(report.outcome.is_colorable());
+        assert!(report.failed_assumptions.is_none());
+    }
+
+    #[test]
+    fn certified_run_under_assumptions_refuses_the_proof() {
+        use satroute_cnf::Var;
+        let g = CspGraph::from_edges(2, [(0, 1)]);
+        let forbid = [Lit::negative(Var::new(0)), Lit::negative(Var::new(1))];
+        let (report, _formula, proof) = Strategy::paper_baseline()
+            .solve(&g, 2)
+            .assume(&forbid)
+            .run_certified();
+        // UNSAT under assumptions refutes nothing: no DRAT proof, but the
+        // failed-assumption core is the certificate instead.
+        assert_eq!(report.outcome, ColoringOutcome::Unsat);
+        assert!(proof.is_none());
+        assert!(report.failed_assumptions.is_some());
     }
 
     #[test]

@@ -368,6 +368,10 @@ pub struct CdclSolver {
     /// Set when the last `solve_with_assumptions` failed only because of
     /// the assumptions (the formula itself may still be satisfiable).
     unsat_under_assumptions: bool,
+    /// The failed-assumption core of the last UNSAT-under-assumptions
+    /// answer (MiniSat's `conflict` vector): a subset of the supplied
+    /// assumptions that is already contradictory with the formula.
+    failed_assumptions: Vec<Lit>,
 }
 
 impl Default for CdclSolver {
@@ -423,6 +427,7 @@ impl CdclSolver {
             metrics: SolverMetricsHub::disabled(),
             proof: None,
             unsat_under_assumptions: false,
+            failed_assumptions: Vec::new(),
         }
     }
 
@@ -449,6 +454,20 @@ impl CdclSolver {
     /// been refuted and further solves may still succeed.
     pub fn unsat_under_assumptions(&self) -> bool {
         self.unsat_under_assumptions
+    }
+
+    /// The failed-assumption core of the last UNSAT-under-assumptions
+    /// answer: a subset of the assumptions passed to
+    /// [`CdclSolver::solve_with_assumptions`] that is contradictory with
+    /// the formula on its own (MiniSat-style final-conflict analysis).
+    ///
+    /// Literals appear in the caller's sense (as passed, not negated) and
+    /// the slice is empty unless
+    /// [`CdclSolver::unsat_under_assumptions`] is true. Any later solve of
+    /// a superset of the core is UNSAT without search, which is what lets
+    /// the incremental width ladder skip doomed widths.
+    pub fn failed_assumptions(&self) -> &[Lit] {
+        &self.failed_assumptions
     }
 
     /// Installs a cooperative cancellation flag.
@@ -716,6 +735,7 @@ impl CdclSolver {
 
     fn solve_inner(&mut self, assumptions: &[Lit]) -> SolveOutcome {
         self.unsat_under_assumptions = false;
+        self.failed_assumptions.clear();
         if !self.ok {
             return SolveOutcome::Unsat;
         }
@@ -871,7 +891,10 @@ impl CdclSolver {
                             // position in `assumptions` keeps advancing.
                             self.trail_lim.push(self.trail.len());
                         }
-                        FALSE => return SearchResult::UnsatUnderAssumptions,
+                        FALSE => {
+                            self.analyze_final(p);
+                            return SearchResult::UnsatUnderAssumptions;
+                        }
                         _ => {
                             self.trail_lim.push(self.trail.len());
                             self.enqueue(p, NO_REASON);
@@ -1309,6 +1332,46 @@ impl CdclSolver {
             self.learnt_buf.swap(1, max_i);
             self.level[usize::from(self.learnt_buf[1].var())]
         }
+    }
+
+    /// MiniSat-style final-conflict analysis: `p` is the pending
+    /// assumption found falsified while establishing the assumption
+    /// prefix. Walks the trail top-down expanding reason clauses; every
+    /// decision reached is an earlier assumption (only assumptions are
+    /// decided while the prefix is incomplete), so the collected literals
+    /// form a failed-assumption core, stored in the caller's sense.
+    fn analyze_final(&mut self, p: Lit) {
+        self.failed_assumptions.clear();
+        self.failed_assumptions.push(p);
+        if self.decision_level() == 0 {
+            // Falsified by the formula alone (level-0 propagation): the
+            // core is `p` by itself.
+            return;
+        }
+        self.seen[usize::from(p.var())] = true;
+        for idx in (self.trail_lim[0]..self.trail.len()).rev() {
+            let lit = self.trail[idx];
+            let var = usize::from(lit.var());
+            if !self.seen[var] {
+                continue;
+            }
+            let reason = self.reason[var];
+            if reason == NO_REASON {
+                // A decision inside the assumption prefix: the trail holds
+                // the assumption exactly as it was passed in.
+                self.failed_assumptions.push(lit);
+            } else {
+                // Slot 0 is the propagated literal itself; expand the rest.
+                for k in 1..self.arena.len(reason) {
+                    let q = self.arena.lit(reason, k);
+                    if self.level[usize::from(q.var())] > 0 {
+                        self.seen[usize::from(q.var())] = true;
+                    }
+                }
+            }
+            self.seen[var] = false;
+        }
+        self.seen[usize::from(p.var())] = false;
     }
 
     fn abstract_level(&self, var: Var) -> u64 {
@@ -2008,6 +2071,81 @@ mod tests {
         let out = s.solve_with_assumptions(&[Lit::positive(v), Lit::negative(v)]);
         assert_eq!(out, SolveOutcome::Unsat);
         assert!(s.unsat_under_assumptions());
+        let core = s.failed_assumptions().to_vec();
+        assert_eq!(core.len(), 2);
+        assert!(core.contains(&Lit::positive(v)) && core.contains(&Lit::negative(v)));
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn failed_assumptions_explain_the_conflict() {
+        let mut f = CnfFormula::new();
+        let a = f.new_var();
+        let b = f.new_var();
+        let c = f.new_var();
+        f.add_clause([Lit::positive(a), Lit::positive(b)]);
+        let mut s = CdclSolver::new();
+        s.add_formula(&f);
+
+        // `c` is irrelevant to the conflict: the core must not include it.
+        let assumptions = [Lit::positive(c), Lit::negative(a), Lit::negative(b)];
+        assert_eq!(s.solve_with_assumptions(&assumptions), SolveOutcome::Unsat);
+        assert!(s.unsat_under_assumptions());
+        let core = s.failed_assumptions().to_vec();
+        assert!(!core.is_empty());
+        for l in &core {
+            assert!(assumptions.contains(l), "core literal {l:?} was assumed");
+        }
+        assert!(!core.contains(&Lit::positive(c)));
+
+        // The core alone is already contradictory with the formula.
+        assert_eq!(s.solve_with_assumptions(&core), SolveOutcome::Unsat);
+        assert!(s.unsat_under_assumptions());
+
+        // A satisfiable solve clears the stored core.
+        assert!(s.solve().is_sat());
+        assert!(s.failed_assumptions().is_empty());
+        assert!(!s.unsat_under_assumptions());
+    }
+
+    #[test]
+    fn failed_assumption_core_survives_real_search() {
+        // Pigeonhole 4→4 with hole-disable selectors: closing hole 0 forces
+        // a genuine CDCL refutation (not a pure propagation conflict), and
+        // the reported core must still be a contradictory assumption subset
+        // that names the closed hole.
+        let n = 4i64;
+        let h = 4i64;
+        let p = |i: i64, j: i64| h * i + j + 1;
+        let disable = |j: i64| n * h + j + 1;
+        let mut f = CnfFormula::new();
+        for i in 0..n {
+            f.add_clause((0..h).map(|j| Lit::from_dimacs(p(i, j))));
+        }
+        for j in 0..h {
+            for a in 0..n {
+                f.add_clause([Lit::from_dimacs(-disable(j)), Lit::from_dimacs(-p(a, j))]);
+                for b in (a + 1)..n {
+                    f.add_clause([Lit::from_dimacs(-p(a, j)), Lit::from_dimacs(-p(b, j))]);
+                }
+            }
+        }
+        let mut s = CdclSolver::new();
+        s.add_formula(&f);
+
+        let mut close_one: Vec<Lit> = (0..h).map(|j| Lit::from_dimacs(-disable(j))).collect();
+        close_one[0] = !close_one[0];
+        assert_eq!(s.solve_with_assumptions(&close_one), SolveOutcome::Unsat);
+        assert!(s.unsat_under_assumptions());
+        let core = s.failed_assumptions().to_vec();
+        assert!(core.iter().all(|l| close_one.contains(l)));
+        assert!(
+            core.contains(&Lit::from_dimacs(disable(0))),
+            "the closed hole must appear in the core"
+        );
+        assert_eq!(s.solve_with_assumptions(&core), SolveOutcome::Unsat);
+        assert!(s.unsat_under_assumptions());
+        // The formula itself is still satisfiable.
         assert!(s.solve().is_sat());
     }
 

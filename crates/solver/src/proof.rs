@@ -458,4 +458,32 @@ mod tests {
             Err(CheckProofError::NoEmptyClause)
         );
     }
+
+    #[test]
+    fn proof_logged_under_assumptions_is_cleanly_rejected() {
+        // Regression: UNSAT *under assumptions* refutes nothing, so a
+        // proof log taken from such a solve must fail the checker with
+        // `NoEmptyClause` rather than verify or panic — every learnt
+        // clause in it is still RUP (conflict analysis resolves only over
+        // reason clauses, never over assumption decisions), but the empty
+        // clause is never derived. Callers certifying refutations must
+        // check `unsat_under_assumptions` first, as
+        // `SolveRequest::run_certified` does.
+        use crate::CdclSolver;
+        let mut f = CnfFormula::new();
+        // Satisfiable 3-clause chain: 1→2, 2→3.
+        f.add_clause([lit(-1), lit(2)]);
+        f.add_clause([lit(-2), lit(3)]);
+        let mut s = CdclSolver::new();
+        s.enable_proof_logging();
+        s.add_formula(&f);
+        let out = s.solve_with_assumptions(&[lit(1), lit(-3)]);
+        assert!(out.is_unsat());
+        assert!(s.unsat_under_assumptions());
+        assert!(!s.failed_assumptions().is_empty());
+        let proof = s.take_proof().expect("logging was enabled");
+        assert_eq!(proof.check(&f), Err(CheckProofError::NoEmptyClause));
+        // The solver itself remains usable.
+        assert!(s.solve().is_sat());
+    }
 }

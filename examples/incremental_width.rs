@@ -2,42 +2,43 @@
 //! width with solver assumptions, keeping learnt clauses between probes.
 //!
 //! An extension beyond the paper (its flow re-encodes per width), enabled
-//! by the solver's MiniSat-style assumption interface.
+//! by the solver's MiniSat-style assumption interface and failed-assumption
+//! cores ([`satroute::core::IncrementalSession`]).
 //!
 //! Run with: `cargo run --release --example incremental_width`
 
 use std::time::Instant;
 
 use satroute::coloring::dsatur_coloring;
-use satroute::core::incremental::IncrementalColoring;
-use satroute::core::{RoutingPipeline, Strategy, SymmetryHeuristic};
+use satroute::core::{RoutingPipeline, Strategy};
 use satroute::fpga::benchmarks;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let strategy = Strategy::paper_best();
     for instance in benchmarks::suite_tiny() {
         let graph = &instance.conflict_graph;
         let upper = dsatur_coloring(graph).max_color().map_or(1, |m| m + 1);
 
-        // Incremental: one encode, assumptions per width.
+        // Incremental: one encode, assumptions per width, warm solver.
         let t = Instant::now();
-        let mut inc = IncrementalColoring::new(graph, upper, SymmetryHeuristic::S1);
-        let (min_inc, coloring) = inc.find_min_colors().expect("upper bound is colorable");
+        let mut session = strategy.incremental(graph, upper).build();
+        let (min_inc, coloring) = session.find_min_colors().expect("upper bound is colorable");
         let incremental_time = t.elapsed();
         assert!(coloring.is_proper(graph));
 
         // From-scratch pipeline for comparison.
         let t = Instant::now();
-        let search =
-            RoutingPipeline::new(Strategy::paper_best()).find_min_width(&instance.problem)?;
+        let search = RoutingPipeline::new(strategy).find_min_width(&instance.problem)?;
         let scratch_time = t.elapsed();
 
         assert_eq!(min_inc, search.min_width, "both searches agree");
         println!(
-            "{:>8}: W_min = {:2} | incremental {:8.3}s ({} conflicts total) | from-scratch {:8.3}s",
+            "{:>8}: W_min = {:2} | incremental {:8.3}s ({} conflicts, {} probes) | from-scratch {:8.3}s",
             instance.name,
             min_inc,
             incremental_time.as_secs_f64(),
-            inc.solver_stats().conflicts,
+            session.solver_stats().conflicts,
+            session.probes(),
             scratch_time.as_secs_f64(),
         );
     }

@@ -10,7 +10,7 @@
 //! satroute solve <file.cnf> [--proof <out.drat>]       run the CDCL solver
 //! satroute portfolio <problem.txt> --width <W> [...]   race a solver portfolio
 //! satroute trace report <trace.jsonl> [--json]         analyze a trace artifact
-//! satroute bench run [--suite quick|paper] [--filter S] record a BENCH_*.json baseline
+//! satroute bench run [--suite quick|paper|incremental] [--filter S] record a BENCH_*.json baseline
 //! satroute bench compare <base> <cand> [--gate]        diff/gate two baselines
 //! satroute encodings                                   list the 15 encodings
 //! ```
@@ -341,36 +341,59 @@ fn dispatch(
                 .ok_or("min-width needs a problem file")?;
             let problem = load_problem(path)?;
             if opts.incremental {
-                use satroute::core::incremental::IncrementalColoring;
-                let span = tracer.span_with("min_width", [("incremental", FieldValue::from(true))]);
-                let graph = problem.conflict_graph();
-                let upper = satroute::coloring::dsatur_coloring(&graph)
-                    .max_color()
-                    .map_or(1, |m| m + 1);
-                let mut inc = IncrementalColoring::new(&graph, upper, opts.symmetry);
-                inc.set_budget(opts.budget());
-                let mut fan = FanoutObserver::new();
+                // One warm solver for the whole ladder: encode once at the
+                // DSATUR bound, sweep widths via selector assumptions.
+                let mut pipeline =
+                    RoutingPipeline::new(Strategy::new(opts.encoding, opts.symmetry))
+                        .with_budget(opts.budget())
+                        .with_tracer(tracer.clone())
+                        .with_metrics(registry.clone());
                 if opts.progress {
-                    fan = fan.with(Arc::new(ProgressLogger::stderr("min-width")));
+                    pipeline =
+                        pipeline.with_observer(Arc::new(ProgressLogger::stderr("min-width")));
                 }
-                if tracer.is_enabled() {
-                    fan = fan.with(Arc::new(TraceObserver::new(tracer.clone(), span.id())));
-                }
-                inc.set_observer(Arc::new(fan) as Arc<dyn RunObserver>);
-                let (min, _) = inc
-                    .find_min_colors()
-                    .ok_or("solver gave up or bound was uncolorable")?;
-                span.counter("min_width", min as u64);
+                let search = pipeline
+                    .find_min_width_incremental(&problem)
+                    .map_err(|e| format!("{e}"))?;
+                // Cumulative across the ladder: the last probe reports the
+                // warm solver's total counters.
+                let conflicts = search
+                    .probes
+                    .last()
+                    .map_or(0, |p| p.report.solver_stats.conflicts);
                 if opts.json {
+                    let probes: Vec<String> = search
+                        .probes
+                        .iter()
+                        .map(|p| {
+                            format!(
+                                "{{\"width\":{},\"routable\":{}}}",
+                                p.width,
+                                p.routing.is_some()
+                            )
+                        })
+                        .collect();
                     println!(
-                        "{{\"min_width\":{min},\"incremental\":true,\"conflicts\":{}}}",
-                        inc.solver_stats().conflicts
+                        "{{\"min_width\":{},\"incremental\":true,\"conflicts\":{conflicts},\"probes\":[{}]}}",
+                        search.min_width,
+                        probes.join(",")
                     );
                 } else {
                     println!(
-                        "minimum channel width: {min} (incremental, {} conflicts)",
-                        inc.solver_stats().conflicts
+                        "minimum channel width: {} (incremental, {conflicts} conflicts)",
+                        search.min_width
                     );
+                    for probe in &search.probes {
+                        println!(
+                            "  W = {:>2}: {}",
+                            probe.width,
+                            if probe.routing.is_some() {
+                                "SAT"
+                            } else {
+                                "UNSAT"
+                            }
+                        );
+                    }
                 }
             } else {
                 let mut pipeline =
@@ -909,7 +932,8 @@ fn print_usage() {
          portfolio: --diversify <N>, --portfolio-share, --threads <T>\n\
          tracing: --trace <out.jsonl>; trace report <out.jsonl> [--json]\n\
          metrics: --metrics <out.json|out.prom>\n\
-         bench: bench run [--suite quick|paper] [--out F] [--runs N] [--trace F] [--filter S];\n\
+         min-width: --incremental (one warm solver, selector assumptions)\n\
+         bench: bench run [--suite quick|paper|incremental] [--out F] [--runs N] [--trace F] [--filter S];\n\
          \u{20}       bench compare <base> <cand> [--gate] [--threshold PCT] [--json]\n\
          see the crate README for details"
     );

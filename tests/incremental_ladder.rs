@@ -1,0 +1,117 @@
+//! Warm versus cold minimum-width ladders on randomized routing problems.
+//!
+//! The warm ladder ([`RoutingPipeline::find_min_width_incremental`])
+//! encodes once at the DSATUR upper bound and probes widths with selector
+//! assumptions on one solver; the cold ladder re-encodes and restarts per
+//! width. These properties pin down that the redesign is an optimization,
+//! not a semantic change: both ladders find the same minimum, the warm
+//! ladder never probes more widths, and it keeps the optimality
+//! certificate. On conflicts the honest property is weaker than "always
+//! cheaper": the warm formula carries the selector clauses and solves its
+//! first probe at the loosest width, so on micro-instances it can pay a
+//! few more conflicts than a cold ladder of trivial solves. What must
+//! hold — and what [`crate`]'s bench gate also records on the pinned tiny
+//! suite — is that reuse wins outright on some instances and never blows
+//! up the total.
+//!
+//! Cases come from a seeded deterministic driver (no external
+//! property-testing framework is available offline); failure messages
+//! carry the seed for exact replay.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use satroute::core::{RoutingPipeline, Strategy};
+use satroute::fpga::{Architecture, GlobalRouter, Netlist, RoutingProblem};
+
+fn random_problem(seed: u64) -> RoutingProblem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let w = rng.gen_range(2u16..7);
+    let h = rng.gen_range(2u16..6);
+    let nets = rng.gen_range(2usize..14);
+    let netlist_seed = rng.gen_range(0u64..500);
+    let arch = Architecture::new(w, h).expect("non-empty grid");
+    // Keep within the pin budget: each net needs at most 4 pins.
+    let max_nets = (arch.num_blocks() * 4) / 4;
+    let nets = nets.min(max_nets.max(1));
+    let netlist = Netlist::random(&arch, nets, 2..=4, netlist_seed).expect("pins suffice");
+    let routing = GlobalRouter::new().route(&arch, &netlist).expect("routes");
+    RoutingProblem::new(arch, netlist, routing)
+}
+
+const CASES: u64 = 24;
+
+#[test]
+fn warm_and_cold_ladders_agree_on_the_minimum_width() {
+    let strategy = Strategy::paper_best();
+    let mut warm_total = 0u64;
+    let mut cold_total = 0u64;
+    let mut strict_wins = 0u64;
+    for seed in 0..CASES {
+        let problem = random_problem(seed);
+        let cold = RoutingPipeline::new(strategy)
+            .find_min_width(&problem)
+            .expect("cold ladder completes");
+        let warm = RoutingPipeline::new(strategy)
+            .find_min_width_incremental(&problem)
+            .expect("warm ladder completes");
+
+        assert_eq!(warm.min_width, cold.min_width, "seed {seed}");
+        assert!(
+            problem
+                .verify_detailed_routing(&warm.routing, warm.min_width)
+                .is_ok(),
+            "seed {seed}: warm routing must verify at the minimum width"
+        );
+        // Model-based jumps may only skip probes, never add them.
+        assert!(
+            warm.probes.len() <= cold.probes.len(),
+            "seed {seed}: warm probed {} widths, cold {}",
+            warm.probes.len(),
+            cold.probes.len()
+        );
+        // The certificate invariant survives the warm path: the last
+        // probe is the UNSAT at min_width - 1, and final-conflict
+        // analysis names the selectors that refused it.
+        if warm.min_width > 0 {
+            let last = warm.probes.last().expect("a probed ladder");
+            assert!(last.is_unroutable(), "seed {seed}");
+            assert_eq!(last.width, warm.min_width - 1, "seed {seed}");
+            assert!(
+                last.report
+                    .failed_assumptions
+                    .as_ref()
+                    .is_some_and(|core| !core.is_empty()),
+                "seed {seed}: UNSAT-under-assumptions must carry a core"
+            );
+        }
+
+        // The warm solver's counters are cumulative: its last probe
+        // reports the whole ladder. The cold ladder's solvers are
+        // independent, so its total is the sum over probes.
+        let warm_conflicts = warm
+            .probes
+            .last()
+            .map_or(0, |p| p.report.solver_stats.conflicts);
+        let cold_conflicts = cold
+            .probes
+            .iter()
+            .map(|p| p.report.solver_stats.conflicts)
+            .sum::<u64>();
+        if warm_conflicts < cold_conflicts {
+            strict_wins += 1;
+        }
+        warm_total += warm_conflicts;
+        cold_total += cold_conflicts;
+    }
+    assert!(
+        strict_wins > 0,
+        "learnt-clause reuse must win outright on some instance \
+         (warm {warm_total} vs cold {cold_total} overall)"
+    );
+    assert!(
+        warm_total <= cold_total.saturating_mul(2),
+        "the warm ladder must never cost a multiple of the cold one: \
+         warm {warm_total} vs cold {cold_total}"
+    );
+}
