@@ -19,7 +19,7 @@
 
 use std::time::{Duration, Instant};
 
-use satroute_bench::{fmt_secs, fmt_speedup, metrics_json, tracer_from_args};
+use satroute_bench::{exit_on_cli_error, fmt_secs, fmt_speedup, metrics_json, tracer_from_args};
 use satroute_core::{
     run_portfolio_opts, simulate_portfolio, EncodingId, PortfolioOptions, PortfolioResult,
     SimulatedPortfolio, Strategy, SymmetryHeuristic,
@@ -73,7 +73,7 @@ fn members_json(sim: &SimulatedPortfolio) -> Value {
 fn main() {
     let tiny = std::env::args().any(|a| a == "--tiny");
     let json = std::env::args().any(|a| a == "--json");
-    let tracer = tracer_from_args();
+    let tracer = exit_on_cli_error(tracer_from_args());
     let suite = if tiny {
         benchmarks::suite_tiny()
     } else {

@@ -15,7 +15,9 @@
 
 use std::time::Duration;
 
-use satroute_bench::{cell_json, fmt_secs, fmt_speedup, run_cell_traced, tracer_from_args};
+use satroute_bench::{
+    cell_json, exit_on_cli_error, fmt_secs, fmt_speedup, run_cell_traced, tracer_from_args,
+};
 use satroute_core::{ColoringOutcome, EncodingId, Strategy, SymmetryHeuristic};
 use satroute_fpga::benchmarks;
 use satroute_obs::json::Value;
@@ -23,7 +25,7 @@ use satroute_obs::json::Value;
 fn main() {
     let tiny = std::env::args().any(|a| a == "--tiny");
     let json = std::env::args().any(|a| a == "--json");
-    let tracer = tracer_from_args();
+    let tracer = exit_on_cli_error(tracer_from_args());
     let suite = if tiny {
         benchmarks::suite_tiny()
     } else {

@@ -62,11 +62,15 @@ fn encode_with_scheme(
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "k2".into());
-    let instance = benchmarks::suite_tiny()
-        .into_iter()
-        .chain(benchmarks::suite_paper())
-        .find(|b| b.name == which)
-        .expect("known benchmark name");
+    let instance = satroute_bench::exit_on_cli_error(
+        benchmarks::suite_tiny()
+            .into_iter()
+            .chain(benchmarks::suite_paper())
+            .find(|b| b.name == which)
+            .ok_or(format!(
+                "unknown benchmark `{which}` (try tiny_a..tiny_c, alu2..k2)"
+            )),
+    );
     let g = &instance.conflict_graph;
     let k = instance.unroutable_width;
     println!(

@@ -104,22 +104,34 @@ pub fn run_cell_traced(
 /// `std::env::args()`: a buffered JSONL [`satroute_obs::TraceWriter`], or
 /// the disabled tracer when the flag is absent.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics when the flag is present without a value or the file cannot be
-/// created — bench binaries have no error channel beyond exiting.
-pub fn tracer_from_args() -> satroute_obs::Tracer {
+/// Returns a message when the flag is present without a value or the
+/// file cannot be created; bench binaries report it on stderr and exit
+/// nonzero (see [`exit_on_cli_error`]) instead of unwinding with a
+/// panic backtrace.
+pub fn tracer_from_args() -> Result<satroute_obs::Tracer, String> {
     let args: Vec<String> = std::env::args().collect();
     let Some(at) = args.iter().position(|a| a == "--trace") else {
-        return satroute_obs::Tracer::disabled();
+        return Ok(satroute_obs::Tracer::disabled());
     };
     let path = args
         .get(at + 1)
         .filter(|v| !v.starts_with("--"))
-        .unwrap_or_else(|| panic!("--trace needs a file path"));
+        .ok_or("--trace needs a file path")?;
     let writer = satroute_obs::TraceWriter::to_path(path)
-        .unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
-    satroute_obs::Tracer::to_sink(writer)
+        .map_err(|e| format!("cannot create {path}: {e}"))?;
+    Ok(satroute_obs::Tracer::to_sink(writer))
+}
+
+/// Unwraps a CLI-argument result, printing `error: <msg>` to stderr and
+/// exiting with status 2 on failure — the uniform bad-usage exit of the
+/// bench binaries (a user error is not a crash; no backtrace).
+pub fn exit_on_cli_error<T>(result: Result<T, String>) -> T {
+    result.unwrap_or_else(|msg| {
+        eprintln!("error: {msg}");
+        std::process::exit(2);
+    })
 }
 
 /// Serializes a [`RunMetrics`] snapshot as a JSON object — the common

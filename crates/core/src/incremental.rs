@@ -12,9 +12,9 @@
 //! knowledge — learnt DB, VSIDS scores and saved phases included.
 //!
 //! Because selectors disable whole *patterns*, this works for every catalog
-//! encoding; the historical muldirect-only trick (one assumption per vertex
-//! and track) survives only inside the deprecated [`IncrementalColoring`]
-//! shim, which now delegates here.
+//! encoding (the historical muldirect-only trick — one assumption per
+//! vertex and track — is fully subsumed and its shim API has been
+//! removed).
 //!
 //! When a probe is UNSAT the solver's final-conflict analysis
 //! ([`CdclSolver::failed_assumptions`]) yields the subset of selectors that
@@ -32,11 +32,9 @@ use satroute_solver::{
     SolveOutcome, SolverConfig, TraceObserver,
 };
 
-use crate::catalog::EncodingId;
 use crate::decode::decode_coloring;
 use crate::encode::{encode_coloring_incremental_traced, IncrementalEncoding};
 use crate::strategy::{ColoringOutcome, ColoringReport, Strategy, TimingBreakdown};
-use crate::symmetry::SymmetryHeuristic;
 
 /// Builder for an [`IncrementalSession`], returned by
 /// [`Strategy::incremental`]. Mirrors the [`crate::SolveRequest`] idiom:
@@ -405,120 +403,11 @@ impl IncrementalSession {
     }
 }
 
-/// An incremental k-colorability oracle: encode once, probe via
-/// assumptions.
-///
-/// Superseded by [`IncrementalSession`] (built with
-/// [`Strategy::incremental`]), which supports every catalog encoding and
-/// the full run-control surface. This type remains as a thin shim over a
-/// muldirect session.
-#[derive(Debug)]
-pub struct IncrementalColoring {
-    session: IncrementalSession,
-}
-
-impl IncrementalColoring {
-    /// Encodes `graph` for colorings with up to `upper` colors.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `upper == 0`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use Strategy::incremental(graph, upper).build() instead"
-    )]
-    pub fn new(graph: &CspGraph, upper: u32, symmetry: SymmetryHeuristic) -> Self {
-        IncrementalColoring {
-            session: Strategy::new(EncodingId::Muldirect, symmetry)
-                .incremental(graph, upper)
-                .build(),
-        }
-    }
-
-    /// Like [`IncrementalColoring::new`] with an explicit solver
-    /// configuration.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `upper == 0`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use Strategy::incremental(graph, upper).config(..).build() instead"
-    )]
-    pub fn with_config(
-        graph: &CspGraph,
-        upper: u32,
-        symmetry: SymmetryHeuristic,
-        config: SolverConfig,
-    ) -> Self {
-        IncrementalColoring {
-            session: Strategy::new(EncodingId::Muldirect, symmetry)
-                .incremental(graph, upper)
-                .config(config)
-                .build(),
-        }
-    }
-
-    /// Imposes a [`RunBudget`] on every subsequent probe.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use the IncrementalSessionBuilder::budget builder step instead"
-    )]
-    pub fn set_budget(&mut self, budget: RunBudget) {
-        self.session.solver.set_budget(budget);
-    }
-
-    /// Attaches a cooperative cancellation token to every subsequent
-    /// probe.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use the IncrementalSessionBuilder::cancel builder step instead"
-    )]
-    pub fn set_cancellation(&mut self, token: CancellationToken) {
-        self.session.solver.set_cancellation(token);
-    }
-
-    /// Attaches an observer receiving each probe's event stream.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use the IncrementalSessionBuilder::observe builder step instead"
-    )]
-    pub fn set_observer(&mut self, observer: Arc<dyn RunObserver>) {
-        self.session.observer = Some(observer);
-    }
-
-    /// The encoded upper bound.
-    pub fn upper(&self) -> u32 {
-        self.session.upper()
-    }
-
-    /// Solver work counters accumulated across all probes so far.
-    pub fn solver_stats(&self) -> &satroute_solver::SolverStats {
-        self.session.solver_stats()
-    }
-
-    /// Probes k-colorability for any `k <= upper`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `k > upper` (those colors were not encoded).
-    pub fn solve_at(&mut self, k: u32) -> ColoringOutcome {
-        self.session.solve_at(k)
-    }
-
-    /// Walks `k` downward from the upper bound to the smallest colorable
-    /// `k`, reusing learnt clauses between probes.
-    ///
-    /// Returns `None` if even the upper bound is uncolorable, or if a
-    /// probe exhausts a budget.
-    pub fn find_min_colors(&mut self) -> Option<(u32, Coloring)> {
-        self.session.find_min_colors()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::catalog::EncodingId;
+    use crate::symmetry::SymmetryHeuristic;
     use satroute_coloring::{exact, random_graph};
 
     #[test]
@@ -681,21 +570,5 @@ mod tests {
         // the activation clauses plus the at-least-one totality clauses.
         assert_eq!(min, 1);
         assert_eq!(coloring.len(), 4);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_answer_correctly() {
-        let g = random_graph(10, 0.45, 5);
-        let chi = exact::chromatic_number(&g);
-        let upper = satroute_coloring::dsatur_coloring(&g)
-            .max_color()
-            .map_or(1, |m| m + 1);
-        let mut inc = IncrementalColoring::new(&g, upper, SymmetryHeuristic::S1);
-        inc.set_budget(RunBudget::new());
-        let (min, coloring) = inc.find_min_colors().expect("upper bound colors");
-        assert_eq!(min, chi);
-        assert!(coloring.is_proper(&g));
-        assert!(inc.upper() == upper && inc.solver_stats().decisions > 0);
     }
 }

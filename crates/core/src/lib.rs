@@ -29,6 +29,11 @@
 //!   strategies (§6), with per-member reports, a shared deadline, a
 //!   parallelism-aware thread cap, and optional learnt-clause sharing
 //!   between diversified same-strategy members.
+//! * [`conquer`] — cube-and-conquer parallelism *within* one instance: a
+//!   lookahead splitter ([`satroute_solver::cubes`]) partitions the CNF
+//!   into `2^k` assumption-prefix subcubes that a work-stealing pool
+//!   races with first-SAT-wins cancellation and all-UNSAT aggregation
+//!   ([`ConquerRequest`], built by [`Strategy::cube_and_conquer`]).
 //! * [`pipeline`] — the full FPGA flow: global routing → conflict graph →
 //!   SAT → detailed routing / unroutability proof.
 //! * [`incremental`] — assumption-based incremental width search: encode
@@ -61,6 +66,7 @@
 
 pub mod analysis;
 pub mod catalog;
+pub mod conquer;
 pub mod decode;
 pub mod encode;
 pub mod hier;
@@ -74,6 +80,7 @@ pub mod strategy;
 pub mod symmetry;
 
 pub use catalog::{Encoding, EncodingId, ParseEncodingError};
+pub use conquer::{ConquerRequest, ConquerResult, CubeReport};
 pub use decode::{decode_coloring, DecodeError};
 pub use encode::{
     encode_coloring, encode_coloring_incremental, encode_coloring_incremental_traced,

@@ -310,7 +310,14 @@ impl ClauseExchange for BusEndpoint {
         // copy of the literal payload.
         let shared: Arc<[Lit]> = lits.into();
         for peer in &self.peers {
-            let mut queue = peer.clauses.lock().expect("inbox lock never poisoned");
+            // Recover from a poisoned inbox instead of cascading: a member
+            // that panicked mid-push leaves at worst a half-updated queue
+            // of well-formed Arc'd clauses, and every clause on the bus is
+            // individually sound — the survivors must keep racing.
+            let mut queue = peer
+                .clauses
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             // Drop on overflow: losing a shared clause is always sound
             // (sharing is an accelerator, not a correctness mechanism).
             if queue.len() < INBOX_CAP {
@@ -320,7 +327,13 @@ impl ClauseExchange for BusEndpoint {
     }
 
     fn drain(&self) -> Vec<Arc<[Lit]>> {
-        std::mem::take(&mut *self.mine.clauses.lock().expect("inbox lock never poisoned"))
+        std::mem::take(
+            &mut *self
+                .mine
+                .clauses
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        )
     }
 }
 
@@ -1144,5 +1157,34 @@ mod tests {
                 other => panic!("expected a decision, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn poisoned_inbox_recovers_instead_of_cascading() {
+        use satroute_cnf::Var;
+        let strategy = Strategy::paper_best();
+        let bus = SharingBus::for_strategies(&[strategy; 3]);
+        let a = bus.exchange(0).expect("same-strategy members share");
+        let b = bus.exchange(1).expect("same-strategy members share");
+
+        // One member aborts while holding its own inbox lock, poisoning
+        // the mutex mid-critical-section.
+        let poisoned = Arc::clone(bus.endpoints[1].as_ref().expect("grouped"));
+        let aborted = std::thread::spawn(move || {
+            let _guard = poisoned.mine.clauses.lock().unwrap();
+            panic!("member 1 aborts mid-push");
+        })
+        .join();
+        assert!(aborted.is_err(), "the aborting member must really panic");
+
+        // The survivors' export/drain paths keep working — including
+        // into and out of the poisoned mailbox, since every clause on
+        // the bus is individually well-formed regardless of the abort.
+        let clause = [Lit::positive(Var::new(0)), Lit::negative(Var::new(1))];
+        a.export(&clause, 2);
+        let delivered = b.drain();
+        assert_eq!(delivered.len(), 1);
+        assert_eq!(delivered[0].as_ref(), &clause[..]);
+        assert!(b.drain().is_empty(), "drain empties the recovered inbox");
     }
 }

@@ -13,6 +13,9 @@
 //! * [`DpllSolver`] — a deliberately simple chronological-backtracking DPLL
 //!   solver used as a cross-checking oracle in tests and as a "pre-CDCL"
 //!   baseline in ablations.
+//! * [`cubes`] — a lookahead cube splitter that partitions one instance
+//!   into `2^k` assumption-prefix subcubes for cube-and-conquer parallel
+//!   search (the conquering executor lives in `satroute_core::conquer`).
 //!
 //! Both solvers consume [`satroute_cnf::CnfFormula`] and report a
 //! [`SolveOutcome`]. The CDCL solver additionally supports run control and
@@ -53,11 +56,13 @@ mod luby;
 mod outcome;
 mod proof;
 
+pub mod cubes;
 pub mod preprocess;
 pub mod run;
 
 pub use arena::{ClauseArena, ClauseRef, Forwarding, Tier};
 pub use cdcl::{CdclSolver, PhaseInit, ReducePolicy, RestartScheme, SolverConfig, SolverStats};
+pub use cubes::{split_cubes, CubeOptions, CubePlan};
 pub use dpll::DpllSolver;
 pub use luby::luby;
 pub use outcome::SolveOutcome;

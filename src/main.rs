@@ -9,8 +9,9 @@
 //! satroute encode <problem.txt|.col> --width <W> [...] emit DIMACS CNF
 //! satroute solve <file.cnf> [--proof <out.drat>]       run the CDCL solver
 //! satroute portfolio <problem.txt> --width <W> [...]   race a solver portfolio
+//! satroute conquer <problem.txt> --width <W> [...]     cube-and-conquer one instance
 //! satroute trace report <trace.jsonl> [--json]         analyze a trace artifact
-//! satroute bench run [--suite quick|paper|incremental] [--filter S] record a BENCH_*.json baseline
+//! satroute bench run [--suite quick|paper|incremental|conquer] [--filter S] record a BENCH_*.json baseline
 //! satroute bench compare <base> <cand> [--gate]        diff/gate two baselines
 //! satroute encodings                                   list the 15 encodings
 //! ```
@@ -24,6 +25,12 @@
 //! `--portfolio-share` (learnt-clause sharing between same-strategy
 //! members), `--threads <T>` (concurrent member cap, default: available
 //! parallelism).
+//!
+//! Conquer options: `--cube-vars <k>` splits the instance into up to
+//! `2^k` assumption-prefix subcubes (default 3) raced by a work-stealing
+//! pool of `--threads <T>` workers; `--portfolio-share` additionally
+//! exchanges learnt clauses between the workers (sound: every worker
+//! solves the identical CNF).
 //!
 //! Run control: `--timeout <secs>` (wall-clock budget), `--max-conflicts
 //! <n>` (conflict budget), `--progress` (periodic solver progress on
@@ -99,6 +106,7 @@ struct Options {
     portfolio_share: bool,
     diversify: Option<usize>,
     threads: Option<usize>,
+    cube_vars: Option<u32>,
     trace: Option<String>,
     metrics: Option<String>,
 }
@@ -148,6 +156,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         portfolio_share: false,
         diversify: None,
         threads: None,
+        cube_vars: None,
         trace: None,
         metrics: None,
     };
@@ -210,6 +219,17 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     return Err("--threads needs at least 1".to_string());
                 }
                 opts.threads = Some(n);
+            }
+            "--cube-vars" => {
+                let v = take_value(args, &mut i, "--cube-vars")?;
+                let k: u32 = v.parse().map_err(|_| format!("bad cube var count `{v}`"))?;
+                if k > satroute::solver::cubes::MAX_CUBE_VARS {
+                    return Err(format!(
+                        "--cube-vars {k} exceeds the maximum of {}",
+                        satroute::solver::cubes::MAX_CUBE_VARS
+                    ));
+                }
+                opts.cube_vars = Some(k);
             }
             flag if flag.starts_with('-') && flag.len() > 1 => {
                 return Err(format!("unknown flag `{flag}`"))
@@ -661,6 +681,112 @@ fn dispatch(
                 None => Ok(ExitCode::SUCCESS),
             }
         }
+        "conquer" => {
+            let path = opts
+                .positional
+                .first()
+                .ok_or("conquer needs a problem file")?;
+            let width = opts.width.ok_or("conquer needs --width <W>")?;
+            let problem = load_problem(path)?;
+            let graph = problem.conflict_graph();
+
+            use satroute::solver::SharingConfig;
+            let cube_vars = opts.cube_vars.unwrap_or(3);
+            let mut request = Strategy::new(opts.encoding, opts.symmetry)
+                .cube_and_conquer(&graph, width)
+                .cube_vars(cube_vars)
+                .budget(opts.budget())
+                .trace(tracer.clone())
+                .metrics(registry.clone());
+            if let Some(n) = opts.threads {
+                request = request.threads(n);
+            }
+            if opts.portfolio_share {
+                request = request.share(SharingConfig::default());
+            }
+            let result = request.run();
+
+            let cube_outcome = |c: &satroute::core::CubeReport| -> String {
+                match &c.report.outcome {
+                    satroute::core::ColoringOutcome::Colorable(_) => "sat".to_string(),
+                    satroute::core::ColoringOutcome::Unsat => "unsat".to_string(),
+                    satroute::core::ColoringOutcome::Unknown(reason) => format!("unknown:{reason}"),
+                }
+            };
+            if opts.json {
+                let cubes: Vec<String> = result
+                    .cubes
+                    .iter()
+                    .map(|c| {
+                        format!(
+                            "{{\"index\":{},\"worker\":{},\"stolen\":{},\"conflicts\":{},\"outcome\":{}}}",
+                            c.index,
+                            c.worker,
+                            c.stolen,
+                            c.report.solver_stats.conflicts,
+                            json_str(&cube_outcome(c)),
+                        )
+                    })
+                    .collect();
+                let routable = match &result.outcome {
+                    satroute::core::ColoringOutcome::Colorable(_) => "true".to_string(),
+                    satroute::core::ColoringOutcome::Unsat => "false".to_string(),
+                    satroute::core::ColoringOutcome::Unknown(_) => "null".to_string(),
+                };
+                println!(
+                    "{{\"width\":{},\"routable\":{},\"cube_vars\":{},\"cubes\":{},\"refuted_at_split\":{},\"stolen\":{},\"workers\":{},\"winner\":{},\"total_conflicts\":{},\"wall_time_s\":{},\"cube_reports\":[{}]}}",
+                    width,
+                    routable,
+                    cube_vars,
+                    result.cubes.len(),
+                    result.refuted_at_split,
+                    result.stolen,
+                    result.workers,
+                    result
+                        .winner
+                        .map_or("null".to_string(), |w| w.to_string()),
+                    result.total_conflicts(),
+                    result.wall_time.as_secs_f64(),
+                    cubes.join(","),
+                );
+            } else {
+                match &result.outcome {
+                    satroute::core::ColoringOutcome::Colorable(_) => {
+                        let winner = result.winner.expect("SAT outcome has a winning cube");
+                        println!("ROUTABLE with {width} tracks (cube {winner} won)");
+                    }
+                    satroute::core::ColoringOutcome::Unsat => {
+                        println!("UNROUTABLE with {width} tracks (all cubes refuted)");
+                    }
+                    satroute::core::ColoringOutcome::Unknown(reason) => {
+                        println!("UNDECIDED with {width} tracks ({reason})");
+                    }
+                }
+                println!(
+                    "  split on {} vars: {} cubes, {} refuted by lookahead, {} stolen, {} workers",
+                    result.split_vars.len(),
+                    result.cubes.len(),
+                    result.refuted_at_split,
+                    result.stolen,
+                    result.workers,
+                );
+                for cube in &result.cubes {
+                    println!(
+                        "  cube {:<3} worker {:<2} {:>8} conflicts  {}{}",
+                        cube.index,
+                        cube.worker,
+                        cube.report.solver_stats.conflicts,
+                        cube_outcome(cube),
+                        if cube.stolen { "  [stolen]" } else { "" },
+                    );
+                }
+            }
+            match &result.outcome {
+                satroute::core::ColoringOutcome::Colorable(_) => Ok(ExitCode::SUCCESS),
+                satroute::core::ColoringOutcome::Unsat => Ok(ExitCode::from(20)),
+                satroute::core::ColoringOutcome::Unknown(_) => Ok(ExitCode::SUCCESS),
+            }
+        }
         "trace" => {
             let sub = opts
                 .positional
@@ -927,13 +1053,14 @@ fn finish_route(
 fn print_usage() {
     eprintln!(
         "usage: satroute <command> [options]\n\
-         commands: gen, route, prove, min-width, encode, solve, portfolio, trace, bench, encodings\n\
+         commands: gen, route, prove, min-width, encode, solve, portfolio, conquer, trace, bench, encodings\n\
          run control: --timeout <secs>, --max-conflicts <n>, --progress, --json\n\
          portfolio: --diversify <N>, --portfolio-share, --threads <T>\n\
+         conquer: --cube-vars <k> (2^k subcubes), --threads <T>, --portfolio-share\n\
          tracing: --trace <out.jsonl>; trace report <out.jsonl> [--json]\n\
          metrics: --metrics <out.json|out.prom>\n\
          min-width: --incremental (one warm solver, selector assumptions)\n\
-         bench: bench run [--suite quick|paper|incremental] [--out F] [--runs N] [--trace F] [--filter S];\n\
+         bench: bench run [--suite quick|paper|incremental|conquer] [--out F] [--runs N] [--trace F] [--filter S];\n\
          \u{20}       bench compare <base> <cand> [--gate] [--threshold PCT] [--json]\n\
          see the crate README for details"
     );
