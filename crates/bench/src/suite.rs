@@ -12,7 +12,7 @@ use std::time::{Duration, Instant};
 
 use satroute_core::{RoutingPipeline, Strategy, WidthSearch};
 use satroute_fpga::benchmarks::{self, BenchmarkInstance};
-use satroute_obs::{MetricsRegistry, MetricsSnapshot, Tracer};
+use satroute_obs::{FlightRecorder, MetricsRegistry, MetricsSnapshot, Tracer};
 use satroute_solver::RunBudget;
 
 use crate::artifact::{BenchArtifact, BenchCell, EnvFingerprint, HistogramSummary, WallTime};
@@ -86,6 +86,10 @@ pub struct SuiteOptions {
     /// Optional tracer: each cell opens a `cell` span with the run's
     /// encode/solve/decode spans beneath it.
     pub tracer: Tracer,
+    /// Optional flight recorder: every cell's solves deposit search-state
+    /// samples into the ring. Sampling only reads solver state, so the
+    /// deterministic columns are identical with recording on or off.
+    pub flight: FlightRecorder,
     /// Case-sensitive substring filter on cell ids
     /// (`benchmark/encoding/symmetry/wN`); only matching cells run.
     /// `None` runs the whole suite.
@@ -98,6 +102,7 @@ impl Default for SuiteOptions {
             runs: 3,
             budget: RunBudget::new().with_wall(Duration::from_secs(60)),
             tracer: Tracer::disabled(),
+            flight: FlightRecorder::disabled(),
             filter: None,
         }
     }
@@ -327,6 +332,7 @@ fn run_cell(cell: &SuiteCell, runs: usize, opts: &SuiteOptions) -> BenchCell {
             .budget(opts.budget)
             .trace(opts.tracer.clone())
             .metrics(registry.clone())
+            .flight(opts.flight.clone())
             .run();
         samples.push((report, registry.snapshot()));
     }
@@ -452,6 +458,7 @@ fn run_conquer_cell(
             .budget(opts.budget)
             .trace(opts.tracer.clone())
             .metrics(registry.clone())
+            .flight(opts.flight.clone())
             .run();
         let outcome = match &result.outcome {
             satroute_core::ColoringOutcome::Colorable(_) => "sat".to_string(),
@@ -564,7 +571,8 @@ fn run_ladder_cell(cell: &SuiteCell, warm: bool, runs: usize, opts: &SuiteOption
         let pipeline = RoutingPipeline::new(cell.strategy)
             .with_budget(opts.budget)
             .with_tracer(opts.tracer.clone())
-            .with_metrics(registry.clone());
+            .with_metrics(registry.clone())
+            .with_flight(opts.flight.clone());
         let start = Instant::now();
         let result = if warm {
             pipeline.find_min_width_incremental(&cell.instance.problem)

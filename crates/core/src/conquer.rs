@@ -55,7 +55,7 @@ use std::time::{Duration, Instant};
 
 use satroute_cnf::{FormulaStats, Lit, Var};
 use satroute_coloring::CspGraph;
-use satroute_obs::{FieldValue, MetricsRegistry, Tracer};
+use satroute_obs::{FieldValue, FlightRecorder, MetricsRegistry, Tracer};
 use satroute_solver::cubes::{split_cubes, CubeOptions};
 use satroute_solver::{
     CancellationToken, FanoutObserver, RunBudget, RunObserver, SharingConfig, SolverConfig,
@@ -192,6 +192,15 @@ impl ConquerResult {
     }
 }
 
+/// A cube's assumption prefix as space-joined DIMACS literals (the
+/// `assumptions` field on `cube` trace spans).
+fn dimacs_cube(cube: &[Lit]) -> String {
+    cube.iter()
+        .map(|l| l.to_dimacs().to_string())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
 /// Longest-processing-time-first list scheduling: jobs sorted by
 /// decreasing duration, each placed on the least-loaded of `workers`
 /// machines; returns the makespan (maximum machine load).
@@ -227,6 +236,7 @@ pub struct ConquerRequest<'a> {
     sharing: Option<SharingConfig>,
     tracer: Tracer,
     metrics: MetricsRegistry,
+    flight: FlightRecorder,
 }
 
 impl<'a> ConquerRequest<'a> {
@@ -301,6 +311,15 @@ impl<'a> ConquerRequest<'a> {
     /// `conquer.cube_conflicts` histogram.
     pub fn metrics(mut self, registry: MetricsRegistry) -> Self {
         self.metrics = registry;
+        self
+    }
+
+    /// Attaches a [`FlightRecorder`]: every cube's solver deposits
+    /// search-state samples stamped with the cube's index, and a cube
+    /// stopped by the shared budget (or cancelled after a winner) carries
+    /// a [`Postmortem`](satroute_obs::Postmortem) in its report.
+    pub fn flight(mut self, recorder: FlightRecorder) -> Self {
+        self.flight = recorder;
         self
     }
 
@@ -403,6 +422,7 @@ impl<'a> ConquerRequest<'a> {
         let config = &self.config;
         let user_observer = &self.observer;
         let sharing = self.sharing;
+        let flight = &self.flight;
         let plan_cubes = &plan.cubes;
         let tracer_ref = &tracer;
         let metrics_ref = &metrics;
@@ -444,6 +464,7 @@ impl<'a> ConquerRequest<'a> {
                             ("index", FieldValue::from(cube_idx as u64)),
                             ("worker", FieldValue::from(worker as u64)),
                             ("stolen", FieldValue::from(stolen)),
+                            ("assumptions", FieldValue::from(dimacs_cube(cube))),
                         ],
                     );
                     let mut request = strategy
@@ -453,7 +474,8 @@ impl<'a> ConquerRequest<'a> {
                         .cancel(stop.clone())
                         .assume(cube)
                         .trace(tracer_ref.clone())
-                        .metrics(metrics_ref.clone());
+                        .metrics(metrics_ref.clone())
+                        .flight(flight.labelled(cube_idx as u64));
                     let mut observers: Vec<Arc<dyn RunObserver>> = Vec::new();
                     if tracer_ref.is_enabled() {
                         observers.push(Arc::new(TraceObserver::new(
@@ -629,6 +651,7 @@ impl Strategy {
             sharing: None,
             tracer: Tracer::disabled(),
             metrics: MetricsRegistry::disabled(),
+            flight: FlightRecorder::disabled(),
         }
     }
 }

@@ -26,7 +26,7 @@ use std::sync::Arc;
 
 use satroute_cnf::FormulaStats;
 use satroute_coloring::{Coloring, CspGraph};
-use satroute_obs::{FieldValue, MetricsRegistry, Tracer};
+use satroute_obs::{FieldValue, FlightRecorder, MetricsRegistry, Postmortem, Tracer};
 use satroute_solver::{
     CancellationToken, CdclSolver, FanoutObserver, MetricsRecorder, RunBudget, RunObserver,
     SolveOutcome, SolverConfig, TraceObserver,
@@ -34,7 +34,7 @@ use satroute_solver::{
 
 use crate::decode::decode_coloring;
 use crate::encode::{encode_coloring_incremental_traced, IncrementalEncoding};
-use crate::strategy::{ColoringOutcome, ColoringReport, Strategy, TimingBreakdown};
+use crate::strategy::{hottest_phase, ColoringOutcome, ColoringReport, Strategy, TimingBreakdown};
 
 /// Builder for an [`IncrementalSession`], returned by
 /// [`Strategy::incremental`]. Mirrors the [`crate::SolveRequest`] idiom:
@@ -49,6 +49,7 @@ pub struct IncrementalSessionBuilder<'a> {
     observer: Option<Arc<dyn RunObserver>>,
     tracer: Tracer,
     metrics: MetricsRegistry,
+    flight: FlightRecorder,
 }
 
 impl std::fmt::Debug for IncrementalSessionBuilder<'_> {
@@ -74,6 +75,7 @@ impl<'a> IncrementalSessionBuilder<'a> {
             observer: None,
             tracer: Tracer::disabled(),
             metrics: MetricsRegistry::disabled(),
+            flight: FlightRecorder::disabled(),
         }
     }
 
@@ -130,6 +132,15 @@ impl<'a> IncrementalSessionBuilder<'a> {
         self
     }
 
+    /// Attaches a [`FlightRecorder`]: every probe deposits search-state
+    /// samples into the ring, and a probe that stops on a budget carries a
+    /// [`Postmortem`](satroute_obs::Postmortem) in its report.
+    #[must_use]
+    pub fn flight(mut self, recorder: FlightRecorder) -> Self {
+        self.flight = recorder;
+        self
+    }
+
     /// Encodes the instance once at the upper bound and loads the warm
     /// solver.
     ///
@@ -149,6 +160,7 @@ impl<'a> IncrementalSessionBuilder<'a> {
         let formula_stats = encoding.formula.stats();
         let mut solver = CdclSolver::with_config(self.config);
         solver.set_metrics(&self.metrics);
+        solver.set_flight(&self.flight);
         solver.set_budget(self.budget);
         if let Some(token) = self.cancel {
             solver.set_cancellation(token);
@@ -162,6 +174,7 @@ impl<'a> IncrementalSessionBuilder<'a> {
             observer: self.observer,
             tracer: self.tracer,
             metrics: self.metrics,
+            flight: self.flight,
             probes: 0,
             failed_tracks: Vec::new(),
             encode_time_pending: true,
@@ -200,6 +213,7 @@ pub struct IncrementalSession {
     observer: Option<Arc<dyn RunObserver>>,
     tracer: Tracer,
     metrics: MetricsRegistry,
+    flight: FlightRecorder,
     probes: u64,
     /// Tracks named by the failed-assumption core of the last UNSAT probe.
     failed_tracks: Vec<u32>,
@@ -338,17 +352,30 @@ impl IncrementalSession {
         } else {
             std::time::Duration::ZERO
         };
+        let timing = TimingBreakdown {
+            graph_generation: std::time::Duration::ZERO,
+            cnf_translation,
+            sat_solving,
+        };
+        let postmortem = match &outcome {
+            ColoringOutcome::Unknown(reason) if self.flight.is_enabled() => {
+                let mut pm = Postmortem::from_recorder(&self.flight, reason.to_string());
+                pm.hottest_phase = Some(hottest_phase(&timing).to_string());
+                if let Some(failed) = &failed_assumptions {
+                    pm.failed_assumptions = failed.iter().map(|l| l.to_dimacs()).collect();
+                }
+                Some(pm)
+            }
+            _ => None,
+        };
         ColoringReport {
             outcome,
-            timing: TimingBreakdown {
-                graph_generation: std::time::Duration::ZERO,
-                cnf_translation,
-                sat_solving,
-            },
+            timing,
             formula_stats: self.formula_stats,
             solver_stats: *self.solver.stats(),
             metrics: recorder.snapshot(),
             failed_assumptions,
+            postmortem,
         }
     }
 

@@ -112,4 +112,7 @@ pub use satroute_solver::{
 
 // Tracing vocabulary (spans, sinks, reports) from `satroute_obs`,
 // re-exported for the same reason.
-pub use satroute_obs::{parse_jsonl, SpanForest, TraceReport, TraceTree, TraceWriter, Tracer};
+pub use satroute_obs::{
+    parse_jsonl, FlightRecorder, Postmortem, SampleCause, SpanForest, TimelineSample, TraceReport,
+    TraceTree, TraceWriter, Tracer,
+};

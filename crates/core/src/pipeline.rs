@@ -15,7 +15,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use satroute_fpga::{DetailedRouting, RoutingProblem};
-use satroute_obs::{FieldValue, MetricsRegistry, Tracer};
+use satroute_obs::{FieldValue, FlightRecorder, MetricsRegistry, Tracer};
 use satroute_solver::{CancellationToken, RunBudget, RunObserver, SolverConfig, StopReason};
 
 use crate::strategy::{ColoringOutcome, ColoringReport, Strategy};
@@ -139,6 +139,7 @@ pub struct RoutingPipeline {
     observer: Option<Arc<dyn RunObserver>>,
     tracer: Tracer,
     metrics: MetricsRegistry,
+    flight: FlightRecorder,
 }
 
 impl fmt::Debug for RoutingPipeline {
@@ -163,6 +164,7 @@ impl RoutingPipeline {
             observer: None,
             tracer: Tracer::disabled(),
             metrics: MetricsRegistry::disabled(),
+            flight: FlightRecorder::disabled(),
         }
     }
 
@@ -208,6 +210,15 @@ impl RoutingPipeline {
     /// times).
     pub fn with_metrics(mut self, registry: MetricsRegistry) -> Self {
         self.metrics = registry;
+        self
+    }
+
+    /// Attaches a [`FlightRecorder`]: every solve the pipeline performs
+    /// deposits search-state samples into the ring, and a budget-stopped
+    /// solve carries a [`Postmortem`](satroute_obs::Postmortem) in its
+    /// report.
+    pub fn with_flight(mut self, recorder: FlightRecorder) -> Self {
+        self.flight = recorder;
         self
     }
 
@@ -290,7 +301,8 @@ impl RoutingPipeline {
             .config(self.config.clone())
             .budget(self.budget)
             .trace(self.tracer.clone())
-            .metrics(self.metrics.clone());
+            .metrics(self.metrics.clone())
+            .flight(self.flight.clone());
         if let Some(token) = &self.cancel {
             request = request.cancel(token.clone());
         }
@@ -486,7 +498,8 @@ impl RoutingPipeline {
             .config(self.config.clone())
             .budget(self.budget)
             .trace(self.tracer.clone())
-            .metrics(self.metrics.clone());
+            .metrics(self.metrics.clone())
+            .flight(self.flight.clone());
         if let Some(token) = &self.cancel {
             builder = builder.cancel(token.clone());
         }

@@ -38,7 +38,7 @@ use std::time::{Duration, Instant};
 
 use satroute_cnf::Lit;
 use satroute_coloring::CspGraph;
-use satroute_obs::{FieldValue, MetricsRegistry, Tracer};
+use satroute_obs::{FieldValue, FlightRecorder, MetricsRegistry, Tracer};
 use satroute_solver::{
     CancellationToken, ClauseExchange, FanoutObserver, RegistryObserver, RunBudget, RunObserver,
     SharingConfig, SolverConfig, StopReason, TraceObserver,
@@ -249,6 +249,12 @@ pub struct PortfolioOptions {
     /// counts, bridged via
     /// [`RegistryObserver`](satroute_solver::RegistryObserver).
     pub metrics: MetricsRegistry,
+    /// Flight-recorder destination. The disabled default records nothing;
+    /// an enabled recorder receives every member's search-state samples,
+    /// each stamped with the member's index, and a member stopped by the
+    /// shared budget (or cancelled as a loser) carries a
+    /// [`Postmortem`](satroute_obs::Postmortem) in its report.
+    pub flight: FlightRecorder,
 }
 
 impl PortfolioOptions {
@@ -286,6 +292,13 @@ impl PortfolioOptions {
     /// `metrics` field).
     pub fn with_metrics(mut self, registry: MetricsRegistry) -> Self {
         self.metrics = registry;
+        self
+    }
+
+    /// Records per-member search-state samples into `recorder` (see the
+    /// `flight` field).
+    pub fn with_flight(mut self, recorder: FlightRecorder) -> Self {
+        self.flight = recorder;
         self
     }
 }
@@ -518,7 +531,8 @@ pub fn run_portfolio_opts(
                     .budget(budget)
                     .cancel(stop.clone())
                     .trace(tracer.clone())
-                    .metrics(metrics.clone());
+                    .metrics(metrics.clone())
+                    .flight(opts.flight.labelled(idx as u64));
                 // `observe` replaces rather than appends, so the trace and
                 // metrics bridges must be composed up front.
                 let mut observers: Vec<Arc<dyn RunObserver>> = Vec::new();

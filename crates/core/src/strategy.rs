@@ -19,7 +19,7 @@ use std::time::Duration;
 
 use satroute_cnf::{CnfFormula, FormulaStats, Lit};
 use satroute_coloring::{Coloring, CspGraph};
-use satroute_obs::{FieldValue, MetricsRegistry, Tracer};
+use satroute_obs::{FieldValue, FlightRecorder, MetricsRegistry, Postmortem, Tracer};
 use satroute_solver::{
     CancellationToken, CdclSolver, ClauseExchange, DratProof, FanoutObserver, MetricsRecorder,
     RunBudget, RunMetrics, RunObserver, SharingConfig, SolveOutcome, SolverConfig, SolverStats,
@@ -90,6 +90,21 @@ impl TimingBreakdown {
     }
 }
 
+/// The stage of `timing` that dominated wall time, as a stable name
+/// (`graph_generation`, `cnf_translation`, `sat_solving`).
+pub(crate) fn hottest_phase(timing: &TimingBreakdown) -> &'static str {
+    let stages = [
+        ("graph_generation", timing.graph_generation),
+        ("cnf_translation", timing.cnf_translation),
+        ("sat_solving", timing.sat_solving),
+    ];
+    stages
+        .iter()
+        .max_by_key(|(_, d)| *d)
+        .map(|(name, _)| *name)
+        .expect("stage list is non-empty")
+}
+
 /// Everything a strategy run reports.
 #[derive(Clone, Debug)]
 pub struct ColoringReport {
@@ -110,6 +125,11 @@ pub struct ColoringReport {
     /// final-conflict analysis found contradictory with the formula.
     /// `None` for unconditional answers.
     pub failed_assumptions: Option<Vec<Lit>>,
+    /// Flight-recorder postmortem for a budget-stopped or cancelled run
+    /// ([`ColoringOutcome::Unknown`]) when the request attached an enabled
+    /// [`FlightRecorder`] via [`SolveRequest::flight`]. `None` for decided
+    /// runs and for runs without a recorder.
+    pub postmortem: Option<Postmortem>,
 }
 
 /// A single parallel-portfolio constituent: an encoding plus a
@@ -179,6 +199,7 @@ impl Strategy {
             exchange: None,
             tracer: Tracer::disabled(),
             metrics: MetricsRegistry::disabled(),
+            flight: FlightRecorder::disabled(),
             assumptions: Vec::new(),
         }
     }
@@ -260,6 +281,7 @@ pub struct SolveRequest<'a> {
     exchange: Option<(Arc<dyn ClauseExchange>, SharingConfig)>,
     tracer: Tracer,
     metrics: MetricsRegistry,
+    flight: FlightRecorder,
     assumptions: Vec<Lit>,
 }
 
@@ -353,6 +375,16 @@ impl<'a> SolveRequest<'a> {
         self
     }
 
+    /// Attaches a [`FlightRecorder`]: the solver deposits fixed-interval
+    /// search-state samples (every 256 conflicts and at restart / reduce /
+    /// GC / finish boundaries) into its ring, and a run that stops early
+    /// carries a [`Postmortem`] in the report. A disabled recorder (the
+    /// default) records nothing and costs one branch per boundary.
+    pub fn flight(mut self, recorder: FlightRecorder) -> Self {
+        self.flight = recorder;
+        self
+    }
+
     /// Encodes, solves and decodes, consuming the request.
     ///
     /// # Panics
@@ -420,6 +452,7 @@ impl<'a> SolveRequest<'a> {
             solver.enable_proof_logging();
         }
         solver.set_metrics(&metrics);
+        solver.set_flight(&self.flight);
         solver.set_budget(self.budget);
         if let Some(token) = self.cancel {
             solver.set_cancellation(token);
@@ -484,19 +517,32 @@ impl<'a> SolveRequest<'a> {
         }
 
         let run_metrics = recorder.snapshot();
+        let timing = TimingBreakdown {
+            graph_generation: Duration::ZERO,
+            // Both stage durations come from span measurements, so the
+            // public timing view and a recorded trace always agree.
+            cnf_translation: encoded.cnf_translation,
+            sat_solving,
+        };
+        let postmortem = match &outcome {
+            ColoringOutcome::Unknown(reason) if self.flight.is_enabled() => {
+                let mut pm = Postmortem::from_recorder(&self.flight, reason.to_string());
+                pm.hottest_phase = Some(hottest_phase(&timing).to_string());
+                if let Some(failed) = &failed_assumptions {
+                    pm.failed_assumptions = failed.iter().map(|l| l.to_dimacs()).collect();
+                }
+                Some(pm)
+            }
+            _ => None,
+        };
         let report = ColoringReport {
             outcome,
-            timing: TimingBreakdown {
-                graph_generation: Duration::ZERO,
-                // Both stage durations come from span measurements, so the
-                // public timing view and a recorded trace always agree.
-                cnf_translation: encoded.cnf_translation,
-                sat_solving,
-            },
+            timing,
             formula_stats,
             solver_stats,
             metrics: run_metrics,
             failed_assumptions,
+            postmortem,
         };
         (report, with_proof.then_some(encoded.formula), proof)
     }

@@ -11,6 +11,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::json::Value;
+use crate::timeline::TimelineSample;
 
 /// A span identifier, unique within one trace. `0` is reserved for "no
 /// span" (the id handed out by a disabled tracer).
@@ -165,6 +166,17 @@ pub enum TraceEvent {
         /// Microseconds since the tracer's epoch.
         at_us: u64,
     },
+    /// A flight-recorder search-state capture. The event timestamp is
+    /// the tracer's clock; the sample's own `at_us` is relative to its
+    /// solve's start.
+    Sample {
+        /// The span the sample belongs to (`None` = trace-global).
+        span: Option<SpanId>,
+        /// Microseconds since the tracer's epoch.
+        at_us: u64,
+        /// The captured search state.
+        sample: TimelineSample,
+    },
 }
 
 impl TraceEvent {
@@ -175,7 +187,8 @@ impl TraceEvent {
             | TraceEvent::SpanEnd { at_us, .. }
             | TraceEvent::Counter { at_us, .. }
             | TraceEvent::Gauge { at_us, .. }
-            | TraceEvent::Mark { at_us, .. } => *at_us,
+            | TraceEvent::Mark { at_us, .. }
+            | TraceEvent::Sample { at_us, .. } => *at_us,
         }
     }
 
@@ -254,6 +267,16 @@ impl TraceEvent {
                 ("span", span_entry(span)),
                 ("name", Value::from(name.as_str())),
                 ("value", Value::from(value.as_str())),
+                ("us", Value::from(*at_us)),
+            ]),
+            TraceEvent::Sample {
+                span,
+                at_us,
+                sample,
+            } => Value::object([
+                ("type", Value::from("sample")),
+                ("span", span_entry(span)),
+                ("sample", sample.to_json()),
                 ("us", Value::from(*at_us)),
             ]),
         }
@@ -335,6 +358,13 @@ impl TraceEvent {
                 value: str_key("value")?,
                 at_us: u64_key("us")?,
             }),
+            "sample" => Ok(TraceEvent::Sample {
+                span: opt_span("span")?,
+                at_us: u64_key("us")?,
+                sample: TimelineSample::from_json(
+                    v.get("sample").ok_or("`sample` event needs `sample`")?,
+                )?,
+            }),
             other => Err(format!("unknown trace event type `{other}`")),
         }
     }
@@ -413,6 +443,29 @@ mod tests {
             name: "verdict".into(),
             value: "sat".into(),
             at_us: 43,
+        });
+        roundtrip(TraceEvent::Sample {
+            span: Some(2),
+            at_us: 44,
+            sample: TimelineSample {
+                at_us: 41,
+                cause: crate::timeline::SampleCause::Restart.into(),
+                member: Some(1),
+                conflicts: 512,
+                decisions: 900,
+                propagations: 40_000,
+                restarts: 3,
+                trail: 17,
+                level: 4,
+                tier_core: 5,
+                tier_mid: 9,
+                tier_local: 30,
+                arena_live_bytes: 8192,
+                arena_dead_bytes: 256,
+                lbd_ema: 3.5,
+                conflicts_per_sec: 1000.5,
+                propagations_per_sec: 80_000.25,
+            },
         });
     }
 

@@ -24,16 +24,20 @@
 //! when observability is off.
 
 pub mod event;
+pub mod export;
 pub mod json;
 pub mod metrics;
 pub mod report;
+pub mod timeline;
 pub mod tracer;
 pub mod tree;
 pub mod writer;
 
 pub use event::{parse_jsonl, FieldValue, SpanId, TraceEvent};
+pub use export::{chrome_trace, collapsed_stacks};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
-pub use report::{EncodingStats, MemberStats, PhaseStats, TraceReport};
+pub use report::{CubeStats, EncodingStats, MemberStats, PhaseStats, TimelineReport, TraceReport};
+pub use timeline::{FlightRecorder, Postmortem, SampleCause, TimelineSample};
 pub use tracer::{BufferSink, SpanGuard, TraceSink, Tracer};
 pub use tree::{SpanForest, SpanNode, TraceTree};
 pub use writer::TraceWriter;

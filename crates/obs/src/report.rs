@@ -1,10 +1,13 @@
 //! Trace report analysis: aggregate a [`SpanForest`] into per-phase,
-//! per-encoding and per-member tables, rendered as text or JSON.
+//! per-encoding, per-member and per-cube tables, rendered as text or
+//! JSON — plus the [`TimelineReport`] time-series view built from
+//! flight-recorder samples.
 
 use std::collections::BTreeMap;
 
-use crate::event::FieldValue;
+use crate::event::{FieldValue, SpanId};
 use crate::json::Value;
+use crate::timeline::TimelineSample;
 use crate::tree::{SpanForest, SpanNode};
 
 /// Aggregated timing for one phase name.
@@ -55,6 +58,25 @@ pub struct MemberStats {
     pub outcome: Option<String>,
 }
 
+/// Statistics recorded by one cube-and-conquer `cube` span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CubeStats {
+    /// Cube index within the split plan.
+    pub index: u64,
+    /// Worker thread that solved the cube.
+    pub worker: u64,
+    /// Whether the cube was work-stolen from another worker's deque.
+    pub stolen: bool,
+    /// The cube's assumption prefix, when recorded.
+    pub assumptions: Option<String>,
+    /// Conflicts reached solving the cube.
+    pub conflicts: u64,
+    /// Wall time of the cube span, in microseconds.
+    pub total_us: u64,
+    /// Final outcome mark (`sat`/`unsat`/stop reason), when recorded.
+    pub outcome: Option<String>,
+}
+
 /// The analyzed view of one trace artifact.
 #[derive(Clone, Debug, Default)]
 pub struct TraceReport {
@@ -66,6 +88,11 @@ pub struct TraceReport {
     pub encodings: Vec<EncodingStats>,
     /// One entry per solver member span.
     pub members: Vec<MemberStats>,
+    /// One entry per conquered `cube` span.
+    pub cubes: Vec<CubeStats>,
+    /// Sign patterns the conquer splitter refuted by unit propagation
+    /// before any cube was solved (from the `split` span), when traced.
+    pub refuted_at_split: Option<u64>,
     /// Warnings carried over from forest reconstruction.
     pub warnings: Vec<String>,
 }
@@ -137,8 +164,27 @@ impl TraceReport {
                         .cloned(),
                 });
             }
+            if node.name == "cube" {
+                report.cubes.push(CubeStats {
+                    index: field_u64(node, "index").unwrap_or(0),
+                    worker: field_u64(node, "worker").unwrap_or(0),
+                    stolen: matches!(node.field("stolen"), Some(FieldValue::Bool(true))),
+                    assumptions: field_str(node, "assumptions"),
+                    conflicts: node.counters.get("conflicts").copied().unwrap_or(0),
+                    total_us: node.total_us(),
+                    outcome: node
+                        .marks
+                        .get("outcome")
+                        .or_else(|| node.marks.get("stop_reason"))
+                        .cloned(),
+                });
+            }
+            if node.name == "split" {
+                report.refuted_at_split = node.counters.get("refuted").copied();
+            }
         }
         report.members.sort_by_key(|m| m.index);
+        report.cubes.sort_by_key(|c| c.index);
         report
     }
 
@@ -222,6 +268,30 @@ impl TraceReport {
             }
         }
 
+        if !self.cubes.is_empty() {
+            out.push_str("\nper-cube conquest");
+            if let Some(refuted) = self.refuted_at_split {
+                out.push_str(&format!(" ({refuted} cubes refuted at split)"));
+            }
+            out.push('\n');
+            out.push_str(&format!(
+                "  {:<4} {:<3} {:<6} {:>10} {:>10} {:<10} {}\n",
+                "cube", "w", "stolen", "conflicts", "time", "outcome", "assumptions"
+            ));
+            for c in &self.cubes {
+                out.push_str(&format!(
+                    "  {:<4} {:<3} {:<6} {:>10} {:>10} {:<10} {}\n",
+                    c.index,
+                    c.worker,
+                    if c.stolen { "yes" } else { "no" },
+                    c.conflicts,
+                    fmt_us(c.total_us),
+                    c.outcome.as_deref().unwrap_or("-"),
+                    c.assumptions.as_deref().unwrap_or("-"),
+                ));
+            }
+        }
+
         for warning in &self.warnings {
             out.push_str(&format!("\nwarning: {warning}"));
         }
@@ -281,11 +351,234 @@ impl TraceReport {
                 ),
             ])
         }));
+        let cubes = Value::array(self.cubes.iter().map(|c| {
+            Value::object([
+                ("index", Value::from(c.index)),
+                ("worker", Value::from(c.worker)),
+                ("stolen", Value::Bool(c.stolen)),
+                (
+                    "assumptions",
+                    c.assumptions
+                        .as_ref()
+                        .map(|s| Value::string(s.clone()))
+                        .unwrap_or(Value::Null),
+                ),
+                ("conflicts", Value::from(c.conflicts)),
+                ("total_us", Value::from(c.total_us)),
+                (
+                    "outcome",
+                    c.outcome
+                        .as_ref()
+                        .map(|s| Value::string(s.clone()))
+                        .unwrap_or(Value::Null),
+                ),
+            ])
+        }));
         Value::object([
             ("wall_us", Value::from(self.wall_us)),
             ("phases", phases),
             ("encodings", encodings),
             ("members", members),
+            ("cubes", cubes),
+            (
+                "refuted_at_split",
+                self.refuted_at_split
+                    .map(Value::from)
+                    .unwrap_or(Value::Null),
+            ),
+            (
+                "warnings",
+                Value::array(self.warnings.iter().map(|w| Value::string(w.clone()))),
+            ),
+        ])
+    }
+}
+
+/// Rate of change between two cumulative samples, per second.
+fn rate(first: Option<&TimelineSample>, last: Option<&TimelineSample>) -> f64 {
+    match (first, last) {
+        (Some(a), Some(b)) if b.at_us > a.at_us => {
+            b.conflicts.saturating_sub(a.conflicts) as f64 / ((b.at_us - a.at_us) as f64 / 1e6)
+        }
+        _ => 0.0,
+    }
+}
+
+/// One flight-recorder time series: the samples attached to one span,
+/// with its trajectory summarized.
+#[derive(Clone, Debug)]
+pub struct TimelineSeries {
+    /// The span the samples were attached to.
+    pub span: SpanId,
+    /// Display label (`member 0 (log/s1)`, `cube 3`, or the span name).
+    pub label: String,
+    /// The samples, in time order.
+    pub samples: Vec<TimelineSample>,
+    /// Conflict rate over the first half of the series (conflicts/s).
+    pub early_rate: f64,
+    /// Conflict rate over the second half of the series (conflicts/s).
+    pub late_rate: f64,
+    /// Live learnt clauses at the first sample.
+    pub learnt_first: u64,
+    /// Live learnt clauses at the last sample.
+    pub learnt_last: u64,
+    /// Restarts at the last sample.
+    pub restarts: u64,
+    /// Mean conflicts between restarts over the series (0 with no
+    /// restarts).
+    pub restart_cadence: f64,
+}
+
+impl TimelineSeries {
+    fn from_span(forest: &SpanForest, node: &SpanNode) -> TimelineSeries {
+        let mut samples = node.samples.clone();
+        samples.sort_by_key(|s| s.at_us);
+        let mid = samples.len() / 2;
+        let last = samples.last();
+        let restarts = last.map_or(0, |s| s.restarts);
+        let conflicts = last.map_or(0, |s| s.conflicts);
+        let label = match node.name.as_str() {
+            "member" => format!(
+                "member {} ({})",
+                field_u64(node, "index").unwrap_or(0),
+                field_str(node, "strategy").unwrap_or_else(|| "?".into()),
+            ),
+            "cube" => format!("cube {}", field_u64(node, "index").unwrap_or(0)),
+            other => other.to_string(),
+        };
+        let _ = forest;
+        TimelineSeries {
+            span: node.id,
+            label,
+            early_rate: rate(samples.first(), samples.get(mid)),
+            late_rate: rate(samples.get(mid), last),
+            learnt_first: samples.first().map_or(0, TimelineSample::learnts),
+            learnt_last: last.map_or(0, TimelineSample::learnts),
+            restarts,
+            restart_cadence: if restarts > 0 {
+                conflicts as f64 / restarts as f64
+            } else {
+                0.0
+            },
+            samples,
+        }
+    }
+}
+
+/// The time-series view of a trace: one [`TimelineSeries`] per span
+/// that carried flight-recorder samples, behind `satroute trace
+/// timeline`.
+#[derive(Clone, Debug, Default)]
+pub struct TimelineReport {
+    /// Series in span start order.
+    pub series: Vec<TimelineSeries>,
+    /// Warnings carried over from forest reconstruction.
+    pub warnings: Vec<String>,
+}
+
+impl TimelineReport {
+    /// Collects every sampled span of the forest into a series.
+    pub fn from_forest(forest: &SpanForest) -> TimelineReport {
+        TimelineReport {
+            series: forest
+                .spans()
+                .into_iter()
+                .filter(|n| !n.samples.is_empty())
+                .map(|n| TimelineSeries::from_span(forest, n))
+                .collect(),
+            warnings: forest.warnings.clone(),
+        }
+    }
+
+    /// Whether any samples were found at all.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Renders per-series sample tables and trajectory summaries.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        if self.series.is_empty() {
+            out.push_str(
+                "no flight-recorder samples in this trace \
+                 (record with --progress or --flight-record)\n",
+            );
+            return out;
+        }
+        for series in &self.series {
+            out.push_str(&format!(
+                "timeline: {} ({} samples)\n",
+                series.label,
+                series.samples.len()
+            ));
+            out.push_str(&format!(
+                "  {:>9} {:<8} {:>10} {:>10} {:>8} {:>7} {:>6} {:>6} {:>6}\n",
+                "t", "cause", "conflicts", "confl/s", "learnts", "trail", "level", "lbd", "rst"
+            ));
+            // Long series elide the middle: the interesting action is
+            // at the start (ramp-up) and the end (where it stopped).
+            let n = series.samples.len();
+            let (head, tail) = if n > 28 { (8, n - 16) } else { (n, n) };
+            for (i, s) in series.samples.iter().enumerate() {
+                if i == head && head < tail {
+                    out.push_str(&format!("  ... {} samples elided ...\n", tail - head));
+                }
+                if i >= head && i < tail {
+                    continue;
+                }
+                out.push_str(&format!(
+                    "  {:>8.3}s {:<8} {:>10} {:>10.0} {:>8} {:>7} {:>6} {:>6.1} {:>6}\n",
+                    s.at_us as f64 / 1e6,
+                    s.cause.as_str(),
+                    s.conflicts,
+                    s.conflicts_per_sec,
+                    s.learnts(),
+                    s.trail,
+                    s.level,
+                    s.lbd_ema,
+                    s.restarts,
+                ));
+            }
+            out.push_str(&format!(
+                "  trajectory: conflict rate {:.0}/s -> {:.0}/s, learnt DB {} -> {}, \
+                 {} restarts (every ~{:.0} conflicts)\n",
+                series.early_rate,
+                series.late_rate,
+                series.learnt_first,
+                series.learnt_last,
+                series.restarts,
+                series.restart_cadence,
+            ));
+        }
+        for warning in &self.warnings {
+            out.push_str(&format!("warning: {warning}\n"));
+        }
+        out
+    }
+
+    /// Renders the report as a JSON document (full sample series).
+    pub fn to_json(&self) -> Value {
+        let finite = |x: f64| if x.is_finite() { x } else { 0.0 };
+        Value::object([
+            (
+                "series",
+                Value::array(self.series.iter().map(|s| {
+                    Value::object([
+                        ("span", Value::from(s.span)),
+                        ("label", Value::string(s.label.clone())),
+                        ("early_rate", Value::Number(finite(s.early_rate))),
+                        ("late_rate", Value::Number(finite(s.late_rate))),
+                        ("learnt_first", Value::from(s.learnt_first)),
+                        ("learnt_last", Value::from(s.learnt_last)),
+                        ("restarts", Value::from(s.restarts)),
+                        ("restart_cadence", Value::Number(finite(s.restart_cadence))),
+                        (
+                            "samples",
+                            Value::array(s.samples.iter().map(TimelineSample::to_json)),
+                        ),
+                    ])
+                })),
+            ),
             (
                 "warnings",
                 Value::array(self.warnings.iter().map(|w| Value::string(w.clone()))),
@@ -407,5 +700,122 @@ mod tests {
         );
         // JSON must round-trip through the parser.
         crate::json::parse(&json.to_json()).unwrap();
+    }
+
+    #[test]
+    fn report_includes_a_per_cube_section() {
+        let events = vec![
+            start(1, None, "conquer", 0),
+            start(2, Some(1), "split", 0),
+            TraceEvent::Counter {
+                span: Some(2),
+                name: "cubes".into(),
+                value: 2,
+                at_us: 5,
+            },
+            TraceEvent::Counter {
+                span: Some(2),
+                name: "refuted".into(),
+                value: 6,
+                at_us: 5,
+            },
+            TraceEvent::SpanEnd { id: 2, at_us: 10 },
+            TraceEvent::SpanStart {
+                id: 3,
+                parent: Some(1),
+                name: "cube".into(),
+                at_us: 10,
+                thread: 1,
+                fields: vec![
+                    ("assumptions".into(), FieldValue::Str("1 -4".into())),
+                    ("index".into(), FieldValue::U64(1)),
+                    ("stolen".into(), FieldValue::Bool(true)),
+                    ("worker".into(), FieldValue::U64(0)),
+                ],
+            },
+            TraceEvent::Counter {
+                span: Some(3),
+                name: "conflicts".into(),
+                value: 42,
+                at_us: 90,
+            },
+            TraceEvent::Mark {
+                span: Some(3),
+                name: "outcome".into(),
+                value: "unsat".into(),
+                at_us: 95,
+            },
+            TraceEvent::SpanEnd { id: 3, at_us: 100 },
+            TraceEvent::SpanEnd { id: 1, at_us: 110 },
+        ];
+        let forest = SpanForest::from_events(&events).unwrap();
+        let report = TraceReport::from_forest(&forest);
+        assert_eq!(report.refuted_at_split, Some(6));
+        assert_eq!(report.cubes.len(), 1);
+        let c = &report.cubes[0];
+        assert_eq!(c.index, 1);
+        assert!(c.stolen);
+        assert_eq!(c.assumptions.as_deref(), Some("1 -4"));
+        assert_eq!(c.conflicts, 42);
+        assert_eq!(c.outcome.as_deref(), Some("unsat"));
+        let text = report.render_text(&forest);
+        assert!(text.contains("per-cube conquest"), "{text}");
+        assert!(text.contains("6 cubes refuted at split"), "{text}");
+        let json = report.to_json();
+        assert_eq!(
+            json.get("refuted_at_split").and_then(Value::as_f64),
+            Some(6.0)
+        );
+        crate::json::parse(&json.to_json()).unwrap();
+    }
+
+    #[test]
+    fn timeline_report_summarizes_trajectories() {
+        let mut events = vec![TraceEvent::SpanStart {
+            id: 1,
+            parent: None,
+            name: "member".into(),
+            at_us: 0,
+            thread: 0,
+            fields: vec![
+                ("index".into(), FieldValue::U64(2)),
+                ("strategy".into(), FieldValue::Str("log".into())),
+            ],
+        }];
+        // Decaying conflict rate: equal time steps, shrinking deltas.
+        let cum = [0u64, 1000, 1800, 2400, 2800];
+        for (i, conflicts) in cum.iter().enumerate() {
+            events.push(TraceEvent::Sample {
+                span: Some(1),
+                at_us: (i as u64 + 1) * 100,
+                sample: TimelineSample {
+                    at_us: i as u64 * 1_000_000,
+                    conflicts: *conflicts,
+                    restarts: i as u64,
+                    tier_core: i as u64,
+                    tier_local: 10 * i as u64,
+                    ..TimelineSample::default()
+                },
+            });
+        }
+        events.push(TraceEvent::SpanEnd { id: 1, at_us: 600 });
+        let forest = SpanForest::from_events(&events).unwrap();
+        let report = TimelineReport::from_forest(&forest);
+        assert_eq!(report.series.len(), 1);
+        let s = &report.series[0];
+        assert_eq!(s.label, "member 2 (log)");
+        assert_eq!(s.samples.len(), 5);
+        // First half: 1800 conflicts over 2s; second half: 1000 over 2s.
+        assert!((s.early_rate - 900.0).abs() < 1.0, "{}", s.early_rate);
+        assert!((s.late_rate - 500.0).abs() < 1.0, "{}", s.late_rate);
+        assert_eq!(s.learnt_first, 0);
+        assert_eq!(s.learnt_last, 44);
+        assert_eq!(s.restarts, 4);
+        assert!((s.restart_cadence - 700.0).abs() < 1.0);
+        let text = report.render_text();
+        assert!(text.contains("timeline: member 2 (log)"), "{text}");
+        assert!(text.contains("trajectory:"), "{text}");
+        crate::json::parse(&report.to_json().to_json()).unwrap();
+        assert!(TimelineReport::from_forest(&SpanForest::default()).is_empty());
     }
 }

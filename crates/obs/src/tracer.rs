@@ -212,6 +212,21 @@ impl Tracer {
         );
     }
 
+    /// Records a flight-recorder sample attached to `span` (0 = global).
+    pub fn sample(&self, span: SpanId, sample: &crate::timeline::TimelineSample) {
+        let Some(inner) = &self.inner else { return };
+        let mut state = inner.emit.lock().unwrap();
+        let at_us = stamp(inner, &mut state);
+        dispatch(
+            &mut state,
+            &TraceEvent::Sample {
+                span: (span != 0).then_some(span),
+                at_us,
+                sample: *sample,
+            },
+        );
+    }
+
     /// Records a string annotation attached to `span` (0 = global).
     pub fn mark(&self, span: SpanId, name: &str, value: &str) {
         let Some(inner) = &self.inner else { return };

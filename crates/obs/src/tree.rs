@@ -11,6 +11,7 @@ use std::collections::BTreeMap;
 use std::collections::HashMap;
 
 use crate::event::{FieldValue, SpanId, TraceEvent};
+use crate::timeline::TimelineSample;
 use crate::tracer::{BufferSink, TraceSink};
 
 /// A reconstructed span with its measurements and children.
@@ -37,6 +38,8 @@ pub struct SpanNode {
     pub gauges: BTreeMap<String, f64>,
     /// String annotations attached to the span (last value wins).
     pub marks: BTreeMap<String, String>,
+    /// Flight-recorder samples attached to the span, in emit order.
+    pub samples: Vec<TimelineSample>,
     /// Child span ids, in start order.
     pub children: Vec<SpanId>,
 }
@@ -124,6 +127,7 @@ impl SpanForest {
                             counters: BTreeMap::new(),
                             gauges: BTreeMap::new(),
                             marks: BTreeMap::new(),
+                            samples: Vec::new(),
                             children: Vec::new(),
                         },
                     );
@@ -154,6 +158,9 @@ impl SpanForest {
                     span, name, value, ..
                 } => forest.attach(*span, |n| {
                     n.marks.insert(name.clone(), value.clone());
+                }),
+                TraceEvent::Sample { span, sample, .. } => forest.attach(*span, |n| {
+                    n.samples.push(*sample);
                 }),
             }
         }

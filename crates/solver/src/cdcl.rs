@@ -34,7 +34,7 @@ use crate::run::{
     CancellationToken, ClauseExchange, RunBudget, RunObserver, SharingConfig, SolverEvent,
     SolverMetricsHub, StopReason, StoreSnapshot,
 };
-use satroute_obs::MetricsRegistry;
+use satroute_obs::{FlightRecorder, MetricsRegistry, SampleCause, TimelineSample};
 
 /// Conflicts between cancellation-token polls.
 const CANCEL_POLL_INTERVAL: u64 = 256;
@@ -44,6 +44,9 @@ const DEADLINE_POLL_INTERVAL: u64 = 64;
 const DECISION_POLL_INTERVAL: u64 = 4096;
 /// Conflicts between [`SolverEvent::Progress`] emissions.
 const PROGRESS_INTERVAL: u64 = 1024;
+/// Conflicts between flight-recorder heartbeat samples (boundaries —
+/// restart, reduce, GC, finish — sample regardless of the interval).
+const FLIGHT_SAMPLE_INTERVAL: u64 = 256;
 
 /// Initial phase (branching polarity) assigned to fresh variables.
 ///
@@ -363,6 +366,12 @@ pub struct CdclSolver {
     /// Pre-resolved metric handles, fed at conflict/restart/finish
     /// boundaries; disabled by default (one branch per boundary).
     metrics: SolverMetricsHub,
+    /// Flight recorder fed fixed-interval search-state samples; disabled
+    /// by default (one branch per boundary, like `metrics`).
+    flight: FlightRecorder,
+    /// `(conflicts, propagations, at_us)` of the previous flight sample,
+    /// from which the next sample's windowed rates are computed.
+    flight_last: Option<(u64, u64, u64)>,
     /// DRAT proof log (learnt additions + deletions) when enabled.
     proof: Option<DratProof>,
     /// Set when the last `solve_with_assumptions` failed only because of
@@ -425,6 +434,8 @@ impl CdclSolver {
             lbd_ema: 0.0,
             learnt_bytes: 0,
             metrics: SolverMetricsHub::disabled(),
+            flight: FlightRecorder::disabled(),
+            flight_last: None,
             proof: None,
             unsat_under_assumptions: false,
             failed_assumptions: Vec::new(),
@@ -535,6 +546,21 @@ impl CdclSolver {
         self.metrics = SolverMetricsHub::from_registry(registry);
     }
 
+    /// Attaches a [`FlightRecorder`]: subsequent solves capture a
+    /// [`TimelineSample`] every `FLIGHT_SAMPLE_INTERVAL` (256) conflicts
+    /// and at restart/reduce/GC/finish boundaries — never per
+    /// propagation — into the recorder's ring, and emit each capture as
+    /// a [`SolverEvent::Sample`] to the installed observer.
+    ///
+    /// Sampling only *reads* search state, so the deterministic columns
+    /// (conflicts, decisions, propagations) are bit-identical with
+    /// recording on or off; with a
+    /// [disabled](FlightRecorder::disabled) recorder every boundary is
+    /// a single branch, mirroring [`CdclSolver::set_metrics`].
+    pub fn set_flight(&mut self, recorder: &FlightRecorder) {
+        self.flight = recorder.clone();
+    }
+
     /// Connects this solver to a [`ClauseExchange`] for learnt-clause
     /// sharing.
     ///
@@ -570,6 +596,48 @@ impl CdclSolver {
         if let Some(obs) = &self.observer.0 {
             obs.on_event(&event);
         }
+    }
+
+    /// Captures one flight-recorder sample of the current search state.
+    /// Pure read of solver state: recording cannot perturb the search.
+    fn flight_sample(&mut self, cause: SampleCause) {
+        debug_assert!(self.flight.is_enabled(), "callers guard on is_enabled");
+        let at_us = self
+            .solve_start
+            .map(|s| u64::try_from(s.elapsed().as_micros()).unwrap_or(u64::MAX))
+            .unwrap_or(0);
+        let (mut conflicts_per_sec, mut propagations_per_sec) = (0.0, 0.0);
+        if let Some((conflicts0, propagations0, at0)) = self.flight_last {
+            if at_us > at0 {
+                let window_secs = (at_us - at0) as f64 / 1e6;
+                conflicts_per_sec =
+                    self.stats.conflicts.saturating_sub(conflicts0) as f64 / window_secs;
+                propagations_per_sec =
+                    self.stats.propagations.saturating_sub(propagations0) as f64 / window_secs;
+            }
+        }
+        self.flight_last = Some((self.stats.conflicts, self.stats.propagations, at_us));
+        let sample = TimelineSample {
+            at_us,
+            cause: cause.into(),
+            member: self.flight.label(),
+            conflicts: self.stats.conflicts,
+            decisions: self.stats.decisions,
+            propagations: self.stats.propagations,
+            restarts: self.stats.restarts,
+            trail: self.trail.len() as u64,
+            level: self.decision_level() as u64,
+            tier_core: self.tier_counts[Tier::Core as usize],
+            tier_mid: self.tier_counts[Tier::Mid as usize],
+            tier_local: self.tier_counts[Tier::Local as usize],
+            arena_live_bytes: self.arena.live_bytes(),
+            arena_dead_bytes: self.arena.dead_bytes(),
+            lbd_ema: self.lbd_ema,
+            conflicts_per_sec,
+            propagations_per_sec,
+        };
+        self.flight.record(&sample);
+        self.emit(SolverEvent::Sample { sample });
     }
 
     /// Work counters accumulated so far.
@@ -725,6 +793,9 @@ impl CdclSolver {
             let snap = self.store_snapshot();
             self.metrics.on_store(&snap);
         }
+        if self.flight.is_enabled() {
+            self.flight_sample(SampleCause::Finish);
+        }
         self.emit(SolverEvent::Finished {
             verdict: outcome.verdict(),
             stats: self.stats,
@@ -793,6 +864,9 @@ impl CdclSolver {
                         restarts: self.stats.restarts,
                         conflicts: self.stats.conflicts,
                     });
+                    if self.flight.is_enabled() {
+                        self.flight_sample(SampleCause::Restart);
+                    }
                     // Restart boundaries are the import points: the trail
                     // is at level 0, so peer clauses can be watched on
                     // unassigned literals.
@@ -870,6 +944,11 @@ impl CdclSolver {
                         lbd_ema: self.lbd_ema,
                         elapsed: self.solve_start.map(|s| s.elapsed()).unwrap_or_default(),
                     });
+                }
+                if self.flight.is_enabled()
+                    && self.stats.conflicts.is_multiple_of(FLIGHT_SAMPLE_INTERVAL)
+                {
+                    self.flight_sample(SampleCause::Conflict);
                 }
 
                 if *conflicts_left == 0 {
@@ -1570,6 +1649,9 @@ impl CdclSolver {
             learnts_after: self.learnts.len(),
             conflicts: self.stats.conflicts,
         });
+        if self.flight.is_enabled() {
+            self.flight_sample(SampleCause::Reduce);
+        }
         if self.arena.wants_gc(self.config.gc_dead_frac) {
             self.collect_garbage();
         } else if self.metrics.is_enabled() {
@@ -1676,6 +1758,9 @@ impl CdclSolver {
         if self.metrics.is_enabled() {
             let snap = self.store_snapshot();
             self.metrics.on_gc(reclaimed, &snap);
+        }
+        if self.flight.is_enabled() {
+            self.flight_sample(SampleCause::Gc);
         }
         self.debug_check_refs();
     }

@@ -73,3 +73,4 @@ pub use run::{
     SolveVerdict, SolverEvent, SolverMetricsHub, StopReason, StoreSnapshot, TraceObserver,
     PROGRESS_LOG_MIN_INTERVAL,
 };
+pub use satroute_obs::{FlightRecorder, SampleCause, TimelineSample};

@@ -52,7 +52,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use satroute_cnf::Lit;
-use satroute_obs::{Counter, Gauge, Histogram, MetricsRegistry, SpanId, Tracer};
+use satroute_obs::{Counter, Gauge, Histogram, MetricsRegistry, SpanId, TimelineSample, Tracer};
 
 use crate::cdcl::SolverStats;
 
@@ -378,6 +378,13 @@ pub enum SolverEvent {
         /// Wall time of this solve.
         elapsed: Duration,
     },
+    /// A flight-recorder search-state capture (emitted only when a
+    /// [`FlightRecorder`] is attached; conflict-interval heartbeats plus
+    /// restart/reduce/GC/finish boundaries).
+    Sample {
+        /// The captured search state.
+        sample: TimelineSample,
+    },
 }
 
 /// A sink for [`SolverEvent`]s.
@@ -420,6 +427,8 @@ pub struct RunMetrics {
     /// Import events observed (batches, not clauses; clause totals live in
     /// [`SolverStats::imported_clauses`]).
     pub import_batches: u64,
+    /// Flight-recorder samples observed.
+    pub timeline_samples: u64,
     /// Last observed LBD moving average (0 if no clause was learnt).
     pub lbd_ema: f64,
 }
@@ -499,6 +508,7 @@ impl RunObserver for MetricsRecorder {
                 m.lbd_ema = lbd_ema;
             }
             SolverEvent::Import { .. } => m.import_batches += 1,
+            SolverEvent::Sample { .. } => m.timeline_samples += 1,
             SolverEvent::Finished {
                 verdict,
                 stats,
@@ -651,6 +661,19 @@ impl RunObserver for ProgressLogger {
                 "{tag} done in {:.3}s: {verdict:?}",
                 elapsed.as_secs_f64()
             ),
+            // Recorder-backed line: the sampled phase, the conflict rate
+            // over the last sample window, and the learnt-DB breakdown.
+            SolverEvent::Sample { sample } => writeln!(
+                out,
+                "{tag} {}: {:.0} conflicts/s, learnts={} (core {} / mid {} / local {}), lbd~{:.1}",
+                sample.cause.as_str(),
+                sample.conflicts_per_sec,
+                sample.learnts(),
+                sample.tier_core,
+                sample.tier_mid,
+                sample.tier_local,
+                sample.lbd_ema,
+            ),
         };
         // Flush each line so progress survives redirection to a file.
         let _ = out.flush();
@@ -728,6 +751,9 @@ impl RunObserver for TraceObserver {
                     SolveVerdict::Unknown(reason) => format!("unknown:{reason}"),
                 };
                 self.tracer.mark(span, "outcome", &outcome);
+            }
+            SolverEvent::Sample { sample } => {
+                self.tracer.sample(span, &sample);
             }
         }
     }

@@ -16,8 +16,10 @@
 //!   symmetry breaking, the encoder/decoder, strategies and the parallel
 //!   portfolio, plus the end-to-end routing pipeline,
 //! * [`obs`] — the observability subsystem: hierarchical spans, JSONL
-//!   trace artifacts, the trace report analyzer, and the metrics
-//!   registry (counters, gauges, log-bucketed histograms),
+//!   trace artifacts, the trace report analyzer, the metrics registry
+//!   (counters, gauges, log-bucketed histograms), the solver flight
+//!   recorder ([`FlightRecorder`], [`Postmortem`]) and the Chrome
+//!   trace-event / folded-stack exporters,
 //! * [`bench`] — the table/figure-regeneration harness and the
 //!   `satroute bench` regression suites, `BENCH_*.json` artifacts and
 //!   the comparison gate.
@@ -72,6 +74,7 @@ pub use satroute_solver::{
 };
 
 pub use satroute_obs::{
-    parse_jsonl, MetricsRegistry, MetricsSnapshot, SpanForest, TraceReport, TraceTree, TraceWriter,
-    Tracer,
+    chrome_trace, collapsed_stacks, parse_jsonl, FlightRecorder, MetricsRegistry, MetricsSnapshot,
+    Postmortem, SampleCause, SpanForest, TimelineReport, TimelineSample, TraceReport, TraceTree,
+    TraceWriter, Tracer,
 };

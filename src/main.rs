@@ -11,6 +11,8 @@
 //! satroute portfolio <problem.txt> --width <W> [...]   race a solver portfolio
 //! satroute conquer <problem.txt> --width <W> [...]     cube-and-conquer one instance
 //! satroute trace report <trace.jsonl> [--json]         analyze a trace artifact
+//! satroute trace timeline <trace.jsonl> [--json]       flight-recorder time series
+//! satroute trace export <trace.jsonl> --chrome <f>     Perfetto / flamegraph export
 //! satroute bench run [--suite quick|paper|incremental|conquer] [--filter S] record a BENCH_*.json baseline
 //! satroute bench compare <base> <cand> [--gate]        diff/gate two baselines
 //! satroute encodings                                   list the 15 encodings
@@ -37,6 +39,14 @@
 //! stderr), `--json` (machine-readable result on stdout). Budgets are
 //! cooperative — checked at conflict boundaries — so overshoot is bounded
 //! but nonzero; an exhausted budget reports UNKNOWN with its stop reason.
+//!
+//! Flight recording: `--progress` or `--flight-record` turns on the
+//! solver's sampling ring (one search-state sample every 256 conflicts
+//! and at restart/reduce/GC boundaries). A run that stops on a budget or
+//! cancellation then prints a postmortem on stderr — stop reason, hottest
+//! phase, last-window conflict rate, learnt-DB and arena state — and a
+//! `--trace` artifact recorded alongside carries the samples for
+//! `trace timeline` and `trace export`.
 //!
 //! Tracing: `--trace <out.jsonl>` on `route`, `prove`, `min-width`,
 //! `solve` and `portfolio` records hierarchical spans (graph generation,
@@ -73,8 +83,9 @@ use satroute::fpga::{benchmarks, io as fpga_io, RoutingProblem};
 use satroute::obs::FieldValue;
 use satroute::solver::{CdclSolver, SolveOutcome};
 use satroute::{
-    parse_jsonl, FanoutObserver, MetricsRegistry, ProgressLogger, RunBudget, RunObserver,
-    SpanForest, TraceObserver, TraceReport, TraceWriter, Tracer,
+    chrome_trace, collapsed_stacks, parse_jsonl, FanoutObserver, FlightRecorder, MetricsRegistry,
+    Postmortem, ProgressLogger, RunBudget, RunObserver, SpanForest, TimelineReport, TraceObserver,
+    TraceReport, TraceWriter, Tracer,
 };
 
 fn main() -> ExitCode {
@@ -109,6 +120,9 @@ struct Options {
     cube_vars: Option<u32>,
     trace: Option<String>,
     metrics: Option<String>,
+    flight_record: bool,
+    chrome: Option<String>,
+    collapsed: Option<String>,
 }
 
 impl Options {
@@ -122,6 +136,17 @@ impl Options {
             budget = budget.with_max_conflicts(n);
         }
         budget
+    }
+
+    /// The flight recorder implied by `--progress` / `--flight-record`:
+    /// either flag enables the sampling ring, so a budget-exhausted or
+    /// cancelled run carries a postmortem in its report.
+    fn flight(&self) -> FlightRecorder {
+        if self.progress || self.flight_record {
+            FlightRecorder::new()
+        } else {
+            FlightRecorder::disabled()
+        }
     }
 
     /// The trace writer implied by `--trace`. The caller keeps the
@@ -159,6 +184,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         cube_vars: None,
         trace: None,
         metrics: None,
+        flight_record: false,
+        chrome: None,
+        collapsed: None,
     };
     let mut i = 0;
     let take_value = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
@@ -201,6 +229,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--trace" => opts.trace = Some(take_value(args, &mut i, "--trace")?),
             "--metrics" => opts.metrics = Some(take_value(args, &mut i, "--metrics")?),
+            "--flight-record" => opts.flight_record = true,
+            "--chrome" => opts.chrome = Some(take_value(args, &mut i, "--chrome")?),
+            "--collapsed" => opts.collapsed = Some(take_value(args, &mut i, "--collapsed")?),
             "--progress" => opts.progress = true,
             "--json" => opts.json = true,
             "--portfolio-share" => opts.portfolio_share = true,
@@ -309,6 +340,7 @@ fn dispatch(
     tracer: &Tracer,
     registry: &MetricsRegistry,
 ) -> Result<ExitCode, String> {
+    let flight = opts.flight();
     match command {
         "gen" => {
             let name = opts.bench.ok_or("gen needs --bench <name>")?;
@@ -338,7 +370,8 @@ fn dispatch(
             let mut pipeline = RoutingPipeline::new(Strategy::new(opts.encoding, opts.symmetry))
                 .with_budget(opts.budget())
                 .with_tracer(tracer.clone())
-                .with_metrics(registry.clone());
+                .with_metrics(registry.clone())
+                .with_flight(flight.clone());
             if opts.progress {
                 pipeline = pipeline.with_observer(Arc::new(ProgressLogger::stderr(command)));
             }
@@ -346,12 +379,12 @@ fn dispatch(
             if let Some(cert_path) = &opts.certificate {
                 let (result, certificate) = pipeline
                     .prove_unroutable_certified(&problem, width)
-                    .map_err(|e| format!("{e}"))?;
+                    .map_err(|e| pipeline_stop(e, &flight))?;
                 return finish_route(result, Some((cert_path, certificate)), opts.json);
             }
             let result = pipeline
                 .route(&problem, width)
-                .map_err(|e| format!("{e}"))?;
+                .map_err(|e| pipeline_stop(e, &flight))?;
             finish_route(result, None, opts.json)
         }
         "min-width" => {
@@ -367,14 +400,15 @@ fn dispatch(
                     RoutingPipeline::new(Strategy::new(opts.encoding, opts.symmetry))
                         .with_budget(opts.budget())
                         .with_tracer(tracer.clone())
-                        .with_metrics(registry.clone());
+                        .with_metrics(registry.clone())
+                        .with_flight(flight.clone());
                 if opts.progress {
                     pipeline =
                         pipeline.with_observer(Arc::new(ProgressLogger::stderr("min-width")));
                 }
                 let search = pipeline
                     .find_min_width_incremental(&problem)
-                    .map_err(|e| format!("{e}"))?;
+                    .map_err(|e| pipeline_stop(e, &flight))?;
                 // Cumulative across the ladder: the last probe reports the
                 // warm solver's total counters.
                 let conflicts = search
@@ -420,14 +454,15 @@ fn dispatch(
                     RoutingPipeline::new(Strategy::new(opts.encoding, opts.symmetry))
                         .with_budget(opts.budget())
                         .with_tracer(tracer.clone())
-                        .with_metrics(registry.clone());
+                        .with_metrics(registry.clone())
+                        .with_flight(flight.clone());
                 if opts.progress {
                     pipeline =
                         pipeline.with_observer(Arc::new(ProgressLogger::stderr("min-width")));
                 }
                 let search = pipeline
                     .find_min_width(&problem)
-                    .map_err(|e| format!("{e}"))?;
+                    .map_err(|e| pipeline_stop(e, &flight))?;
                 if opts.json {
                     let probes: Vec<String> = search
                         .probes
@@ -505,6 +540,7 @@ fn dispatch(
                 solver.enable_proof_logging();
             }
             solver.set_metrics(registry);
+            solver.set_flight(&flight);
             solver.set_budget(opts.budget());
             let mut fan = FanoutObserver::new();
             if opts.progress {
@@ -567,6 +603,10 @@ fn dispatch(
                     Ok(ExitCode::from(20))
                 }
                 SolveOutcome::Unknown(reason) => {
+                    if flight.is_enabled() {
+                        let pm = Postmortem::from_recorder(&flight, reason.to_string());
+                        eprint!("{}", pm.render_text());
+                    }
                     if !opts.json {
                         println!("c stopped: {reason}");
                         println!("s UNKNOWN");
@@ -597,7 +637,8 @@ fn dispatch(
             let mut portfolio_opts = PortfolioOptions::new()
                 .with_diversified_configs(opts.diversify.is_some())
                 .with_tracer(tracer.clone())
-                .with_metrics(registry.clone());
+                .with_metrics(registry.clone())
+                .with_flight(flight.clone());
             if let Some(n) = opts.threads {
                 portfolio_opts = portfolio_opts.with_max_threads(n);
             }
@@ -675,6 +716,11 @@ fn dispatch(
                     );
                 }
             }
+            for member in &result.members {
+                if let Some(pm) = &member.report.postmortem {
+                    eprint!("{}", pm.render_text());
+                }
+            }
             match result.report().map(|r| r.outcome.is_colorable()) {
                 Some(true) => Ok(ExitCode::SUCCESS),
                 Some(false) => Ok(ExitCode::from(20)),
@@ -697,7 +743,8 @@ fn dispatch(
                 .cube_vars(cube_vars)
                 .budget(opts.budget())
                 .trace(tracer.clone())
-                .metrics(registry.clone());
+                .metrics(registry.clone())
+                .flight(flight.clone());
             if let Some(n) = opts.threads {
                 request = request.threads(n);
             }
@@ -781,6 +828,11 @@ fn dispatch(
                     );
                 }
             }
+            for cube in &result.cubes {
+                if let Some(pm) = &cube.report.postmortem {
+                    eprint!("{}", pm.render_text());
+                }
+            }
             match &result.outcome {
                 satroute::core::ColoringOutcome::Colorable(_) => Ok(ExitCode::SUCCESS),
                 satroute::core::ColoringOutcome::Unsat => Ok(ExitCode::from(20)),
@@ -788,30 +840,62 @@ fn dispatch(
             }
         }
         "trace" => {
-            let sub = opts
-                .positional
-                .first()
-                .ok_or("trace needs a subcommand (try: trace report <file.jsonl>)")?;
-            if sub != "report" {
+            let sub = opts.positional.first().ok_or(
+                "trace needs a subcommand (try: trace report|timeline|export <file.jsonl>)",
+            )?;
+            if !matches!(sub.as_str(), "report" | "timeline" | "export") {
                 return Err(format!(
-                    "unknown trace subcommand `{sub}` (try: trace report <file.jsonl>)"
+                    "unknown trace subcommand `{sub}` (try: trace report|timeline|export <file.jsonl>)"
                 ));
             }
             let path = opts
                 .positional
                 .get(1)
-                .ok_or("trace report needs a .jsonl trace file")?;
+                .ok_or_else(|| format!("trace {sub} needs a .jsonl trace file"))?;
             let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             let events = parse_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
             if events.is_empty() {
                 return Err(format!("{path}: trace contains no events"));
             }
             let forest = SpanForest::from_events(&events).map_err(|e| format!("{path}: {e}"))?;
-            let report = TraceReport::from_forest(&forest);
-            if opts.json {
-                println!("{}", report.to_json().to_json());
-            } else {
-                print!("{}", report.render_text(&forest));
+            match sub.as_str() {
+                "report" => {
+                    let report = TraceReport::from_forest(&forest);
+                    if opts.json {
+                        println!("{}", report.to_json().to_json());
+                    } else {
+                        print!("{}", report.render_text(&forest));
+                    }
+                }
+                "timeline" => {
+                    let report = TimelineReport::from_forest(&forest);
+                    if opts.json {
+                        println!("{}", report.to_json().to_json());
+                    } else {
+                        print!("{}", report.render_text());
+                    }
+                }
+                "export" => {
+                    if opts.chrome.is_none() && opts.collapsed.is_none() {
+                        return Err(
+                            "trace export needs --chrome <out.json> and/or --collapsed <out.txt>"
+                                .to_string(),
+                        );
+                    }
+                    if let Some(out) = &opts.chrome {
+                        let doc = chrome_trace(&events).map_err(|e| format!("{path}: {e}"))?;
+                        let mut text = doc.to_json();
+                        text.push('\n');
+                        fs::write(out, text).map_err(|e| format!("cannot write {out}: {e}"))?;
+                        println!("wrote {out} (Chrome trace-event JSON; open in ui.perfetto.dev)");
+                    }
+                    if let Some(out) = &opts.collapsed {
+                        let stacks = collapsed_stacks(&forest);
+                        fs::write(out, stacks).map_err(|e| format!("cannot write {out}: {e}"))?;
+                        println!("wrote {out} (folded stacks for inferno/flamegraph)");
+                    }
+                }
+                _ => unreachable!("subcommand validated above"),
             }
             Ok(ExitCode::SUCCESS)
         }
@@ -877,6 +961,7 @@ fn run_bench(args: &[String]) -> Result<ExitCode, String> {
                             RunBudget::new().with_wall(Duration::from_secs_f64(secs));
                     }
                     "--trace" => trace = Some(take_value(args, &mut i, "--trace")?),
+                    "--flight-record" => suite_opts.flight = FlightRecorder::new(),
                     "--filter" => {
                         suite_opts.filter = Some(take_value(args, &mut i, "--filter")?);
                     }
@@ -975,6 +1060,21 @@ fn run_bench(args: &[String]) -> Result<ExitCode, String> {
     }
 }
 
+/// Renders a pipeline stop as the command's error message, first printing
+/// a flight-recorder postmortem on stderr when recording was on (the
+/// pipeline consumed the report, so the CLI reads the shared ring
+/// directly).
+fn pipeline_stop(err: satroute::core::PipelineError, flight: &FlightRecorder) -> String {
+    if flight.is_enabled() {
+        let satroute::core::PipelineError::Undecided { reason, .. } = err;
+        eprint!(
+            "{}",
+            Postmortem::from_recorder(flight, reason.to_string()).render_text()
+        );
+    }
+    format!("{err}")
+}
+
 /// Minimal JSON string quoting for the CLI's `--json` output (the full
 /// document model lives in `satroute_obs::json`; the CLI only needs
 /// strings).
@@ -1057,10 +1157,11 @@ fn print_usage() {
          run control: --timeout <secs>, --max-conflicts <n>, --progress, --json\n\
          portfolio: --diversify <N>, --portfolio-share, --threads <T>\n\
          conquer: --cube-vars <k> (2^k subcubes), --threads <T>, --portfolio-share\n\
-         tracing: --trace <out.jsonl>; trace report <out.jsonl> [--json]\n\
-         metrics: --metrics <out.json|out.prom>\n\
+         tracing: --trace <out.jsonl>; trace report|timeline <out.jsonl> [--json]\n\
+         \u{20}        trace export <out.jsonl> --chrome <out.json> [--collapsed <out.txt>]\n\
+         metrics: --metrics <out.json|out.prom>; flight recording: --progress or --flight-record\n\
          min-width: --incremental (one warm solver, selector assumptions)\n\
-         bench: bench run [--suite quick|paper|incremental|conquer] [--out F] [--runs N] [--trace F] [--filter S];\n\
+         bench: bench run [--suite quick|paper|incremental|conquer] [--out F] [--runs N] [--trace F] [--flight-record] [--filter S];\n\
          \u{20}       bench compare <base> <cand> [--gate] [--threshold PCT] [--json]\n\
          see the crate README for details"
     );

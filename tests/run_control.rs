@@ -211,6 +211,11 @@ fn observer_events_arrive_in_valid_order() {
                     // event would mean phantom clauses appeared.
                     panic!("seed {seed}: import of {imported} clauses without an exchange");
                 }
+                SolverEvent::Sample { .. } => {
+                    // Flight sampling only fires with an enabled recorder,
+                    // and this request never attaches one.
+                    panic!("seed {seed}: flight sample without a recorder");
+                }
             }
         }
     }

@@ -27,7 +27,8 @@ fn event_time(event: &TraceEvent) -> u64 {
         | TraceEvent::SpanEnd { at_us, .. }
         | TraceEvent::Counter { at_us, .. }
         | TraceEvent::Gauge { at_us, .. }
-        | TraceEvent::Mark { at_us, .. } => *at_us,
+        | TraceEvent::Mark { at_us, .. }
+        | TraceEvent::Sample { at_us, .. } => *at_us,
     }
 }
 
