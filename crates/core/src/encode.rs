@@ -297,6 +297,248 @@ pub fn encode_coloring_incremental_traced(
     }
 }
 
+/// The output of [`encode_coloring_grouped`]: one CNF with a *group
+/// activation selector* per vertex group (for routing: per net), so a
+/// single warm solver can probe colorability of any vertex-induced union
+/// of groups with assumptions — the substrate for UNSAT-core extraction
+/// and deletion-based core minimization over nets.
+///
+/// For each group `g` a fresh selector variable `s_g` is allocated (after
+/// all vertex blocks, so the [`DecodeMap`] is unchanged) and every clause
+/// mentioning a vertex of `g` is guarded with `¬s_g`: structural clauses
+/// get their vertex's guard, conflict clauses the guards of both
+/// endpoints. Assuming `s_g` *true* activates group `g`; leaving it free
+/// lets the solver satisfy the group's clauses by setting `s_g` false,
+/// which is equivalent to deleting the group's vertices from the graph.
+/// A probe assuming selectors of a set `A` of groups is therefore SAT iff
+/// the subgraph induced by `A`'s vertices is `k`-colorable, and an UNSAT
+/// answer's failed assumptions name a subset of `A` that is already
+/// uncolorable on its own — a group-level core.
+///
+/// No symmetry restrictions are emitted: they are derived from a clique
+/// and vertex order of the *full* graph and do not stay sound once groups
+/// are deleted, and an unsound restriction would let a group subset look
+/// UNSAT that is in fact colorable — exactly the error a core must not
+/// make.
+///
+/// `k == 0` with a non-empty graph emits the unit clause `¬s_g` for every
+/// populated group instead of an empty clause, so even width-0 probes
+/// produce group cores.
+#[derive(Clone, Debug)]
+pub struct GroupedEncoding {
+    /// The CNF instance; satisfiable with a set `A` of group selectors
+    /// assumed iff the subgraph induced by `A`'s vertices is
+    /// `num_colors`-colorable.
+    pub formula: CnfFormula,
+    /// Decoder state (identical to the non-incremental encode; selector
+    /// variables live after all vertex blocks).
+    pub decode: DecodeMap,
+    /// `selectors[g]` = the positive literal of group `g`'s selector
+    /// variable; assuming it activates the group.
+    pub selectors: Vec<Lit>,
+    /// `groups[v]` = the group id of vertex `v` (the caller's mapping,
+    /// kept for diagnostics).
+    pub groups: Vec<u32>,
+    /// Wall time spent encoding (the `encode_grouped` span's duration).
+    pub cnf_translation: std::time::Duration,
+}
+
+impl GroupedEncoding {
+    /// Number of groups (max group id + 1; ids need not all be populated).
+    #[must_use]
+    pub fn num_groups(&self) -> u32 {
+        self.selectors.len() as u32
+    }
+
+    /// The selector literal activating `group`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is out of range.
+    #[must_use]
+    pub fn selector_of(&self, group: u32) -> Lit {
+        self.selectors[group as usize]
+    }
+
+    /// Maps a failed-assumption literal back to the group it activates, or
+    /// `None` for literals that are not positive selector occurrences.
+    #[must_use]
+    pub fn group_of(&self, selector: Lit) -> Option<u32> {
+        self.selectors
+            .iter()
+            .position(|&s| s == selector)
+            .map(|g| g as u32)
+    }
+
+    /// The assumption vector activating exactly the given groups
+    /// (ascending group-id order for determinism).
+    #[must_use]
+    pub fn assumptions_for<I>(&self, groups: I) -> Vec<Lit>
+    where
+        I: IntoIterator<Item = u32>,
+    {
+        let mut ids: Vec<u32> = groups.into_iter().collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.into_iter().map(|g| self.selector_of(g)).collect()
+    }
+
+    /// The assumption vector activating every group.
+    #[must_use]
+    pub fn all_assumptions(&self) -> Vec<Lit> {
+        self.selectors.clone()
+    }
+}
+
+/// Encodes the K-coloring problem of `graph` with one activation selector
+/// per vertex group, for assumption-based group-core extraction (see
+/// [`GroupedEncoding`]). `groups[v]` is the group id of vertex `v`; for a
+/// routing conflict graph, the subnet's net id.
+///
+/// # Panics
+///
+/// Panics if `groups.len() != graph.num_vertices()`.
+pub fn encode_coloring_grouped(
+    graph: &CspGraph,
+    k: u32,
+    groups: &[u32],
+    encoding: &Encoding,
+) -> GroupedEncoding {
+    encode_coloring_grouped_traced(graph, k, groups, encoding, &Tracer::disabled())
+}
+
+/// [`encode_coloring_grouped`] with trace instrumentation: an
+/// `encode_grouped` span (fields: encoding name, `k`, vertex/edge/group
+/// counts) wrapping the usual encode child spans plus a `group_selectors`
+/// span counting the guarded clauses.
+pub fn encode_coloring_grouped_traced(
+    graph: &CspGraph,
+    k: u32,
+    groups: &[u32],
+    encoding: &Encoding,
+    tracer: &Tracer,
+) -> GroupedEncoding {
+    let n = graph.num_vertices();
+    assert_eq!(
+        groups.len(),
+        n,
+        "need exactly one group id per vertex ({} ids for {n} vertices)",
+        groups.len()
+    );
+    let num_groups = groups.iter().map(|&g| g + 1).max().unwrap_or(0);
+    let span = tracer.span_with(
+        "encode_grouped",
+        [
+            ("encoding", FieldValue::from(encoding.name())),
+            ("k", FieldValue::from(k)),
+            ("vertices", FieldValue::from(n)),
+            ("edges", FieldValue::from(graph.num_edges())),
+            ("groups", FieldValue::from(num_groups)),
+        ],
+    );
+
+    if k == 0 {
+        // No tracks at all: each populated group is unroutable by itself,
+        // expressed as a unit clause against its selector (one per group,
+        // not per vertex, so cores stay minimal).
+        let mut formula = CnfFormula::new();
+        let selectors: Vec<Lit> = (0..num_groups)
+            .map(|_| Lit::positive(formula.new_var()))
+            .collect();
+        let mut populated = vec![false; num_groups as usize];
+        for &g in groups {
+            if !std::mem::replace(&mut populated[g as usize], true) {
+                formula.add_clause([!selectors[g as usize]]);
+            }
+        }
+        let cnf_translation = span.close();
+        return GroupedEncoding {
+            formula,
+            decode: DecodeMap {
+                scheme: SchemeCnf::default(),
+                offsets: vec![0; n],
+                num_colors: 0,
+            },
+            selectors,
+            groups: groups.to_vec(),
+            cnf_translation,
+        };
+    }
+
+    let scheme = encoding.emit_traced(k, tracer);
+    let mut formula = CnfFormula::with_vars(scheme.num_vars * n as u32);
+    let offsets: Vec<u32> = (0..n as u32).map(|v| v * scheme.num_vars).collect();
+    let selectors: Vec<Lit> = (0..num_groups)
+        .map(|_| Lit::positive(formula.new_var()))
+        .collect();
+    let shift = |lits: &[Lit], offset: u32| -> Vec<Lit> {
+        lits.iter()
+            .map(|&l| Lit::from_code(l.code() + 2 * offset))
+            .collect()
+    };
+
+    // Structural clauses, one guarded copy per vertex: deactivating the
+    // vertex's group releases its totality/at-most-one constraints.
+    let sel_span = tracer.span("group_selectors");
+    let structural = tracer.span("structural_clauses");
+    for (v, &offset) in offsets.iter().enumerate() {
+        let guard = !selectors[groups[v] as usize];
+        for clause in &scheme.structural {
+            let mut guarded = Vec::with_capacity(clause.len() + 1);
+            guarded.push(guard);
+            guarded.extend(shift(clause, offset));
+            formula.add_clause(guarded);
+        }
+    }
+    structural.counter("clauses", formula.num_clauses() as u64);
+    drop(structural);
+
+    // Conflict clauses guarded by both endpoints' groups: the clause only
+    // bites while both nets are active.
+    let conflicts = tracer.span("conflict_clauses");
+    let before_conflicts = formula.num_clauses();
+    let negations: Vec<Vec<Lit>> = scheme
+        .patterns
+        .iter()
+        .map(|p| p.negation_clause())
+        .collect();
+    for (u, v) in graph.edges() {
+        let gu = groups[u as usize];
+        let gv = groups[v as usize];
+        for neg in &negations {
+            let mut clause = Vec::with_capacity(2 * neg.len() + 2);
+            clause.push(!selectors[gu as usize]);
+            if gv != gu {
+                clause.push(!selectors[gv as usize]);
+            }
+            clause.extend(shift(neg, offsets[u as usize]));
+            clause.extend(shift(neg, offsets[v as usize]));
+            formula.add_clause(clause);
+        }
+    }
+    conflicts.counter("clauses", (formula.num_clauses() - before_conflicts) as u64);
+    drop(conflicts);
+    sel_span.counter("selectors", u64::from(num_groups));
+    drop(sel_span);
+
+    let stats = formula.stats();
+    span.counter("variables", stats.num_vars as u64);
+    span.counter("clauses", stats.num_clauses as u64);
+    span.counter("literals", stats.num_literals as u64);
+    let cnf_translation = span.close();
+    GroupedEncoding {
+        formula,
+        decode: DecodeMap {
+            scheme,
+            offsets,
+            num_colors: k,
+        },
+        selectors,
+        groups: groups.to_vec(),
+        cnf_translation,
+    }
+}
+
 fn encode_inner(
     graph: &CspGraph,
     k: u32,
@@ -528,6 +770,41 @@ mod tests {
         assert_eq!(enc.assumptions_for_width(0).len(), 3);
         assert_eq!(enc.track_of(enc.selectors[2]), Some(2));
         assert_eq!(enc.track_of(!enc.selectors[2]), None);
+    }
+
+    #[test]
+    fn grouped_encoding_guards_clauses_and_keeps_decode_map() {
+        // Triangle, vertices 0 and 1 in group 0, vertex 2 in group 1.
+        let enc = encode_coloring_grouped(
+            &triangle(),
+            3,
+            &[0, 0, 1],
+            &EncodingId::Muldirect.encoding(),
+        );
+        assert_eq!(enc.num_groups(), 2);
+        // Vertex blocks first, then one selector variable per group.
+        assert_eq!(enc.decode.offsets, vec![0, 3, 6]);
+        assert_eq!(enc.formula.num_vars(), 9 + 2);
+        // Same clause count as the ungrouped encode (3 ALO + 9 conflicts),
+        // each clause merely widened by its guard literal(s).
+        assert_eq!(enc.formula.num_clauses(), 3 + 9);
+        // ALO clauses gain one guard; intra-group conflicts one, the
+        // cross-group ones two.
+        let lens: Vec<usize> = enc.formula.clauses().iter().map(|c| c.len()).collect();
+        assert_eq!(lens.iter().filter(|&&l| l == 4).count(), 3 + 6);
+        assert_eq!(lens.iter().filter(|&&l| l == 3).count(), 3);
+        assert_eq!(enc.group_of(enc.selectors[1]), Some(1));
+        assert_eq!(enc.group_of(!enc.selectors[1]), None);
+        assert_eq!(enc.assumptions_for([1, 0, 1]), enc.all_assumptions());
+    }
+
+    #[test]
+    fn grouped_zero_colors_emits_one_unit_guard_per_populated_group() {
+        let enc = encode_coloring_grouped(&triangle(), 0, &[0, 2, 2], &EncodingId::Log.encoding());
+        // Groups 0 and 2 are populated, group 1 is not.
+        assert_eq!(enc.num_groups(), 3);
+        assert_eq!(enc.formula.num_clauses(), 2);
+        assert!(enc.formula.clauses().iter().all(|c| c.len() == 1));
     }
 
     #[test]

@@ -362,7 +362,7 @@ impl IncrementalSession {
                 let mut pm = Postmortem::from_recorder(&self.flight, reason.to_string());
                 pm.hottest_phase = Some(hottest_phase(&timing).to_string());
                 if let Some(failed) = &failed_assumptions {
-                    pm.failed_assumptions = failed.iter().map(|l| l.to_dimacs()).collect();
+                    pm.failed_assumptions = crate::strategy::postmortem_core(failed);
                 }
                 Some(pm)
             }

@@ -40,6 +40,10 @@
 //!   once at an upper bound with per-track activation selectors, probe any
 //!   width on one warm solver ([`IncrementalSession`], built by
 //!   [`Strategy::incremental`]).
+//! * [`explain`] — unroutability explanations: re-encode with one
+//!   activation selector per net group, extract a failed-assumption core
+//!   and shrink it to a 1-minimal MUS over nets by warm deletion probes
+//!   ([`ExplainRequest`], built by [`Strategy::explain`]).
 //!
 //! Run control (budgets, cancellation tokens, observers) comes from
 //! [`satroute_solver::run`] and is threaded through every entry point;
@@ -69,6 +73,7 @@ pub mod catalog;
 pub mod conquer;
 pub mod decode;
 pub mod encode;
+pub mod explain;
 pub mod hier;
 pub mod incremental;
 pub mod ite;
@@ -83,9 +88,11 @@ pub use catalog::{Encoding, EncodingId, ParseEncodingError};
 pub use conquer::{ConquerRequest, ConquerResult, CubeReport};
 pub use decode::{decode_coloring, DecodeError};
 pub use encode::{
-    encode_coloring, encode_coloring_incremental, encode_coloring_incremental_traced,
-    encode_coloring_traced, DecodeMap, EncodedColoring, IncrementalEncoding,
+    encode_coloring, encode_coloring_grouped, encode_coloring_grouped_traced,
+    encode_coloring_incremental, encode_coloring_incremental_traced, encode_coloring_traced,
+    DecodeMap, EncodedColoring, GroupedEncoding, IncrementalEncoding,
 };
+pub use explain::{ExplainOutcome, ExplainReport, ExplainRequest, NetCore, ShrinkStatus};
 pub use hier::TopScheme;
 pub use incremental::{IncrementalSession, IncrementalSessionBuilder};
 pub use ite::IteTree;

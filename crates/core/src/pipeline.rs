@@ -60,6 +60,23 @@ pub struct WidthSearch {
     /// ([`RoutingPipeline::find_min_width_incremental`]) records fewer
     /// probes: widths a SAT model already proves achievable are skipped.
     pub probes: Vec<RouteResult>,
+    /// The tracks named by the failed-assumption core of the final UNSAT
+    /// probe, ascending — the PR 6 certificate: with `m` the lowest track
+    /// in the core, every width `≤ m` is unroutable. Populated by the
+    /// incremental ladder only; the from-scratch search has no selector
+    /// assumptions and leaves it empty, as does a `min_width == 0` search
+    /// (no UNSAT probe exists).
+    pub failed_tracks: Vec<u32>,
+}
+
+impl WidthSearch {
+    /// The width lower bound certified by the final UNSAT probe's core:
+    /// `min(failed_tracks) + 1`. `None` when no core was recorded (cold
+    /// search or `min_width == 0`).
+    #[must_use]
+    pub fn core_lower_bound(&self) -> Option<u32> {
+        self.failed_tracks.first().map(|&m| m + 1)
+    }
 }
 
 /// A machine-checkable proof that a channel width is insufficient: the CNF
@@ -456,6 +473,7 @@ impl RoutingPipeline {
             min_width,
             routing,
             probes,
+            failed_tracks: Vec::new(),
         })
     }
 
@@ -559,6 +577,9 @@ impl RoutingPipeline {
             min_width,
             routing,
             probes,
+            // The ladder ends on the UNSAT probe (when min_width > 0), so
+            // the session still holds that probe's selector core.
+            failed_tracks: session.failed_tracks().to_vec(),
         })
     }
 }
@@ -568,6 +589,27 @@ mod tests {
     use super::*;
     use satroute_fpga::benchmarks;
     use satroute_solver::MetricsRecorder;
+
+    #[test]
+    fn incremental_ladder_records_failed_track_core() {
+        let inst = benchmarks::suite_tiny().remove(0);
+        let pipeline = RoutingPipeline::new(Strategy::paper_best());
+        let search = pipeline
+            .find_min_width_incremental(&inst.problem)
+            .expect("tiny instance decides");
+        assert!(search.min_width > 0, "tiny_a needs at least one track");
+        // The final UNSAT probe's selector core survives into the search
+        // result and certifies exactly the found minimum.
+        assert!(!search.failed_tracks.is_empty());
+        assert_eq!(search.core_lower_bound(), Some(search.min_width));
+        assert!(search.failed_tracks.windows(2).all(|w| w[0] < w[1]));
+        // The cold search has no selector assumptions, hence no core.
+        let cold = pipeline
+            .find_min_width(&inst.problem)
+            .expect("tiny instance decides");
+        assert!(cold.failed_tracks.is_empty());
+        assert!(cold.core_lower_bound().is_none());
+    }
 
     #[test]
     fn routes_tiny_suite_at_routable_width() {

@@ -90,6 +90,18 @@ impl TimingBreakdown {
     }
 }
 
+/// DIMACS rendering of a failed-assumption core for postmortems.
+///
+/// `failed_assumptions` comes out of final-conflict analysis in trail
+/// order, which depends on the restart schedule; postmortems are diffed
+/// across reruns, so sort and dedupe before rendering.
+pub(crate) fn postmortem_core(lits: &[Lit]) -> Vec<i64> {
+    let mut core: Vec<i64> = lits.iter().map(|l| l.to_dimacs()).collect();
+    core.sort_unstable();
+    core.dedup();
+    core
+}
+
 /// The stage of `timing` that dominated wall time, as a stable name
 /// (`graph_generation`, `cnf_translation`, `sat_solving`).
 pub(crate) fn hottest_phase(timing: &TimingBreakdown) -> &'static str {
@@ -231,6 +243,40 @@ impl Strategy {
         upper: u32,
     ) -> crate::incremental::IncrementalSessionBuilder<'a> {
         crate::incremental::IncrementalSessionBuilder::new(*self, graph, upper)
+    }
+
+    /// Starts building an unroutability explanation of `graph` at `width`:
+    /// the instance is re-encoded with one activation selector per vertex
+    /// *group* (`groups[v]`; for routing, the subnet's net id), solved
+    /// under group assumptions, and an UNSAT answer's failed-assumption
+    /// core is shrunk to a 1-minimal set of groups by deletion probes on
+    /// the same warm solver. Chain the same run-control calls as
+    /// [`Strategy::solve`], then
+    /// [`run`](crate::explain::ExplainRequest::run).
+    ///
+    /// The strategy's symmetry heuristic is ignored: full-graph symmetry
+    /// restrictions are unsound once groups are deleted (see
+    /// [`crate::encode::GroupedEncoding`]).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use satroute_coloring::CspGraph;
+    /// use satroute_core::Strategy;
+    ///
+    /// // A triangle of three single-vertex nets needs three tracks.
+    /// let g = CspGraph::from_edges(3, [(0, 1), (1, 2), (0, 2)]);
+    /// let report = Strategy::paper_best().explain(&g, &[0, 1, 2], 2).run();
+    /// let core = report.core().expect("width 2 is unroutable");
+    /// assert_eq!(core.groups, vec![0, 1, 2]);
+    /// ```
+    pub fn explain<'a>(
+        &self,
+        graph: &'a CspGraph,
+        groups: &'a [u32],
+        width: u32,
+    ) -> crate::explain::ExplainRequest<'a> {
+        crate::explain::ExplainRequest::new(*self, graph, groups, width)
     }
 
     /// Solves the K-coloring problem of `graph` with default solver
@@ -529,7 +575,7 @@ impl<'a> SolveRequest<'a> {
                 let mut pm = Postmortem::from_recorder(&self.flight, reason.to_string());
                 pm.hottest_phase = Some(hottest_phase(&timing).to_string());
                 if let Some(failed) = &failed_assumptions {
-                    pm.failed_assumptions = failed.iter().map(|l| l.to_dimacs()).collect();
+                    pm.failed_assumptions = postmortem_core(failed);
                 }
                 Some(pm)
             }

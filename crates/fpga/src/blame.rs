@@ -1,0 +1,326 @@
+//! Blame reports: mapping a net-level UNSAT core back onto the fabric.
+//!
+//! The SAT layer explains unroutability as a minimal set of *nets* that
+//! cannot be routed together at a given width (`satroute-core`'s
+//! `explain` module). This module translates that core into the router's
+//! vocabulary: which channel segments those nets fight over, how much
+//! pressure each segment carries, and what lower bound the core
+//! witnesses. The result renders as text tables (via
+//! [`satroute_obs::TextTable`]) and as JSON for machine consumers.
+//!
+//! Two lower bounds appear in a report:
+//!
+//! * the **core bound**: an UNSAT core at width `W` proves the minimum
+//!   routable width is at least `W + 1`;
+//! * the **pressure bound**: `k` distinct core nets crossing one channel
+//!   segment form a `k`-clique in the conflict graph (subnets of
+//!   different nets sharing a segment always conflict), so the minimum
+//!   width is at least `k` — a structural witness a designer can see on
+//!   the floorplan.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use satroute_obs::json::Value;
+use satroute_obs::{Align, TextTable};
+
+use crate::{NetId, RoutingProblem, Segment};
+
+/// One core net's share of the blame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NetBlame {
+    /// The net.
+    pub net: NetId,
+    /// Its 2-pin subnets (each needs a track on every segment of its
+    /// global route).
+    pub subnets: u32,
+    /// Distinct channel segments its global routes cross.
+    pub segments: u32,
+    /// The highest core-net count on any segment it crosses — how deep
+    /// in contested territory this net sits.
+    pub max_pressure: u32,
+}
+
+/// One contested channel segment: crossed by at least two core nets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChannelBlame {
+    /// The channel segment.
+    pub segment: Segment,
+    /// Distinct core nets crossing it (its clique size, hence a width
+    /// lower bound).
+    pub nets: u32,
+    /// Core subnets crossing it.
+    pub subnets: u32,
+}
+
+/// A net-level UNSAT core mapped onto nets and channel segments.
+#[derive(Clone, Debug)]
+pub struct BlameReport {
+    /// The width the core was extracted at (the probe that came back
+    /// UNSAT).
+    pub width: u32,
+    /// Per-net blame, ascending net id.
+    pub nets: Vec<NetBlame>,
+    /// Contested segments (≥ 2 distinct core nets), most contested
+    /// first; ties broken by segment order for determinism.
+    pub channels: Vec<ChannelBlame>,
+    /// The core-certified lower bound: `width + 1`.
+    pub lower_bound: u32,
+    /// The structural lower bound: the largest distinct-core-net count
+    /// on a single segment (0 for an empty core).
+    pub pressure_bound: u32,
+}
+
+impl BlameReport {
+    /// Builds the report for `core_nets` — a set of nets jointly
+    /// unroutable at `width` — against the problem's global routing.
+    ///
+    /// Duplicate net ids are tolerated (deduped); nets without routed
+    /// subnets contribute empty rows.
+    #[must_use]
+    pub fn new(problem: &RoutingProblem, width: u32, core_nets: &[NetId]) -> Self {
+        let core: BTreeSet<u32> = core_nets.iter().map(|n| n.0).collect();
+        // Per contested segment: which core nets cross it, and how many
+        // core subnets.
+        let mut channel_nets: BTreeMap<Segment, BTreeSet<u32>> = BTreeMap::new();
+        let mut channel_subnets: BTreeMap<Segment, u32> = BTreeMap::new();
+        // Per core net: subnet count and the distinct segments crossed.
+        let mut net_subnets: BTreeMap<u32, u32> = BTreeMap::new();
+        let mut net_segments: BTreeMap<u32, BTreeSet<Segment>> = BTreeMap::new();
+        for id in &core {
+            net_subnets.insert(*id, 0);
+            net_segments.insert(*id, BTreeSet::new());
+        }
+
+        for route in problem.global_routing().routes() {
+            let id = route.subnet.net.0;
+            if !core.contains(&id) {
+                continue;
+            }
+            *net_subnets.entry(id).or_default() += 1;
+            // A path may in principle revisit a segment; count each
+            // segment once per subnet.
+            let distinct: BTreeSet<Segment> = route.path.iter().copied().collect();
+            for seg in distinct {
+                channel_nets.entry(seg).or_default().insert(id);
+                *channel_subnets.entry(seg).or_default() += 1;
+                net_segments.entry(id).or_default().insert(seg);
+            }
+        }
+
+        let mut channels: Vec<ChannelBlame> = channel_nets
+            .iter()
+            .filter(|(_, nets)| nets.len() >= 2)
+            .map(|(&segment, nets)| ChannelBlame {
+                segment,
+                nets: nets.len() as u32,
+                subnets: channel_subnets[&segment],
+            })
+            .collect();
+        channels.sort_by(|a, b| b.nets.cmp(&a.nets).then(a.segment.cmp(&b.segment)));
+        let pressure_bound = channels.first().map_or(0, |c| c.nets);
+
+        let nets: Vec<NetBlame> = core
+            .iter()
+            .map(|&id| {
+                let segments = &net_segments[&id];
+                let max_pressure = segments
+                    .iter()
+                    .map(|seg| channel_nets[seg].len() as u32)
+                    .max()
+                    .unwrap_or(0);
+                NetBlame {
+                    net: NetId(id),
+                    subnets: net_subnets[&id],
+                    segments: segments.len() as u32,
+                    max_pressure,
+                }
+            })
+            .collect();
+
+        BlameReport {
+            width,
+            nets,
+            channels,
+            lower_bound: width + 1,
+            pressure_bound,
+        }
+    }
+
+    /// Renders the net and channel tables plus the witness lines as
+    /// terminal text.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "blame: {} net(s) jointly unroutable at width {}\n\n",
+            self.nets.len(),
+            self.width
+        ));
+
+        let mut nets = TextTable::new([
+            ("net", Align::Left),
+            ("subnets", Align::Right),
+            ("segments", Align::Right),
+            ("max pressure", Align::Right),
+        ]);
+        for n in &self.nets {
+            nets.row([
+                n.net.to_string(),
+                n.subnets.to_string(),
+                n.segments.to_string(),
+                n.max_pressure.to_string(),
+            ]);
+        }
+        out.push_str(&nets.render());
+
+        if self.channels.is_empty() {
+            out.push_str("\nno contested channel segments (single-net core)\n");
+        } else {
+            out.push('\n');
+            let mut channels = TextTable::new([
+                ("channel", Align::Left),
+                ("nets", Align::Right),
+                ("subnets", Align::Right),
+            ]);
+            for c in &self.channels {
+                channels.row([
+                    c.segment.to_string(),
+                    c.nets.to_string(),
+                    c.subnets.to_string(),
+                ]);
+            }
+            out.push_str(&channels.render());
+        }
+
+        out.push_str(&format!(
+            "\nlower bound: {} tracks (UNSAT core at width {})\n",
+            self.lower_bound, self.width
+        ));
+        if let Some(worst) = self.channels.first() {
+            out.push_str(&format!(
+                "pressure witness: {} core nets share {} (width >= {})\n",
+                worst.nets, worst.segment, self.pressure_bound
+            ));
+        }
+        out
+    }
+
+    /// The report as a JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        Value::object([
+            ("width", Value::from(u64::from(self.width))),
+            ("lower_bound", Value::from(u64::from(self.lower_bound))),
+            (
+                "pressure_bound",
+                Value::from(u64::from(self.pressure_bound)),
+            ),
+            (
+                "nets",
+                Value::array(self.nets.iter().map(|n| {
+                    Value::object([
+                        ("net", Value::from(u64::from(n.net.0))),
+                        ("subnets", Value::from(u64::from(n.subnets))),
+                        ("segments", Value::from(u64::from(n.segments))),
+                        ("max_pressure", Value::from(u64::from(n.max_pressure))),
+                    ])
+                })),
+            ),
+            (
+                "channels",
+                Value::array(self.channels.iter().map(|c| {
+                    Value::object([
+                        ("channel", Value::string(c.segment.to_string())),
+                        ("nets", Value::from(u64::from(c.nets))),
+                        ("subnets", Value::from(u64::from(c.subnets))),
+                    ])
+                })),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks;
+
+    /// Two nets that conflict somewhere in tiny_a, from the conflict
+    /// graph's first cross-net edge.
+    fn conflicting_pair(problem: &RoutingProblem) -> (NetId, NetId) {
+        let graph = problem.conflict_graph();
+        let subnets: Vec<_> = problem.subnets().collect();
+        let (u, v) = graph.edges().next().expect("tiny_a has conflicts");
+        (subnets[u as usize].net, subnets[v as usize].net)
+    }
+
+    #[test]
+    fn conflicting_nets_produce_contested_channels() {
+        let instance = benchmarks::suite_tiny().remove(0);
+        let (a, b) = conflicting_pair(&instance.problem);
+        let report = BlameReport::new(&instance.problem, 1, &[a, b]);
+        assert_eq!(report.nets.len(), 2);
+        assert_eq!(report.lower_bound, 2);
+        // The pair conflicts, so they share at least one segment.
+        assert!(!report.channels.is_empty());
+        assert!(report.pressure_bound >= 2);
+        // Channel rows are sorted most-contested-first.
+        for pair in report.channels.windows(2) {
+            assert!(pair[0].nets >= pair[1].nets);
+        }
+        // Every net row crosses at least one segment and feels at least
+        // the shared segment's pressure.
+        for n in &report.nets {
+            assert!(n.subnets >= 1);
+            assert!(n.segments >= 1);
+            assert!(n.max_pressure >= 2);
+        }
+    }
+
+    #[test]
+    fn renders_tables_and_witness_lines() {
+        let instance = benchmarks::suite_tiny().remove(0);
+        let (a, b) = conflicting_pair(&instance.problem);
+        let report = BlameReport::new(&instance.problem, 1, &[a, b]);
+        let text = report.render_text();
+        assert!(text.contains("net"));
+        assert!(text.contains("channel"));
+        assert!(text.contains("lower bound: 2 tracks"));
+        assert!(text.contains("pressure witness:"));
+
+        let json = report.to_json();
+        assert_eq!(json.get("width").and_then(Value::as_f64), Some(1.0));
+        assert_eq!(json.get("lower_bound").and_then(Value::as_f64), Some(2.0));
+        assert_eq!(
+            json.get("nets")
+                .and_then(Value::as_array)
+                .map(<[Value]>::len),
+            Some(2)
+        );
+        assert!(!json
+            .get("channels")
+            .and_then(Value::as_array)
+            .expect("channels array")
+            .is_empty());
+    }
+
+    #[test]
+    fn single_net_core_has_no_contested_channels() {
+        let instance = benchmarks::suite_tiny().remove(0);
+        let net = instance.problem.subnets().next().expect("has subnets").net;
+        let report = BlameReport::new(&instance.problem, 0, &[net]);
+        assert_eq!(report.nets.len(), 1);
+        assert!(report.channels.is_empty());
+        assert_eq!(report.pressure_bound, 0);
+        assert!(report.render_text().contains("single-net core"));
+    }
+
+    #[test]
+    fn duplicate_core_ids_are_deduped() {
+        let instance = benchmarks::suite_tiny().remove(0);
+        let net = instance.problem.subnets().next().expect("has subnets").net;
+        let report = BlameReport::new(&instance.problem, 2, &[net, net]);
+        assert_eq!(report.nets.len(), 1);
+        assert_eq!(report.lower_bound, 3);
+    }
+}

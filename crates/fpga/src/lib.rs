@@ -20,7 +20,9 @@
 //!   verifies detailed routings,
 //! * [`benchmarks`] — a deterministic suite named after the paper's eight
 //!   circuits (`alu2` … `k2`), scaled so the SAT instances span the same
-//!   easy→hard range.
+//!   easy→hard range,
+//! * [`BlameReport`] — a net-level UNSAT core mapped back onto nets and
+//!   contested channel segments, with the lower bounds it witnesses.
 //!
 //! # Examples
 //!
@@ -42,6 +44,7 @@
 #![warn(missing_docs)]
 
 mod arch;
+mod blame;
 mod netlist;
 mod problem;
 mod route;
@@ -52,6 +55,7 @@ pub mod benchmarks;
 pub mod io;
 
 pub use arch::{ArchError, Architecture, Segment, Side};
+pub use blame::{BlameReport, ChannelBlame, NetBlame};
 pub use netlist::{Net, NetId, Netlist, NetlistError, Terminal};
 pub use problem::{DetailedRouting, RoutingProblem, VerifyError};
 pub use route::{GlobalRouter, GlobalRouting, RouteError, SubnetRoute};

@@ -28,6 +28,7 @@ pub mod export;
 pub mod json;
 pub mod metrics;
 pub mod report;
+pub mod table;
 pub mod timeline;
 pub mod tracer;
 pub mod tree;
@@ -37,6 +38,7 @@ pub use event::{parse_jsonl, FieldValue, SpanId, TraceEvent};
 pub use export::{chrome_trace, collapsed_stacks};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use report::{CubeStats, EncodingStats, MemberStats, PhaseStats, TimelineReport, TraceReport};
+pub use table::{Align, TextTable};
 pub use timeline::{FlightRecorder, Postmortem, SampleCause, TimelineSample};
 pub use tracer::{BufferSink, SpanGuard, TraceSink, Tracer};
 pub use tree::{SpanForest, SpanNode, TraceTree};

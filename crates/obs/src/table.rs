@@ -1,0 +1,156 @@
+//! Aligned text tables for terminal reports.
+//!
+//! The human-facing render paths (blame reports, summaries) all need the
+//! same thing: a header row, a rule, and rows padded so columns line up.
+//! [`TextTable`] collects rows as strings and renders them with per-column
+//! alignment — numeric columns read best right-aligned, names left.
+//!
+//! # Examples
+//!
+//! ```
+//! use satroute_obs::table::{Align, TextTable};
+//!
+//! let mut t = TextTable::new([("net", Align::Left), ("subnets", Align::Right)]);
+//! t.row(["n3", "12"]);
+//! t.row(["n101", "4"]);
+//! let text = t.render();
+//! assert!(text.starts_with("net   subnets\n"));
+//! assert_eq!(text.lines().count(), 4);
+//! ```
+
+/// Horizontal alignment of one column.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Align {
+    /// Pad on the right (names, labels).
+    Left,
+    /// Pad on the left (counts, durations).
+    Right,
+}
+
+/// A header-plus-rows text table with per-column alignment.
+#[derive(Clone, Debug)]
+pub struct TextTable {
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table from `(header, alignment)` column specs.
+    pub fn new<H: Into<String>>(columns: impl IntoIterator<Item = (H, Align)>) -> Self {
+        let (headers, aligns): (Vec<String>, Vec<Align>) =
+            columns.into_iter().map(|(h, a)| (h.into(), a)).unzip();
+        TextTable {
+            headers,
+            aligns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the column count.
+    pub fn row<C: Into<String>>(&mut self, cells: impl IntoIterator<Item = C>) {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row has {} cells for {} columns",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no data rows have been added.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders header, rule and rows, each line newline-terminated.
+    /// Columns are separated by two spaces and padded to the widest cell;
+    /// the last column carries no trailing padding.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let emit = |cells: &[String], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                let pad = widths[i] - cell.len();
+                let last = i + 1 == cols;
+                match self.aligns[i] {
+                    Align::Left => {
+                        out.push_str(cell);
+                        if !last {
+                            out.extend(std::iter::repeat_n(' ', pad + 2));
+                        }
+                    }
+                    Align::Right => {
+                        out.extend(std::iter::repeat_n(' ', pad));
+                        out.push_str(cell);
+                        if !last {
+                            out.push_str("  ");
+                        }
+                    }
+                }
+            }
+            out.push('\n');
+        };
+        emit(&self.headers, &mut out);
+        let rule: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();
+        emit(&rule, &mut out);
+        for row in &self.rows {
+            emit(row, &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new([("name", Align::Left), ("count", Align::Right)]);
+        t.row(["alpha", "7"]);
+        t.row(["b", "1234"]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "name   count");
+        assert_eq!(lines[1], "-----  -----");
+        assert_eq!(lines[2], "alpha      7");
+        assert_eq!(lines[3], "b       1234");
+    }
+
+    #[test]
+    fn tracks_row_count() {
+        let mut t = TextTable::new([("x", Align::Left)]);
+        assert!(t.is_empty());
+        t.row(["1"]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_row_width_panics() {
+        let mut t = TextTable::new([("a", Align::Left), ("b", Align::Left)]);
+        t.row(["only-one"]);
+    }
+}

@@ -10,10 +10,11 @@
 //! satroute solve <file.cnf> [--proof <out.drat>]       run the CDCL solver
 //! satroute portfolio <problem.txt> --width <W> [...]   race a solver portfolio
 //! satroute conquer <problem.txt> --width <W> [...]     cube-and-conquer one instance
+//! satroute explain <problem.txt> --width <W> [...]     blame a minimal net core for unroutability
 //! satroute trace report <trace.jsonl> [--json]         analyze a trace artifact
 //! satroute trace timeline <trace.jsonl> [--json]       flight-recorder time series
 //! satroute trace export <trace.jsonl> --chrome <f>     Perfetto / flamegraph export
-//! satroute bench run [--suite quick|paper|incremental|conquer] [--filter S] record a BENCH_*.json baseline
+//! satroute bench run [--suite quick|paper|incremental|conquer|explain] [--filter S] record a BENCH_*.json baseline
 //! satroute bench compare <base> <cand> [--gate]        diff/gate two baselines
 //! satroute encodings                                   list the 15 encodings
 //! ```
@@ -33,6 +34,16 @@
 //! pool of `--threads <T>` workers; `--portfolio-share` additionally
 //! exchanges learnt clauses between the workers (sound: every worker
 //! solves the identical CNF).
+//!
+//! Explain options: `satroute explain` re-encodes the instance with one
+//! activation selector per net, extracts a failed-assumption core and
+//! shrinks it to a 1-minimal set of jointly unroutable nets, rendered as
+//! per-net and per-channel blame tables with the lower bounds the core
+//! witnesses (exit 20 when a core exists). `--shrink-budget <n>` caps the
+//! deletion probes (a capped core stays sound but may not be minimal).
+//! `min-width --explain` additionally blames the width below the found
+//! minimum. Explanation ignores `--symmetry`: deleting nets from a
+//! symmetry-broken formula would be unsound.
 //!
 //! Run control: `--timeout <secs>` (wall-clock budget), `--max-conflicts
 //! <n>` (conflict budget), `--progress` (periodic solver progress on
@@ -78,8 +89,12 @@ use satroute::bench::{compare, BenchArtifact, GateOptions, SuiteId, SuiteOptions
 use satroute::cnf::dimacs as cnf_dimacs;
 use satroute::coloring::dimacs as col_dimacs;
 use satroute::coloring::CspGraph;
-use satroute::core::{encode_coloring, EncodingId, RoutingPipeline, Strategy, SymmetryHeuristic};
-use satroute::fpga::{benchmarks, io as fpga_io, RoutingProblem};
+use satroute::core::{
+    encode_coloring, EncodingId, ExplainOutcome, ExplainReport, RoutingPipeline, Strategy,
+    SymmetryHeuristic,
+};
+use satroute::fpga::{benchmarks, io as fpga_io, BlameReport, NetId, RoutingProblem};
+use satroute::obs::json::Value;
 use satroute::obs::FieldValue;
 use satroute::solver::{CdclSolver, SolveOutcome};
 use satroute::{
@@ -110,6 +125,8 @@ struct Options {
     proof: Option<String>,
     certificate: Option<String>,
     incremental: bool,
+    explain: bool,
+    shrink_budget: Option<u64>,
     timeout: Option<f64>,
     max_conflicts: Option<u64>,
     progress: bool,
@@ -174,6 +191,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         proof: None,
         certificate: None,
         incremental: false,
+        explain: false,
+        shrink_budget: None,
         timeout: None,
         max_conflicts: None,
         progress: false,
@@ -214,6 +233,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--proof" => opts.proof = Some(take_value(args, &mut i, "--proof")?),
             "--certificate" => opts.certificate = Some(take_value(args, &mut i, "--certificate")?),
             "--incremental" => opts.incremental = true,
+            "--explain" => opts.explain = true,
+            "--shrink-budget" => {
+                let v = take_value(args, &mut i, "--shrink-budget")?;
+                opts.shrink_budget =
+                    Some(v.parse().map_err(|_| format!("bad shrink budget `{v}`"))?);
+            }
             "--timeout" => {
                 let v = take_value(args, &mut i, "--timeout")?;
                 let secs: f64 = v.parse().map_err(|_| format!("bad timeout `{v}`"))?;
@@ -393,109 +418,181 @@ fn dispatch(
                 .first()
                 .ok_or("min-width needs a problem file")?;
             let problem = load_problem(path)?;
-            if opts.incremental {
+            let mut pipeline = RoutingPipeline::new(Strategy::new(opts.encoding, opts.symmetry))
+                .with_budget(opts.budget())
+                .with_tracer(tracer.clone())
+                .with_metrics(registry.clone())
+                .with_flight(flight.clone());
+            if opts.progress {
+                pipeline = pipeline.with_observer(Arc::new(ProgressLogger::stderr("min-width")));
+            }
+            let search = if opts.incremental {
                 // One warm solver for the whole ladder: encode once at the
                 // DSATUR bound, sweep widths via selector assumptions.
-                let mut pipeline =
-                    RoutingPipeline::new(Strategy::new(opts.encoding, opts.symmetry))
-                        .with_budget(opts.budget())
-                        .with_tracer(tracer.clone())
-                        .with_metrics(registry.clone())
-                        .with_flight(flight.clone());
-                if opts.progress {
-                    pipeline =
-                        pipeline.with_observer(Arc::new(ProgressLogger::stderr("min-width")));
+                pipeline.find_min_width_incremental(&problem)
+            } else {
+                pipeline.find_min_width(&problem)
+            }
+            .map_err(|e| pipeline_stop(e, &flight))?;
+            // Cumulative across the ladder: the last probe reports the
+            // warm solver's total counters.
+            let conflicts = search
+                .probes
+                .last()
+                .map_or(0, |p| p.report.solver_stats.conflicts);
+            // --explain blames the width just below the minimum — by
+            // construction the tightest unroutable probe.
+            let explanation = if opts.explain && search.min_width > 0 {
+                Some(explain_at(
+                    &problem,
+                    search.min_width - 1,
+                    &opts,
+                    tracer,
+                    registry,
+                    &flight,
+                ))
+            } else {
+                if opts.explain {
+                    eprintln!("note: minimum width is 0 — nothing to blame");
                 }
-                let search = pipeline
-                    .find_min_width_incremental(&problem)
-                    .map_err(|e| pipeline_stop(e, &flight))?;
-                // Cumulative across the ladder: the last probe reports the
-                // warm solver's total counters.
-                let conflicts = search
+                None
+            };
+            if let Some((report, _)) = &explanation {
+                if let Some(pm) = &report.postmortem {
+                    eprint!("{}", pm.render_text());
+                }
+            }
+            if opts.json {
+                let probes: Vec<String> = search
                     .probes
-                    .last()
-                    .map_or(0, |p| p.report.solver_stats.conflicts);
-                if opts.json {
-                    let probes: Vec<String> = search
-                        .probes
-                        .iter()
-                        .map(|p| {
-                            format!(
-                                "{{\"width\":{},\"routable\":{}}}",
-                                p.width,
-                                p.routing.is_some()
-                            )
-                        })
-                        .collect();
-                    println!(
-                        "{{\"min_width\":{},\"incremental\":true,\"conflicts\":{conflicts},\"probes\":[{}]}}",
-                        search.min_width,
-                        probes.join(",")
-                    );
-                } else {
+                    .iter()
+                    .map(|p| {
+                        format!(
+                            "{{\"width\":{},\"routable\":{}}}",
+                            p.width,
+                            p.routing.is_some()
+                        )
+                    })
+                    .collect();
+                let mut extra = String::new();
+                if opts.incremental {
+                    let tracks: Vec<String> =
+                        search.failed_tracks.iter().map(u32::to_string).collect();
+                    extra.push_str(&format!(
+                        ",\"conflicts\":{conflicts},\"core_lower_bound\":{},\"failed_tracks\":[{}]",
+                        search
+                            .core_lower_bound()
+                            .map_or_else(|| "null".to_string(), |b| b.to_string()),
+                        tracks.join(","),
+                    ));
+                }
+                if let Some((report, blame)) = &explanation {
+                    extra.push_str(&format!(
+                        ",\"explain\":{}",
+                        explain_json(report, blame.as_ref()).to_json()
+                    ));
+                }
+                println!(
+                    "{{\"min_width\":{},\"incremental\":{}{extra},\"probes\":[{}]}}",
+                    search.min_width,
+                    opts.incremental,
+                    probes.join(",")
+                );
+            } else {
+                if opts.incremental {
                     println!(
                         "minimum channel width: {} (incremental, {conflicts} conflicts)",
                         search.min_width
                     );
-                    for probe in &search.probes {
-                        println!(
-                            "  W = {:>2}: {}",
-                            probe.width,
-                            if probe.routing.is_some() {
-                                "SAT"
-                            } else {
-                                "UNSAT"
-                            }
-                        );
-                    }
-                }
-            } else {
-                let mut pipeline =
-                    RoutingPipeline::new(Strategy::new(opts.encoding, opts.symmetry))
-                        .with_budget(opts.budget())
-                        .with_tracer(tracer.clone())
-                        .with_metrics(registry.clone())
-                        .with_flight(flight.clone());
-                if opts.progress {
-                    pipeline =
-                        pipeline.with_observer(Arc::new(ProgressLogger::stderr("min-width")));
-                }
-                let search = pipeline
-                    .find_min_width(&problem)
-                    .map_err(|e| pipeline_stop(e, &flight))?;
-                if opts.json {
-                    let probes: Vec<String> = search
-                        .probes
-                        .iter()
-                        .map(|p| {
-                            format!(
-                                "{{\"width\":{},\"routable\":{}}}",
-                                p.width,
-                                p.routing.is_some()
-                            )
-                        })
-                        .collect();
-                    println!(
-                        "{{\"min_width\":{},\"incremental\":false,\"probes\":[{}]}}",
-                        search.min_width,
-                        probes.join(",")
-                    );
                 } else {
                     println!("minimum channel width: {}", search.min_width);
-                    for probe in &search.probes {
-                        println!(
-                            "  W = {:>2}: {}",
-                            probe.width,
-                            if probe.routing.is_some() {
-                                "SAT"
-                            } else {
-                                "UNSAT"
-                            }
-                        );
+                }
+                for probe in &search.probes {
+                    println!(
+                        "  W = {:>2}: {}",
+                        probe.width,
+                        if probe.routing.is_some() {
+                            "SAT"
+                        } else {
+                            "UNSAT"
+                        }
+                    );
+                }
+                if let Some(bound) = search.core_lower_bound() {
+                    let tracks: Vec<String> =
+                        search.failed_tracks.iter().map(u32::to_string).collect();
+                    println!(
+                        "  final UNSAT core: tracks [{}] (width >= {bound})",
+                        tracks.join(", ")
+                    );
+                }
+                if let Some((report, blame)) = &explanation {
+                    println!();
+                    match (&report.outcome, blame) {
+                        (ExplainOutcome::Core(_), Some(blame)) => print!("{}", blame.render_text()),
+                        (ExplainOutcome::Unknown(reason), _) => {
+                            println!("explain: undecided ({reason})");
+                        }
+                        // min_width - 1 is unroutable by construction of the
+                        // search, so a Colorable verdict cannot happen.
+                        _ => println!("explain: no core"),
                     }
                 }
             }
             Ok(ExitCode::SUCCESS)
+        }
+        "explain" => {
+            let path = opts
+                .positional
+                .first()
+                .ok_or("explain needs a problem file")?;
+            let width = opts.width.ok_or("explain needs --width <W>")?;
+            let problem = load_problem(path)?;
+            let (report, blame) = explain_at(&problem, width, &opts, tracer, registry, &flight);
+            if let Some(pm) = &report.postmortem {
+                eprint!("{}", pm.render_text());
+            }
+            if opts.json {
+                println!("{}", explain_json(&report, blame.as_ref()).to_json());
+            } else {
+                match &report.outcome {
+                    ExplainOutcome::Colorable(_) => {
+                        println!("ROUTABLE with {width} tracks — nothing to blame");
+                    }
+                    ExplainOutcome::Unknown(reason) => {
+                        println!("UNDECIDED with {width} tracks ({reason})");
+                    }
+                    ExplainOutcome::Core(core) => {
+                        println!(
+                            "UNROUTABLE with {width} tracks ({} probes, {} conflicts)",
+                            report.probes, report.solver_stats.conflicts
+                        );
+                        if core.status.is_minimal() {
+                            println!(
+                                "core: {} of {} initial net(s), 1-minimal",
+                                core.groups.len(),
+                                core.initial_size
+                            );
+                        } else {
+                            println!(
+                                "core: {} of {} initial net(s), shrink stopped: {} ({} untested)",
+                                core.groups.len(),
+                                core.initial_size,
+                                core.status.name(),
+                                core.status.untested()
+                            );
+                        }
+                        println!();
+                        if let Some(blame) = &blame {
+                            print!("{}", blame.render_text());
+                        }
+                    }
+                }
+            }
+            match &report.outcome {
+                ExplainOutcome::Core(_) => Ok(ExitCode::from(20)),
+                _ => Ok(ExitCode::SUCCESS),
+            }
         }
         "encode" => {
             let path = opts
@@ -1060,6 +1157,75 @@ fn run_bench(args: &[String]) -> Result<ExitCode, String> {
     }
 }
 
+/// Runs a net-grouped explanation of `problem` at `width` and maps the
+/// resulting core (if any) onto the fabric as a blame report.
+fn explain_at(
+    problem: &RoutingProblem,
+    width: u32,
+    opts: &Options,
+    tracer: &Tracer,
+    registry: &MetricsRegistry,
+    flight: &FlightRecorder,
+) -> (ExplainReport, Option<BlameReport>) {
+    let graph = problem.conflict_graph();
+    let groups: Vec<u32> = problem.subnets().map(|s| s.net.0).collect();
+    let mut request = Strategy::new(opts.encoding, opts.symmetry)
+        .explain(&graph, &groups, width)
+        .budget(opts.budget())
+        .shrink_budget(opts.shrink_budget)
+        .trace(tracer.clone())
+        .metrics(registry.clone())
+        .flight(flight.clone());
+    if opts.progress {
+        request = request.observe(Arc::new(ProgressLogger::stderr("explain")));
+    }
+    let report = request.run();
+    let blame = report.core().map(|core| {
+        let nets: Vec<NetId> = core.groups.iter().copied().map(NetId).collect();
+        BlameReport::new(problem, width, &nets)
+    });
+    (report, blame)
+}
+
+/// The explanation run as a JSON document, embedding the blame report
+/// when a core was found.
+fn explain_json(report: &ExplainReport, blame: Option<&BlameReport>) -> Value {
+    let routable = match &report.outcome {
+        ExplainOutcome::Colorable(_) => Value::from(true),
+        ExplainOutcome::Core(_) => Value::from(false),
+        ExplainOutcome::Unknown(_) => Value::Null,
+    };
+    let mut pairs: Vec<(&str, Value)> = vec![
+        ("width", Value::from(u64::from(report.width))),
+        ("routable", routable),
+        ("probes", Value::from(report.probes)),
+        ("kept", Value::from(u64::from(report.kept))),
+        ("dropped", Value::from(u64::from(report.dropped))),
+        ("conflicts", Value::from(report.solver_stats.conflicts)),
+    ];
+    match &report.outcome {
+        ExplainOutcome::Unknown(reason) => {
+            pairs.push(("stop_reason", Value::string(reason.to_string())));
+        }
+        ExplainOutcome::Core(core) => {
+            pairs.push(("status", Value::from(core.status.name())));
+            pairs.push(("minimal", Value::from(core.status.is_minimal())));
+            pairs.push(("untested", Value::from(u64::from(core.status.untested()))));
+            pairs.push(("initial_core", Value::from(u64::from(core.initial_size))));
+            pairs.push((
+                "core_nets",
+                Value::array(core.groups.iter().map(|&g| Value::from(u64::from(g)))),
+            ));
+            pairs.push(("lower_bound", Value::from(u64::from(report.width + 1))));
+        }
+        ExplainOutcome::Colorable(_) => {}
+    }
+    if let Some(blame) = blame {
+        pairs.push(("blame", blame.to_json()));
+    }
+    Value::object(pairs)
+}
+
 /// Renders a pipeline stop as the command's error message, first printing
 /// a flight-recorder postmortem on stderr when recording was on (the
 /// pipeline consumed the report, so the CLI reads the shared ring
@@ -1153,15 +1319,16 @@ fn finish_route(
 fn print_usage() {
     eprintln!(
         "usage: satroute <command> [options]\n\
-         commands: gen, route, prove, min-width, encode, solve, portfolio, conquer, trace, bench, encodings\n\
+         commands: gen, route, prove, min-width, encode, solve, portfolio, conquer, explain, trace, bench, encodings\n\
          run control: --timeout <secs>, --max-conflicts <n>, --progress, --json\n\
          portfolio: --diversify <N>, --portfolio-share, --threads <T>\n\
          conquer: --cube-vars <k> (2^k subcubes), --threads <T>, --portfolio-share\n\
          tracing: --trace <out.jsonl>; trace report|timeline <out.jsonl> [--json]\n\
          \u{20}        trace export <out.jsonl> --chrome <out.json> [--collapsed <out.txt>]\n\
          metrics: --metrics <out.json|out.prom>; flight recording: --progress or --flight-record\n\
-         min-width: --incremental (one warm solver, selector assumptions)\n\
-         bench: bench run [--suite quick|paper|incremental|conquer] [--out F] [--runs N] [--trace F] [--flight-record] [--filter S];\n\
+         min-width: --incremental (one warm solver, selector assumptions), --explain (blame the width below the minimum)\n\
+         explain: --width <W>, --shrink-budget <n> (cap deletion probes), --json (core + blame document)\n\
+         bench: bench run [--suite quick|paper|incremental|conquer|explain] [--out F] [--runs N] [--trace F] [--flight-record] [--filter S];\n\
          \u{20}       bench compare <base> <cand> [--gate] [--threshold PCT] [--json]\n\
          see the crate README for details"
     );

@@ -3,7 +3,7 @@
 //! `DESIGN.md` carries an appendix table of every metric name family the
 //! workspace may emit (between the `metric-families:begin/end` markers).
 //! This test runs the full pipeline, a portfolio, a cube-and-conquer
-//! search and an incremental session against one shared
+//! search, an incremental session and an explanation run against one shared
 //! [`MetricsRegistry`], then asserts the snapshot contains *only* names
 //! matching a documented family. Adding an instrument without its table
 //! row (or renaming one and leaving the doc stale) fails here, so the
@@ -84,8 +84,8 @@ fn matches_pattern(pattern: &str, name: &str) -> bool {
 }
 
 /// Populates `registry` from every metric-emitting surface: the full
-/// routing pipeline, a two-member portfolio, a cube-and-conquer run and
-/// an incremental session.
+/// routing pipeline, a two-member portfolio, a cube-and-conquer run, an
+/// incremental session and an explanation run.
 fn run_everything(registry: &MetricsRegistry) {
     let instance = benchmarks::suite_tiny()
         .into_iter()
@@ -122,6 +122,18 @@ fn run_everything(registry: &MetricsRegistry) {
         .metrics(registry.clone())
         .build();
     session.find_min_colors().expect("graph is colorable");
+
+    // An explanation run below the chromatic number exercises the
+    // explain.* family, shrink loop included.
+    let groups: Vec<u32> = (0..g.num_vertices() as u32).collect();
+    let report = Strategy::paper_best()
+        .explain(&g, &groups, chi - 1)
+        .metrics(registry.clone())
+        .run();
+    assert!(
+        report.core().is_some(),
+        "explain finds a core below the chromatic number"
+    );
 }
 
 #[test]
@@ -156,6 +168,7 @@ fn snapshot_emits_only_documented_metric_names() {
         "portfolio.member_0.conflicts",
         "conquer.cubes",
         "incremental.probes",
+        "explain.probes",
         "phase.sat_solving_us",
     ] {
         assert!(
