@@ -13,7 +13,7 @@ use std::time::{Duration, Instant};
 use satroute_core::{ExplainOutcome, RoutingPipeline, Strategy, WidthSearch};
 use satroute_fpga::benchmarks::{self, BenchmarkInstance};
 use satroute_obs::{FlightRecorder, MetricsRegistry, MetricsSnapshot, Tracer};
-use satroute_solver::RunBudget;
+use satroute_solver::{InprocessConfig, RunBudget, SolverConfig};
 
 use crate::artifact::{BenchArtifact, BenchCell, EnvFingerprint, HistogramSummary, WallTime};
 use crate::fmt_secs;
@@ -49,11 +49,22 @@ pub enum SuiteId {
     /// the gate catches a changed core or a degenerated shrink loop as
     /// loudly as a slowdown.
     Explain,
+    /// The quick-suite cells — plus the hard `k2` paper cell — twice
+    /// each: once with in-search inprocessing (vivification,
+    /// subsumption, bounded variable elimination) enabled and once with
+    /// the stock configuration. The
+    /// `inp-on` cells embed the simplification counters in the outcome
+    /// column (`... viv=L sub=C bve=V`) — all deterministic, since pass
+    /// budgets tick on clause lengths rather than time — so the gate
+    /// catches a pass that silently stops firing as loudly as a
+    /// slowdown; the paired `inp-off` cells make the wall-time effect
+    /// visible in timing-comparable environments.
+    Inprocess,
 }
 
 impl SuiteId {
     /// The suite's artifact name (`"quick"` / `"paper"` /
-    /// `"incremental"` / `"conquer"` / `"explain"`).
+    /// `"incremental"` / `"conquer"` / `"explain"` / `"inprocess"`).
     #[must_use]
     pub fn name(self) -> &'static str {
         match self {
@@ -62,6 +73,7 @@ impl SuiteId {
             SuiteId::Incremental => "incremental",
             SuiteId::Conquer => "conquer",
             SuiteId::Explain => "explain",
+            SuiteId::Inprocess => "inprocess",
         }
     }
 }
@@ -76,8 +88,10 @@ impl std::str::FromStr for SuiteId {
             "incremental" => Ok(SuiteId::Incremental),
             "conquer" => Ok(SuiteId::Conquer),
             "explain" => Ok(SuiteId::Explain),
+            "inprocess" => Ok(SuiteId::Inprocess),
             other => Err(format!(
-                "unknown suite `{other}` (try: quick, paper, incremental, conquer, explain)"
+                "unknown suite `{other}` (try: quick, paper, incremental, conquer, explain, \
+                 inprocess)"
             )),
         }
     }
@@ -136,6 +150,9 @@ enum CellKind {
     /// selector encoding, initial core, deletion shrink to 1-minimality
     /// on one warm solver.
     Explain { width: u32 },
+    /// One solve at a fixed width with in-search inprocessing toggled;
+    /// the `on` cells embed the pass counters in the outcome column.
+    Inprocess { width: u32, on: bool },
 }
 
 /// One entry of a suite's work list.
@@ -260,6 +277,52 @@ fn explain_cells() -> Vec<SuiteCell> {
     cells
 }
 
+/// The quick-suite grid with inprocessing on and off: every `tiny_*`
+/// instance × reference strategy × calibrated width appears as an
+/// `inp-on` / `inp-off` twin pair, plus the hard `k2` paper cell at its
+/// unroutable width (the one sub-second instance where the
+/// symmetry-falsified literals stripped by the start round pay for the
+/// search perturbation many times over). Both cells of a pair solve the
+/// same CNF with the same solver configuration apart from the
+/// [`InprocessConfig`] toggle, so any divergence in the verdict columns
+/// is an inprocessing soundness bug, not noise.
+fn inprocess_cells() -> Vec<SuiteCell> {
+    let strategies = [Strategy::paper_best(), Strategy::paper_baseline()];
+    let mut cells = Vec::new();
+    for instance in benchmarks::suite_tiny() {
+        for strategy in strategies {
+            for width in [instance.routable_width, instance.unroutable_width] {
+                if width == 0 {
+                    continue;
+                }
+                for on in [true, false] {
+                    cells.push(SuiteCell {
+                        instance: instance.clone(),
+                        strategy,
+                        kind: CellKind::Inprocess { width, on },
+                    });
+                }
+            }
+        }
+    }
+    for instance in benchmarks::suite_paper() {
+        if instance.name != "k2" {
+            continue;
+        }
+        let width = instance.unroutable_width;
+        for strategy in strategies {
+            for on in [true, false] {
+                cells.push(SuiteCell {
+                    instance: instance.clone(),
+                    strategy,
+                    kind: CellKind::Inprocess { width, on },
+                });
+            }
+        }
+    }
+    cells
+}
+
 /// Runs `suite` and assembles the artifact. `progress` receives one line
 /// per completed cell (pass `|_| {}` to silence).
 pub fn run_suite(
@@ -273,6 +336,7 @@ pub fn run_suite(
         SuiteId::Incremental => incremental_cells(),
         SuiteId::Conquer => conquer_cells(),
         SuiteId::Explain => explain_cells(),
+        SuiteId::Inprocess => inprocess_cells(),
     };
     if let Some(needle) = &opts.filter {
         cells.retain(|cell| cell_id(cell).contains(needle.as_str()));
@@ -305,7 +369,9 @@ pub fn run_suite(
 /// with their single-threaded baseline twin. Explain cells use an
 /// `explain-wN` final segment and a `-` symmetry segment — deleting nets
 /// from a symmetry-broken formula is unsound, so the explanation path
-/// always encodes symmetry-free regardless of the strategy.
+/// always encodes symmetry-free regardless of the strategy. Inprocess
+/// cells append `inp-on` / `inp-off` to the plain id so twins never
+/// collide with each other or with the quick suite.
 fn cell_id(cell: &SuiteCell) -> String {
     match cell.kind {
         CellKind::Solve { width } => BenchCell::make_id(
@@ -339,6 +405,16 @@ fn cell_id(cell: &SuiteCell) -> String {
             cell.instance.name,
             cell.strategy.encoding.name(),
         ),
+        CellKind::Inprocess { width, on } => format!(
+            "{}/inp-{}",
+            BenchCell::make_id(
+                &cell.instance.name,
+                cell.strategy.encoding.name(),
+                cell.strategy.symmetry.name(),
+                width,
+            ),
+            if on { "on" } else { "off" }
+        ),
     }
 }
 
@@ -355,6 +431,9 @@ fn run_cell(cell: &SuiteCell, runs: usize, opts: &SuiteOptions) -> BenchCell {
             threads,
         } => return run_conquer_cell(cell, width, cube_vars, threads, runs, opts),
         CellKind::Explain { width } => return run_explain_cell(cell, width, runs, opts),
+        CellKind::Inprocess { width, on } => {
+            return run_inprocess_cell(cell, width, on, runs, opts)
+        }
     };
     let span = opts.tracer.span_with(
         "cell",
@@ -409,6 +488,119 @@ fn run_cell(cell: &SuiteCell, runs: usize, opts: &SuiteOptions) -> BenchCell {
         satroute_core::ColoringOutcome::Colorable(_) => "sat".to_string(),
         satroute_core::ColoringOutcome::Unsat => "unsat".to_string(),
         satroute_core::ColoringOutcome::Unknown(reason) => format!("unknown:{reason}"),
+    };
+    let histograms = snapshot
+        .histograms()
+        .map(|(name, h)| (name.to_string(), HistogramSummary::of(h)))
+        .collect();
+
+    BenchCell {
+        id: cell_id(cell),
+        benchmark: cell.instance.name.clone(),
+        encoding: cell.strategy.encoding.name().to_string(),
+        symmetry: cell.strategy.symmetry.name().to_string(),
+        width,
+        runs: runs as u64,
+        wall_time_s: WallTime {
+            median: report.metrics.wall_time.as_secs_f64(),
+            min,
+            max,
+        },
+        conflicts: report.solver_stats.conflicts,
+        decisions: report.solver_stats.decisions,
+        propagations: report.solver_stats.propagations,
+        props_per_sec: report.metrics.propagations_per_sec(),
+        cnf_vars: u64::from(report.formula_stats.num_vars),
+        cnf_clauses: report.formula_stats.num_clauses as u64,
+        outcome,
+        histograms,
+    }
+}
+
+/// Measures one inprocessing twin cell: a plain fixed-width solve with
+/// the [`InprocessConfig`] toggled per the cell's `on` flag. The `on`
+/// outcome column appends the pass counters
+/// (`viv=<literals> sub=<clauses> bve=<vars>`) to the verdict: pass
+/// budgets are conflict- and tick-scheduled (ticks decrement by clause
+/// length, never by time) and candidate orders are fixed, so the
+/// counters are bit-identical across machines and the compare gate
+/// checks them verbatim — a pass that silently stops firing, or fires
+/// differently, fails the gate even if wall time looks fine.
+fn run_inprocess_cell(
+    cell: &SuiteCell,
+    width: u32,
+    on: bool,
+    runs: usize,
+    opts: &SuiteOptions,
+) -> BenchCell {
+    let span = opts.tracer.span_with(
+        "cell",
+        [
+            (
+                "benchmark",
+                satroute_obs::FieldValue::from(cell.instance.name.as_str()),
+            ),
+            (
+                "strategy",
+                satroute_obs::FieldValue::from(cell.strategy.to_string()),
+            ),
+            ("width", satroute_obs::FieldValue::from(width)),
+            ("inprocess", satroute_obs::FieldValue::from(on)),
+        ],
+    );
+    let mut config = SolverConfig::default();
+    if on {
+        config.inprocess = InprocessConfig::on();
+    }
+    let mut samples = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let registry = MetricsRegistry::new();
+        let report = cell
+            .strategy
+            .solve(&cell.instance.conflict_graph, width)
+            .config(config.clone())
+            .budget(opts.budget)
+            .trace(opts.tracer.clone())
+            .metrics(registry.clone())
+            .flight(opts.flight.clone())
+            .run();
+        samples.push((report, registry.snapshot()));
+    }
+    drop(span);
+
+    // Median by wall time; ties keep the earlier run (deterministic).
+    let mut order: Vec<usize> = (0..samples.len()).collect();
+    order.sort_by(|&a, &b| {
+        samples[a]
+            .0
+            .metrics
+            .wall_time
+            .cmp(&samples[b].0.metrics.wall_time)
+            .then(a.cmp(&b))
+    });
+    let median_idx = order[order.len() / 2];
+    let (report, snapshot) = &samples[median_idx];
+
+    let walls: Vec<f64> = samples
+        .iter()
+        .map(|(r, _)| r.metrics.wall_time.as_secs_f64())
+        .collect();
+    let min = walls.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = walls.iter().copied().fold(0.0_f64, f64::max);
+
+    let verdict = match &report.outcome {
+        satroute_core::ColoringOutcome::Colorable(_) => "sat".to_string(),
+        satroute_core::ColoringOutcome::Unsat => "unsat".to_string(),
+        satroute_core::ColoringOutcome::Unknown(reason) => format!("unknown:{reason}"),
+    };
+    let outcome = if on {
+        let s = &report.solver_stats;
+        format!(
+            "{verdict} viv={} sub={} bve={}",
+            s.vivified_literals, s.subsumed_clauses, s.eliminated_vars,
+        )
+    } else {
+        verdict
     };
     let histograms = snapshot
         .histograms()
@@ -1004,6 +1196,52 @@ mod tests {
             // Shrink probes do real solver work on these cells.
             assert!(cell.conflicts > 0, "{}", cell.id);
         }
+    }
+
+    #[test]
+    fn inprocess_suite_twins_agree_and_counters_are_deterministic() {
+        let opts = SuiteOptions {
+            runs: 1,
+            ..SuiteOptions::default()
+        };
+        let a = run_suite(SuiteId::Inprocess, &opts, |_| {});
+        let b = run_suite(SuiteId::Inprocess, &opts, |_| {});
+        assert!(!a.cells.is_empty());
+        assert_eq!(a.cells.len(), b.cells.len());
+        for (ca, cb) in a.cells.iter().zip(&b.cells) {
+            assert_eq!(ca.id, cb.id);
+            // The `inp-on` outcome embeds the pass counters; identical
+            // strings across repeat runs is the determinism claim the
+            // CI gate relies on.
+            assert_eq!(ca.outcome, cb.outcome, "{}", ca.id);
+            assert_eq!(ca.conflicts, cb.conflicts, "{}", ca.id);
+        }
+        let mut simplified_somewhere = false;
+        for on in a.cells.iter().filter(|c| c.id.ends_with("/inp-on")) {
+            assert!(
+                on.outcome.contains(" viv=") && on.outcome.contains(" bve="),
+                "{}: expected embedded counters, got `{}`",
+                on.id,
+                on.outcome
+            );
+            let off_id = on.id.replace("/inp-on", "/inp-off");
+            let off = a
+                .cells
+                .iter()
+                .find(|c| c.id == off_id)
+                .expect("every inp-on cell has an inp-off twin");
+            // Same verdict token: inprocessing must never flip an
+            // answer.
+            let verdict = on.outcome.split_whitespace().next().unwrap();
+            assert_eq!(verdict, off.outcome, "{}", on.id);
+            if !on.outcome.contains("viv=0 sub=0 bve=0") {
+                simplified_somewhere = true;
+            }
+        }
+        assert!(
+            simplified_somewhere,
+            "at least one inp-on cell must report non-zero pass counters"
+        );
     }
 
     #[test]

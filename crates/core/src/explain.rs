@@ -328,6 +328,13 @@ impl<'a> ExplainRequest<'a> {
             solver.set_cancellation(token);
         }
         solver.add_formula(&encoding.formula);
+        // Deletion probes assume shrinking selector subsets, so the
+        // solver's per-call assumption freezing never covers dropped
+        // groups — freeze every group selector up front or inprocessing
+        // (when enabled) could eliminate one a later probe re-assumes.
+        for lit in encoding.all_assumptions() {
+            solver.freeze_var(lit.var());
+        }
 
         let mut populated: Vec<u32> = self.groups.to_vec();
         populated.sort_unstable();

@@ -166,6 +166,13 @@ impl<'a> IncrementalSessionBuilder<'a> {
             solver.set_cancellation(token);
         }
         solver.add_formula(&encoding.formula);
+        // Probes at width k only assume the selectors of tracks ≥ k, so
+        // the solver's per-call assumption freezing never covers the
+        // lower tracks — freeze every selector up front or inprocessing
+        // (when enabled) could eliminate one a later probe assumes.
+        for lit in encoding.assumptions_for_width(0) {
+            solver.freeze_var(lit.var());
+        }
         IncrementalSession {
             strategy: self.strategy,
             solver,

@@ -20,10 +20,11 @@ use std::time::Duration;
 use satroute_cnf::{CnfFormula, FormulaStats, Lit};
 use satroute_coloring::{Coloring, CspGraph};
 use satroute_obs::{FieldValue, FlightRecorder, MetricsRegistry, Postmortem, Tracer};
+use satroute_solver::preprocess::{preprocess, PreprocessStats, Simplification};
 use satroute_solver::{
     CancellationToken, CdclSolver, ClauseExchange, DratProof, FanoutObserver, MetricsRecorder,
-    RunBudget, RunMetrics, RunObserver, SharingConfig, SolveOutcome, SolverConfig, SolverStats,
-    StopReason, TraceObserver,
+    RunBudget, RunMetrics, RunObserver, SharingConfig, SolveOutcome, SolverConfig,
+    SolverMetricsHub, SolverStats, StopReason, TraceObserver,
 };
 
 use crate::catalog::EncodingId;
@@ -213,6 +214,7 @@ impl Strategy {
             metrics: MetricsRegistry::disabled(),
             flight: FlightRecorder::disabled(),
             assumptions: Vec::new(),
+            preprocess: false,
         }
     }
 
@@ -329,6 +331,7 @@ pub struct SolveRequest<'a> {
     metrics: MetricsRegistry,
     flight: FlightRecorder,
     assumptions: Vec<Lit>,
+    preprocess: bool,
 }
 
 impl fmt::Debug for SolveRequest<'_> {
@@ -421,6 +424,21 @@ impl<'a> SolveRequest<'a> {
         self
     }
 
+    /// Runs level-0 preprocessing (unit propagation, pure-literal
+    /// elimination) on the encoded CNF before solving, and surfaces the
+    /// pass's [`PreprocessStats`] in the report's
+    /// [`RunMetrics::preprocess`] and the registry's `preprocess.*`
+    /// counters.
+    ///
+    /// Silently skipped when the request carries assumptions (pure-literal
+    /// elimination is unsound under later-forced literals) or runs
+    /// certified (the DRAT log must cover every derived clause, and the
+    /// preprocessor does not emit proof steps).
+    pub fn preprocess(mut self, enabled: bool) -> Self {
+        self.preprocess = enabled;
+        self
+    }
+
     /// Attaches a [`FlightRecorder`]: the solver deposits fixed-interval
     /// search-state samples (every 256 conflicts and at restart / reduce /
     /// GC / finish boundaries) into its ring, and a run that stops early
@@ -477,6 +495,17 @@ impl<'a> SolveRequest<'a> {
         );
         let formula_stats = encoded.formula.stats();
 
+        // Pre-solve simplification (opt-in). Skipped under assumptions
+        // (pure-literal elimination is unsound once literals can be
+        // forced later) and under proof logging (the preprocessor emits
+        // no DRAT steps, so the log would not cover its deletions).
+        let pre: Option<(Simplification, PreprocessStats)> =
+            if self.preprocess && self.assumptions.is_empty() && !with_proof {
+                Some(preprocess(&encoded.formula))
+            } else {
+                None
+            };
+
         let solve_span = tracer.span_with(
             "solve",
             [("strategy", FieldValue::from(self.strategy.to_string()))],
@@ -507,7 +536,14 @@ impl<'a> SolveRequest<'a> {
             solver.set_exchange(exchange, sharing);
         }
         solver.set_observer(Arc::new(fanout));
-        solver.add_formula(&encoded.formula);
+        match &pre {
+            // A preprocessor UNSAT came from unit propagation alone, so
+            // the solver re-derives it instantly from the original
+            // clauses — no special verdict path needed (the residual
+            // formula would be empty, i.e. trivially SAT).
+            Some((simp, _)) if !simp.unsat => solver.add_formula(&simp.formula),
+            _ => solver.add_formula(&encoded.formula),
+        }
         let outcome = solver.solve_with_assumptions(&self.assumptions);
         let sat_solving = solve_span.close();
         let solver_stats = *solver.stats();
@@ -528,6 +564,14 @@ impl<'a> SolveRequest<'a> {
         let decode_span = tracer.span("decode");
         let outcome = match outcome {
             SolveOutcome::Sat(model) => {
+                // Extend a model of the residual formula back over the
+                // literals the preprocessor fixed.
+                let model = match &pre {
+                    Some((simp, _)) if !simp.unsat => {
+                        simp.restore_model(&model, encoded.formula.num_vars())
+                    }
+                    _ => model,
+                };
                 let coloring = decode_coloring(&model, &encoded.decode)
                     .expect("models of the encoding always decode (totality)");
                 assert!(
@@ -562,7 +606,13 @@ impl<'a> SolveRequest<'a> {
                 .record(micros(decoding));
         }
 
-        let run_metrics = recorder.snapshot();
+        let mut run_metrics = recorder.snapshot();
+        if let Some((_, pstats)) = &pre {
+            run_metrics.preprocess = *pstats;
+            if metrics.is_enabled() {
+                SolverMetricsHub::from_registry(&metrics).on_preprocess(pstats);
+            }
+        }
         let timing = TimingBreakdown {
             graph_generation: Duration::ZERO,
             // Both stage durations come from span measurements, so the
@@ -646,6 +696,51 @@ mod tests {
         // solver's own counters.
         assert_eq!(report.metrics.stats, report.solver_stats);
         assert_eq!(report.metrics.sat, Some(report.outcome.is_colorable()));
+    }
+
+    #[test]
+    fn preprocessed_solve_agrees_and_surfaces_its_stats() {
+        // Muldirect's S1 symmetry pins vertex colors with unit clauses
+        // (the ITE encodings restrict via longer clauses instead), so
+        // the pre-solve pass always has units to consume here.
+        let strategy = Strategy::new(EncodingId::Muldirect, SymmetryHeuristic::S1);
+        for seed in 0..3u64 {
+            let g = random_graph(10, 0.5, seed);
+            let chi = exact::chromatic_number(&g);
+            for k in [chi.saturating_sub(1).max(1), chi] {
+                let plain = strategy.solve_coloring(&g, k);
+                let registry = MetricsRegistry::new();
+                let pre = strategy
+                    .solve(&g, k)
+                    .preprocess(true)
+                    .metrics(registry.clone())
+                    .run();
+                assert_eq!(
+                    pre.outcome.is_colorable(),
+                    plain.outcome.is_colorable(),
+                    "seed {seed}, k {k}: preprocessing flipped the verdict"
+                );
+                if let ColoringOutcome::Colorable(c) = &pre.outcome {
+                    // The decoder consumed a model restored through the
+                    // preprocessor, so a proper coloring here certifies
+                    // `restore_model`.
+                    assert!(c.is_proper(&g), "seed {seed}, k {k}");
+                    assert!(c.max_color().unwrap() < k);
+                }
+                // The pass's work is surfaced both on the report and in
+                // the metrics registry.
+                assert!(
+                    pre.metrics.preprocess.units > 0,
+                    "seed {seed}, k {k}: S1 units must feed the preprocessor"
+                );
+                assert_eq!(
+                    registry.snapshot().counter("preprocess.units"),
+                    Some(pre.metrics.preprocess.units as u64),
+                    "seed {seed}, k {k}"
+                );
+                assert_eq!(plain.metrics.preprocess, PreprocessStats::default());
+            }
+        }
     }
 
     #[test]

@@ -35,6 +35,8 @@ pub enum SampleCause {
     Gc,
     /// The final sample taken when a solve returns.
     Finish,
+    /// An inprocessing round (vivification / subsumption / BVE).
+    Inprocess,
 }
 
 impl SampleCause {
@@ -46,6 +48,7 @@ impl SampleCause {
             SampleCause::Reduce => "reduce",
             SampleCause::Gc => "gc",
             SampleCause::Finish => "finish",
+            SampleCause::Inprocess => "inprocess",
         }
     }
 
@@ -57,6 +60,7 @@ impl SampleCause {
             "reduce" => SampleCause::Reduce,
             "gc" => SampleCause::Gc,
             "finish" => SampleCause::Finish,
+            "inprocess" => SampleCause::Inprocess,
             _ => return None,
         })
     }
@@ -67,6 +71,7 @@ impl SampleCause {
             2 => SampleCause::Reduce,
             3 => SampleCause::Gc,
             4 => SampleCause::Finish,
+            5 => SampleCause::Inprocess,
             _ => SampleCause::Conflict,
         }
     }
@@ -78,6 +83,7 @@ impl SampleCause {
             SampleCause::Reduce => 2,
             SampleCause::Gc => 3,
             SampleCause::Finish => 4,
+            SampleCause::Inprocess => 5,
         }
     }
 }
@@ -717,6 +723,7 @@ mod tests {
             SampleCause::Reduce,
             SampleCause::Gc,
             SampleCause::Finish,
+            SampleCause::Inprocess,
         ] {
             let mut s = sample(7);
             s.cause = cause.into();

@@ -190,6 +190,22 @@ impl ClauseArena {
         self.meta(cref) & DELETED_BIT != 0
     }
 
+    /// Clears the learnt flag, promoting the clause to irredundant.
+    ///
+    /// Used by subsumption when a learnt clause subsumes an original
+    /// one: the subsumed original may only be dropped if its subsumer
+    /// becomes permanent, otherwise a later learnt-database reduction
+    /// could leave the formula weaker than the input.
+    pub fn clear_learnt(&mut self, cref: ClauseRef) {
+        self.data[cref as usize + 1] &= !LEARNT_BIT;
+    }
+
+    /// The references of all clauses still live in the arena, in
+    /// allocation order. Deterministic: drives inprocessing passes.
+    pub fn refs(&self) -> ClauseRefs<'_> {
+        ClauseRefs { arena: self, at: 0 }
+    }
+
     /// Marks the clause deleted; its words are reclaimed by the next
     /// [`ClauseArena::compact`].
     pub fn delete(&mut self, cref: ClauseRef) {
@@ -265,6 +281,31 @@ impl ClauseArena {
         }
         self.dead_words = 0;
         Forwarding { old }
+    }
+}
+
+/// Iterator over the live clause references of a [`ClauseArena`], in
+/// allocation (offset) order. Created by [`ClauseArena::refs`].
+#[derive(Debug)]
+pub struct ClauseRefs<'a> {
+    arena: &'a ClauseArena,
+    at: usize,
+}
+
+impl Iterator for ClauseRefs<'_> {
+    type Item = ClauseRef;
+
+    fn next(&mut self) -> Option<ClauseRef> {
+        while self.at < self.arena.data.len() {
+            let cref = self.at as ClauseRef;
+            let len = self.arena.data[self.at] as usize;
+            let meta = self.arena.data[self.at + 1];
+            self.at += HEADER_WORDS + len;
+            if meta & DELETED_BIT == 0 {
+                return Some(cref);
+            }
+        }
+        None
     }
 }
 
@@ -413,5 +454,34 @@ mod tests {
         let _fwd = a.compact();
         assert!(a.is_empty());
         assert_eq!(a.live_bytes(), 0);
+    }
+
+    #[test]
+    fn refs_walks_live_clauses_in_allocation_order() {
+        let mut a = ClauseArena::new();
+        let c0 = a.alloc(&lits(&[0, 2]), false);
+        let c1 = a.alloc(&lits(&[1, 3, 5]), true);
+        let c2 = a.alloc(&lits(&[4, 6]), false);
+        assert_eq!(a.refs().collect::<Vec<_>>(), vec![c0, c1, c2]);
+        a.delete(c1);
+        assert_eq!(a.refs().collect::<Vec<_>>(), vec![c0, c2]);
+        let fwd = a.compact();
+        let n0 = fwd.resolve(c0).unwrap();
+        let n2 = fwd.resolve(c2).unwrap();
+        assert_eq!(a.refs().collect::<Vec<_>>(), vec![n0, n2]);
+    }
+
+    #[test]
+    fn clear_learnt_promotes_without_clobbering_lbd_or_tier() {
+        let mut a = ClauseArena::new();
+        let c = a.alloc(&lits(&[0, 2, 4]), true);
+        a.set_lbd(c, 5);
+        a.set_tier(c, Tier::Mid);
+        assert!(a.is_learnt(c));
+        a.clear_learnt(c);
+        assert!(!a.is_learnt(c));
+        assert_eq!(a.lbd(c), 5);
+        assert_eq!(a.tier(c), Tier::Mid);
+        assert!(!a.is_deleted(c));
     }
 }

@@ -27,6 +27,7 @@ use satroute_cnf::{Assignment, CnfFormula, Lit, Var};
 
 use crate::arena::{ClauseArena, ClauseRef, Tier};
 use crate::heap::VarHeap;
+use crate::inprocess::InprocessConfig;
 use crate::luby::luby;
 use crate::outcome::SolveOutcome;
 use crate::proof::DratProof;
@@ -140,6 +141,11 @@ pub struct SolverConfig {
     /// Testing knob: additionally run a compacting GC every N conflicts
     /// (even with nothing dead), to exercise reference remapping.
     pub debug_force_gc: Option<u64>,
+    /// Inprocessing (vivification / subsumption / bounded variable
+    /// elimination) schedule and pass selection. Disabled by default:
+    /// the classic search stays byte-identical to the recorded
+    /// baselines unless the caller opts in.
+    pub inprocess: InprocessConfig,
 }
 
 impl Default for SolverConfig {
@@ -158,6 +164,7 @@ impl Default for SolverConfig {
             learnt_floor: 1000.0,
             gc_dead_frac: 0.25,
             debug_force_gc: None,
+            inprocess: InprocessConfig::default(),
         }
     }
 }
@@ -240,18 +247,32 @@ pub struct SolverStats {
     pub gc_runs: u64,
     /// Bytes reclaimed by those collections.
     pub gc_reclaimed_bytes: u64,
+    /// Inprocessing rounds executed.
+    pub inprocess_runs: u64,
+    /// Clauses shortened by vivification.
+    pub vivified_clauses: u64,
+    /// Literals removed by vivification (including level-0 falsified
+    /// literals stripped during the pass).
+    pub vivified_literals: u64,
+    /// Clauses deleted because another clause subsumes them (including
+    /// clauses satisfied at level 0, which the unit trail subsumes).
+    pub subsumed_clauses: u64,
+    /// Clauses strengthened by self-subsuming resolution.
+    pub strengthened_clauses: u64,
+    /// Variables removed by bounded variable elimination.
+    pub eliminated_vars: u64,
 }
 
-const NO_REASON: u32 = u32::MAX;
+pub(crate) const NO_REASON: u32 = u32::MAX;
 
 /// Truth-value codes for the internal assignment array.
-const UNDEF: u8 = 0;
-const FALSE: u8 = 1;
-const TRUE: u8 = 2;
+pub(crate) const UNDEF: u8 = 0;
+pub(crate) const FALSE: u8 = 1;
+pub(crate) const TRUE: u8 = 2;
 
 #[derive(Clone, Copy, Debug)]
-struct Watcher {
-    cref: ClauseRef,
+pub(crate) struct Watcher {
+    pub(crate) cref: ClauseRef,
     blocker: Lit,
 }
 
@@ -303,35 +324,35 @@ impl fmt::Debug for ExchangeSlot {
 /// ```
 #[derive(Clone, Debug)]
 pub struct CdclSolver {
-    config: SolverConfig,
-    stats: SolverStats,
+    pub(crate) config: SolverConfig,
+    pub(crate) stats: SolverStats,
 
     /// Flat clause storage; every `cref` below is an offset into it.
-    arena: ClauseArena,
+    pub(crate) arena: ClauseArena,
     /// References of learnt clauses (may include deleted ones until the
     /// next compaction of this list at the end of `reduce_db`).
-    learnts: Vec<ClauseRef>,
-    watches: Vec<Vec<Watcher>>,
+    pub(crate) learnts: Vec<ClauseRef>,
+    pub(crate) watches: Vec<Vec<Watcher>>,
     /// Clauses ever attached (learnt included, deletions not subtracted);
     /// feeds the initial learnt-clause limit exactly as the length of the
     /// old grow-only clause vector did.
     allocated_clauses: usize,
     /// Original (problem) clauses currently attached.
-    original_clauses: usize,
+    pub(crate) original_clauses: usize,
     /// Live learnt clauses per [`Tier`], indexed by `Tier as usize`.
     tier_counts: [u64; 3],
 
-    assigns: Vec<u8>,
-    level: Vec<u32>,
-    reason: Vec<u32>,
-    trail: Vec<Lit>,
-    trail_lim: Vec<usize>,
+    pub(crate) assigns: Vec<u8>,
+    pub(crate) level: Vec<u32>,
+    pub(crate) reason: Vec<u32>,
+    pub(crate) trail: Vec<Lit>,
+    pub(crate) trail_lim: Vec<usize>,
     qhead: usize,
 
     activity: Vec<f64>,
     var_inc: f64,
     order: VarHeap,
-    phase: Vec<bool>,
+    pub(crate) phase: Vec<bool>,
     cla_inc: f64,
 
     /// Scratch space for conflict analysis.
@@ -346,7 +367,7 @@ pub struct CdclSolver {
     lbd_gen: u32,
 
     /// False once a top-level conflict has been derived.
-    ok: bool,
+    pub(crate) ok: bool,
     cancel: Option<CancellationToken>,
     budget: RunBudget,
     observer: ObserverSlot,
@@ -365,15 +386,15 @@ pub struct CdclSolver {
     learnt_bytes: u64,
     /// Pre-resolved metric handles, fed at conflict/restart/finish
     /// boundaries; disabled by default (one branch per boundary).
-    metrics: SolverMetricsHub,
+    pub(crate) metrics: SolverMetricsHub,
     /// Flight recorder fed fixed-interval search-state samples; disabled
     /// by default (one branch per boundary, like `metrics`).
-    flight: FlightRecorder,
+    pub(crate) flight: FlightRecorder,
     /// `(conflicts, propagations, at_us)` of the previous flight sample,
     /// from which the next sample's windowed rates are computed.
     flight_last: Option<(u64, u64, u64)>,
     /// DRAT proof log (learnt additions + deletions) when enabled.
-    proof: Option<DratProof>,
+    pub(crate) proof: Option<DratProof>,
     /// Set when the last `solve_with_assumptions` failed only because of
     /// the assumptions (the formula itself may still be satisfiable).
     unsat_under_assumptions: bool,
@@ -381,6 +402,29 @@ pub struct CdclSolver {
     /// answer (MiniSat's `conflict` vector): a subset of the supplied
     /// assumptions that is already contradictory with the formula.
     failed_assumptions: Vec<Lit>,
+
+    /// Variables inprocessing must never eliminate: assumption
+    /// selectors, cube prefixes, and anything assumed in the current
+    /// solve (assumptions are frozen automatically at solve start).
+    pub(crate) frozen: Vec<bool>,
+    /// Variables removed by bounded variable elimination. They carry no
+    /// clauses, are never branched on, and block clause import; their
+    /// model value is rebuilt from `elim_stack` in `extract_model`.
+    pub(crate) eliminated: Vec<bool>,
+    /// Eén–Biere reconstruction stack: for each eliminated variable, the
+    /// clauses that contained its positive literal, in elimination
+    /// order. Replayed in reverse to extend a model of the simplified
+    /// formula to the original variable space.
+    pub(crate) elim_stack: Vec<(Var, Vec<Vec<Lit>>)>,
+    /// Number of level-0 trail literals already re-logged as DRAT unit
+    /// additions (inprocessing logs the prefix before deleting clauses,
+    /// so the checker can still derive every root-level unit).
+    pub(crate) proof_units_logged: usize,
+    /// Conflict count at which the next inprocessing round may run.
+    pub(crate) next_inprocess_at: u64,
+    /// Conflicts between inprocessing rounds; grows geometrically by
+    /// [`InprocessConfig::backoff`] after every round.
+    pub(crate) inprocess_interval: u64,
 }
 
 impl Default for CdclSolver {
@@ -439,6 +483,12 @@ impl CdclSolver {
             proof: None,
             unsat_under_assumptions: false,
             failed_assumptions: Vec::new(),
+            frozen: Vec::new(),
+            eliminated: Vec::new(),
+            elim_stack: Vec::new(),
+            proof_units_logged: 0,
+            next_inprocess_at: 0,
+            inprocess_interval: 0,
         }
     }
 
@@ -592,7 +642,7 @@ impl CdclSolver {
     }
 
     #[inline]
-    fn emit(&self, event: SolverEvent) {
+    pub(crate) fn emit(&self, event: SolverEvent) {
         if let Some(obs) = &self.observer.0 {
             obs.on_event(&event);
         }
@@ -600,7 +650,7 @@ impl CdclSolver {
 
     /// Captures one flight-recorder sample of the current search state.
     /// Pure read of solver state: recording cannot perturb the search.
-    fn flight_sample(&mut self, cause: SampleCause) {
+    pub(crate) fn flight_sample(&mut self, cause: SampleCause) {
         debug_assert!(self.flight.is_enabled(), "callers guard on is_enabled");
         let at_us = self
             .solve_start
@@ -663,6 +713,8 @@ impl CdclSolver {
         self.activity.resize(n, 0.0);
         self.phase.resize(n, false);
         self.seen.resize(n, false);
+        self.frozen.resize(n, false);
+        self.eliminated.resize(n, false);
         // Decision levels never exceed the variable count.
         self.lbd_stamp.resize(n + 1, 0);
         self.watches.resize(n * 2, Vec::new());
@@ -719,6 +771,13 @@ impl CdclSolver {
         }
         let max_var = lits.iter().map(|l| l.var().index() + 1).max().unwrap_or(0);
         self.ensure_vars(max_var);
+        assert!(
+            !lits
+                .iter()
+                .any(|l| self.eliminated[l.var().index() as usize]),
+            "clause mentions a variable removed by bounded variable \
+             elimination; freeze variables that later clauses will mention"
+        );
 
         // Normalize: sort/dedup, drop falsified-at-level-0 literals, detect
         // tautologies and satisfied clauses.
@@ -817,6 +876,15 @@ impl CdclSolver {
         }
         for lit in assumptions {
             self.ensure_vars(lit.var().index() + 1);
+            // Assumptions are frozen for the lifetime of the solver:
+            // inprocessing must never eliminate a variable a later
+            // (possibly different) assumption set could mention again.
+            self.frozen[lit.var().index() as usize] = true;
+            assert!(
+                !self.eliminated[lit.var().index() as usize],
+                "assumption over a variable removed by bounded variable \
+                 elimination; freeze assumption selectors before solving"
+            );
         }
         if self.propagate().is_some() {
             self.ok = false;
@@ -828,6 +896,11 @@ impl CdclSolver {
 
         // Pick up anything peers shared before this solve began.
         if !self.import_shared_clauses() {
+            return SolveOutcome::Unsat;
+        }
+        // First inprocessing opportunity: the trail is at level 0 and the
+        // whole formula (simplifiable symmetry units included) is loaded.
+        if !self.maybe_inprocess() {
             return SolveOutcome::Unsat;
         }
 
@@ -871,6 +944,12 @@ impl CdclSolver {
                     // is at level 0, so peer clauses can be watched on
                     // unassigned literals.
                     if !self.import_shared_clauses() {
+                        return SolveOutcome::Unsat;
+                    }
+                    // Restart boundaries are also the inprocessing
+                    // points; the conflict-budget schedule inside
+                    // decides whether this one actually runs a round.
+                    if !self.maybe_inprocess() {
                         return SolveOutcome::Unsat;
                     }
                     restart_number += 1;
@@ -1123,6 +1202,14 @@ impl CdclSolver {
             let max_var = lits.iter().map(|l| l.var().index() + 1).max().unwrap_or(0);
             self.ensure_vars(max_var);
 
+            // Peers do not know about this solver's bounded variable
+            // elimination; attaching a clause over a locally eliminated
+            // variable would resurrect it, so such deliveries are
+            // dropped at the import boundary.
+            if lits.iter().any(|l| self.eliminated[usize::from(l.var())]) {
+                continue;
+            }
+
             // Normalize against the level-0 assignment: drop falsified
             // literals, skip satisfied or tautological deliveries.
             let mut sorted = lits.to_vec();
@@ -1204,12 +1291,12 @@ impl CdclSolver {
         self.trail.len()
     }
 
-    fn decision_level(&self) -> u32 {
+    pub(crate) fn decision_level(&self) -> u32 {
         self.trail_lim.len() as u32
     }
 
     #[inline]
-    fn lit_value(&self, lit: Lit) -> u8 {
+    pub(crate) fn lit_value(&self, lit: Lit) -> u8 {
         let v = self.assigns[usize::from(lit.var())];
         if v == UNDEF {
             UNDEF
@@ -1220,7 +1307,7 @@ impl CdclSolver {
         }
     }
 
-    fn enqueue(&mut self, lit: Lit, reason: u32) {
+    pub(crate) fn enqueue(&mut self, lit: Lit, reason: u32) {
         debug_assert_eq!(self.lit_value(lit), UNDEF);
         let var = usize::from(lit.var());
         self.assigns[var] = if lit.is_positive() { TRUE } else { FALSE };
@@ -1230,13 +1317,16 @@ impl CdclSolver {
     }
 
     /// Unit propagation. Returns the conflicting clause reference, if any.
-    fn propagate(&mut self) -> Option<u32> {
+    pub(crate) fn propagate(&mut self) -> Option<u32> {
         while self.qhead < self.trail.len() {
             let p = self.trail[self.qhead];
             self.qhead += 1;
             self.stats.propagations += 1;
 
-            let watch_idx = (!p).code() as usize;
+            // Hoisted out of the watcher loop: the falsified literal and
+            // the index of its watcher list are fixed for the whole scan.
+            let false_lit = !p;
+            let watch_idx = false_lit.code() as usize;
             let mut watchers = std::mem::take(&mut self.watches[watch_idx]);
             let mut kept = 0;
             let mut conflict: Option<u32> = None;
@@ -1258,7 +1348,6 @@ impl CdclSolver {
                     continue; // lazily drop watcher of deleted clause
                 }
 
-                let false_lit = !p;
                 // Ensure the falsified literal is in slot 1.
                 if self.arena.lit(cref, 0) == false_lit {
                     self.arena.swap_lits(cref, 0, 1);
@@ -1520,7 +1609,7 @@ impl CdclSolver {
     /// Copies `lits` into the arena, hooks up both watchers, and (for
     /// learnt clauses) records `lbd`, the retention [`Tier`] it implies,
     /// and the learnt-byte accounting.
-    fn attach_clause(&mut self, lits: &[Lit], learnt: bool, lbd: u32) -> ClauseRef {
+    pub(crate) fn attach_clause(&mut self, lits: &[Lit], learnt: bool, lbd: u32) -> ClauseRef {
         debug_assert!(lits.len() >= 2);
         let cref = self.arena.alloc(lits, learnt);
         self.allocated_clauses += 1;
@@ -1545,7 +1634,7 @@ impl CdclSolver {
         cref
     }
 
-    fn backtrack(&mut self, target_level: u32) {
+    pub(crate) fn backtrack(&mut self, target_level: u32) {
         if self.decision_level() <= target_level {
             return;
         }
@@ -1567,7 +1656,7 @@ impl CdclSolver {
 
     fn pick_branch_var(&mut self) -> Option<Var> {
         while let Some(v) = self.order.pop_max(&self.activity) {
-            if self.assigns[v as usize] == UNDEF {
+            if self.assigns[v as usize] == UNDEF && !self.eliminated[v as usize] {
                 return Some(Var::new(v));
             }
         }
@@ -1608,7 +1697,7 @@ impl CdclSolver {
         self.cla_inc /= self.config.clause_decay;
     }
 
-    fn is_locked(&self, cref: ClauseRef) -> bool {
+    pub(crate) fn is_locked(&self, cref: ClauseRef) -> bool {
         let first = self.arena.lit(cref, 0);
         self.lit_value(first) == TRUE && self.reason[usize::from(first.var())] == cref
     }
@@ -1630,12 +1719,47 @@ impl CdclSolver {
         self.stats.deleted_clauses += 1;
     }
 
+    /// Promotes a learnt clause to irredundant (original) status.
+    ///
+    /// Subsumption may only delete an original clause whose subsumer is
+    /// permanent; when the subsumer is learnt it is promoted first so a
+    /// later learnt-database reduction cannot leave the formula weaker
+    /// than the input.
+    pub(crate) fn promote_to_original(&mut self, cref: ClauseRef) {
+        debug_assert!(self.arena.is_learnt(cref) && !self.arena.is_deleted(cref));
+        self.tier_counts[self.arena.tier(cref) as usize] -= 1;
+        self.learnt_bytes = self
+            .learnt_bytes
+            .saturating_sub(ClauseArena::clause_bytes(self.arena.len(cref)));
+        self.arena.clear_learnt(cref);
+        self.learnts.retain(|&c| c != cref);
+        self.original_clauses += 1;
+    }
+
+    /// Marks any clause — learnt or original — deleted, with the same
+    /// proof/accounting duties as [`CdclSolver::delete_learnt`].
+    /// Inprocessing uses this for subsumed and resolved-away clauses;
+    /// the caller removes stale entries from `learnts` afterwards (one
+    /// retain per round, mirroring `reduce_db`).
+    pub(crate) fn delete_any_clause(&mut self, cref: ClauseRef) {
+        if self.arena.is_learnt(cref) {
+            self.delete_learnt(cref);
+        } else {
+            debug_assert!(!self.arena.is_deleted(cref));
+            if let Some(proof) = &mut self.proof {
+                proof.push_delete_from(self.arena.lits(cref));
+            }
+            self.arena.delete(cref);
+            self.original_clauses -= 1;
+        }
+    }
+
     /// Reduces the learnt-clause database per the configured
     /// [`ReducePolicy`], compacts the `learnts` index, and runs the
     /// arena GC if enough of the buffer is dead.
     ///
-    /// `learnts` holds no deleted references on entry — deletions happen
-    /// only here, and this function ends with the retain below — so no
+    /// `learnts` holds no deleted references on entry — the only other
+    /// deleter, an inprocessing round, ends with the same retain — so no
     /// pre-filtering pass is needed.
     fn reduce_db(&mut self) {
         let learnts_before = self.learnts.len();
@@ -1727,7 +1851,7 @@ impl CdclSolver {
     /// survivor order, exactly like the lazy drop in `propagate`), the
     /// trail's `reason` slots, and the `learnts` index. Reason clauses are
     /// never deleted (they are locked), so their remap always resolves.
-    fn collect_garbage(&mut self) {
+    pub(crate) fn collect_garbage(&mut self) {
         let reclaimed = self.arena.dead_bytes();
         let fwd = self.arena.compact();
         for watchers in &mut self.watches {
@@ -1768,8 +1892,9 @@ impl CdclSolver {
     /// Debug-build invariant check run after every GC: every watcher
     /// references a live clause that still watches the list's literal,
     /// every trail `reason` and every `learnts` entry resolves to a live
-    /// clause of the right kind. Compiles to nothing in release builds.
-    fn debug_check_refs(&self) {
+    /// clause of the right kind, and no live clause mentions an
+    /// eliminated variable. Compiles to nothing in release builds.
+    pub(crate) fn debug_check_refs(&self) {
         if !cfg!(debug_assertions) {
             return;
         }
@@ -1801,6 +1926,17 @@ impl CdclSolver {
                 "learnts index must hold live learnt clauses after GC"
             );
         }
+        if self.stats.eliminated_vars > 0 {
+            for cref in self.arena.refs() {
+                assert!(
+                    !self
+                        .arena
+                        .lits(cref)
+                        .any(|l| self.eliminated[usize::from(l.var())]),
+                    "live clause mentions an eliminated variable"
+                );
+            }
+        }
     }
 
     /// Current clause-store gauges for the metrics hub.
@@ -1820,6 +1956,19 @@ impl CdclSolver {
             // Any variable never touched by a clause gets an arbitrary but
             // defined value so callers receive a total model.
             model.assign(Var::new(i as u32), v == TRUE);
+        }
+        // Eén–Biere reconstruction for eliminated variables, most recent
+        // elimination first: a variable defaults to false and flips to
+        // true exactly when one of its stored positive-occurrence
+        // clauses is otherwise unsatisfied; the negative side is then
+        // satisfied by construction of the resolvents.
+        for (var, pos_clauses) in self.elim_stack.iter().rev() {
+            let needs_true = pos_clauses.iter().any(|clause| {
+                !clause
+                    .iter()
+                    .any(|&l| l.var() != *var && model.satisfies(l))
+            });
+            model.assign(*var, needs_true);
         }
         model
     }

@@ -52,6 +52,7 @@ mod arena;
 mod cdcl;
 mod dpll;
 mod heap;
+mod inprocess;
 mod luby;
 mod outcome;
 mod proof;
@@ -64,6 +65,7 @@ pub use arena::{ClauseArena, ClauseRef, Forwarding, Tier};
 pub use cdcl::{CdclSolver, PhaseInit, ReducePolicy, RestartScheme, SolverConfig, SolverStats};
 pub use cubes::{split_cubes, CubeOptions, CubePlan};
 pub use dpll::DpllSolver;
+pub use inprocess::InprocessConfig;
 pub use luby::luby;
 pub use outcome::SolveOutcome;
 pub use proof::{rup_implied, CheckProofError, DratProof, ProofStep};

@@ -55,6 +55,7 @@ use satroute_cnf::Lit;
 use satroute_obs::{Counter, Gauge, Histogram, MetricsRegistry, SpanId, TimelineSample, Tracer};
 
 use crate::cdcl::SolverStats;
+use crate::preprocess::PreprocessStats;
 
 /// Why a solve stopped without a SAT/UNSAT answer.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -317,7 +318,7 @@ impl SolveVerdict {
 /// One point of the solver's event stream.
 ///
 /// Events arrive in a fixed grammar per solve:
-/// `Started (Restart | Reduce | Progress | Import)* Finished`, with
+/// `Started (Restart | Reduce | Progress | Import | Inprocess)* Finished`, with
 /// `Progress` conflict counts nondecreasing and `Restart` numbers
 /// increasing by one. `Import` is emitted only when a [`ClauseExchange`]
 /// is installed and delivered at least one clause at a restart boundary.
@@ -366,6 +367,23 @@ pub enum SolverEvent {
         imported: usize,
         /// Cumulative imported-clause count.
         total_imported: u64,
+        /// Conflicts seen so far.
+        conflicts: u64,
+    },
+    /// An inprocessing round finished (solve start or restart boundary,
+    /// only when [`SolverConfig::inprocess`](crate::SolverConfig) is
+    /// enabled). Counters are cumulative across the solver's lifetime.
+    Inprocess {
+        /// Rounds run so far.
+        runs: u64,
+        /// Literals removed by clause vivification.
+        vivified_literals: u64,
+        /// Clauses deleted by subsumption (including root-satisfied).
+        subsumed_clauses: u64,
+        /// Clauses strengthened by self-subsuming resolution.
+        strengthened_clauses: u64,
+        /// Variables removed by bounded variable elimination.
+        eliminated_vars: u64,
         /// Conflicts seen so far.
         conflicts: u64,
     },
@@ -427,10 +445,18 @@ pub struct RunMetrics {
     /// Import events observed (batches, not clauses; clause totals live in
     /// [`SolverStats::imported_clauses`]).
     pub import_batches: u64,
+    /// Inprocessing rounds observed (simplification totals live in
+    /// [`SolverStats`]: `vivified_literals`, `subsumed_clauses`,
+    /// `strengthened_clauses`, `eliminated_vars`).
+    pub inprocess_rounds: u64,
     /// Flight-recorder samples observed.
     pub timeline_samples: u64,
     /// Last observed LBD moving average (0 if no clause was learnt).
     pub lbd_ema: f64,
+    /// Pre-solve simplification counters, when the run preprocessed its
+    /// formula (all zero otherwise — preprocessing is opt-in and skipped
+    /// under assumptions or proof logging).
+    pub preprocess: PreprocessStats,
 }
 
 impl RunMetrics {
@@ -508,6 +534,7 @@ impl RunObserver for MetricsRecorder {
                 m.lbd_ema = lbd_ema;
             }
             SolverEvent::Import { .. } => m.import_batches += 1,
+            SolverEvent::Inprocess { .. } => m.inprocess_rounds += 1,
             SolverEvent::Sample { .. } => m.timeline_samples += 1,
             SolverEvent::Finished {
                 verdict,
@@ -654,6 +681,19 @@ impl RunObserver for ProgressLogger {
                 out,
                 "{tag} import: {imported} shared clauses ({total_imported} total) at {conflicts} conflicts"
             ),
+            SolverEvent::Inprocess {
+                runs,
+                vivified_literals,
+                subsumed_clauses,
+                strengthened_clauses,
+                eliminated_vars,
+                conflicts,
+            } => writeln!(
+                out,
+                "{tag} inprocess #{runs} at {conflicts} conflicts: \
+                 {vivified_literals} lits vivified, {subsumed_clauses} subsumed, \
+                 {strengthened_clauses} strengthened, {eliminated_vars} vars eliminated"
+            ),
             SolverEvent::Finished {
                 verdict, elapsed, ..
             } => writeln!(
@@ -740,6 +780,24 @@ impl RunObserver for TraceObserver {
                 self.tracer
                     .counter(span, "imported_clauses", total_imported);
             }
+            SolverEvent::Inprocess {
+                runs,
+                vivified_literals,
+                subsumed_clauses,
+                strengthened_clauses,
+                eliminated_vars,
+                ..
+            } => {
+                self.tracer.counter(span, "inprocess_runs", runs);
+                self.tracer
+                    .counter(span, "vivified_literals", vivified_literals);
+                self.tracer
+                    .counter(span, "subsumed_clauses", subsumed_clauses);
+                self.tracer
+                    .counter(span, "strengthened_clauses", strengthened_clauses);
+                self.tracer
+                    .counter(span, "eliminated_vars", eliminated_vars);
+            }
             SolverEvent::Finished { verdict, stats, .. } => {
                 self.tracer.counter(span, "conflicts", stats.conflicts);
                 self.tracer.counter(span, "decisions", stats.decisions);
@@ -813,6 +871,12 @@ impl RunObserver for FanoutObserver {
 /// [`StoreSnapshot`]s: `solver.arena.live_bytes`, `solver.arena.dead_bytes`,
 /// `solver.tier.core`, `solver.tier.mid`, `solver.tier.local` (gauges),
 /// `solver.arena.gc_runs` and `solver.arena.reclaimed_bytes` (counters).
+///
+/// Inprocessing instruments, fed at round boundaries by
+/// [`SolverMetricsHub::on_inprocess`]: `solver.inprocess.runs`,
+/// `solver.inprocess.vivified_literals`, `solver.inprocess.subsumed_clauses`,
+/// `solver.inprocess.strengthened_clauses` and
+/// `solver.inprocess.eliminated_vars` (counters).
 #[derive(Clone, Default)]
 pub struct SolverMetricsHub {
     enabled: bool,
@@ -830,6 +894,15 @@ pub struct SolverMetricsHub {
     tier_core: Gauge,
     tier_mid: Gauge,
     tier_local: Gauge,
+    inprocess_runs: Counter,
+    inprocess_vivified_literals: Counter,
+    inprocess_subsumed_clauses: Counter,
+    inprocess_strengthened_clauses: Counter,
+    inprocess_eliminated_vars: Counter,
+    preprocess_units: Counter,
+    preprocess_pure_literals: Counter,
+    preprocess_removed_clauses: Counter,
+    preprocess_removed_literals: Counter,
     last: SolverStats,
     last_restart_conflicts: u64,
 }
@@ -877,6 +950,16 @@ impl SolverMetricsHub {
             tier_core: registry.gauge("solver.tier.core"),
             tier_mid: registry.gauge("solver.tier.mid"),
             tier_local: registry.gauge("solver.tier.local"),
+            inprocess_runs: registry.counter("solver.inprocess.runs"),
+            inprocess_vivified_literals: registry.counter("solver.inprocess.vivified_literals"),
+            inprocess_subsumed_clauses: registry.counter("solver.inprocess.subsumed_clauses"),
+            inprocess_strengthened_clauses: registry
+                .counter("solver.inprocess.strengthened_clauses"),
+            inprocess_eliminated_vars: registry.counter("solver.inprocess.eliminated_vars"),
+            preprocess_units: registry.counter("preprocess.units"),
+            preprocess_pure_literals: registry.counter("preprocess.pure_literals"),
+            preprocess_removed_clauses: registry.counter("preprocess.removed_clauses"),
+            preprocess_removed_literals: registry.counter("preprocess.removed_literals"),
             last: SolverStats::default(),
             last_restart_conflicts: 0,
         }
@@ -931,6 +1014,59 @@ impl SolverMetricsHub {
         self.tier_core.set(snap.tier_core as f64);
         self.tier_mid.set(snap.tier_mid as f64);
         self.tier_local.set(snap.tier_local as f64);
+    }
+
+    /// Folds one pre-solve preprocessing pass into the `preprocess.*`
+    /// counters. Unlike the solver-fed methods this is called from
+    /// *outside* the solver (the pass runs before a solver exists), once
+    /// per pass with that pass's totals.
+    pub fn on_preprocess(&mut self, stats: &PreprocessStats) {
+        if !self.enabled {
+            return;
+        }
+        self.preprocess_units.add(stats.units as u64);
+        self.preprocess_pure_literals
+            .add(stats.pure_literals as u64);
+        self.preprocess_removed_clauses
+            .add(stats.removed_clauses as u64);
+        self.preprocess_removed_literals
+            .add(stats.removed_literals as u64);
+    }
+
+    /// Called at the end of each inprocessing round; feeds the
+    /// `solver.inprocess.*` counters as deltas (alongside the regular
+    /// work counters, which an inprocessing round also advances through
+    /// its unit propagations).
+    pub fn on_inprocess(&mut self, stats: &SolverStats) {
+        if !self.enabled {
+            return;
+        }
+        self.inprocess_runs.add(
+            stats
+                .inprocess_runs
+                .saturating_sub(self.last.inprocess_runs),
+        );
+        self.inprocess_vivified_literals.add(
+            stats
+                .vivified_literals
+                .saturating_sub(self.last.vivified_literals),
+        );
+        self.inprocess_subsumed_clauses.add(
+            stats
+                .subsumed_clauses
+                .saturating_sub(self.last.subsumed_clauses),
+        );
+        self.inprocess_strengthened_clauses.add(
+            stats
+                .strengthened_clauses
+                .saturating_sub(self.last.strengthened_clauses),
+        );
+        self.inprocess_eliminated_vars.add(
+            stats
+                .eliminated_vars
+                .saturating_sub(self.last.eliminated_vars),
+        );
+        self.flush_deltas(stats);
     }
 
     /// Called after each compacting GC with the bytes it reclaimed and the

@@ -14,7 +14,7 @@
 //! satroute trace report <trace.jsonl> [--json]         analyze a trace artifact
 //! satroute trace timeline <trace.jsonl> [--json]       flight-recorder time series
 //! satroute trace export <trace.jsonl> --chrome <f>     Perfetto / flamegraph export
-//! satroute bench run [--suite quick|paper|incremental|conquer|explain] [--filter S] record a BENCH_*.json baseline
+//! satroute bench run [--suite quick|paper|incremental|conquer|explain|inprocess] [--filter S] record a BENCH_*.json baseline
 //! satroute bench compare <base> <cand> [--gate]        diff/gate two baselines
 //! satroute encodings                                   list the 15 encodings
 //! ```
@@ -140,9 +140,22 @@ struct Options {
     flight_record: bool,
     chrome: Option<String>,
     collapsed: Option<String>,
+    inprocess: bool,
+    preprocess: bool,
 }
 
 impl Options {
+    /// The solver configuration implied by `--inprocess`: the default
+    /// CDCL settings, with the inprocessing schedule switched on when
+    /// requested (off keeps the classic search byte-identical).
+    fn solver_config(&self) -> satroute::solver::SolverConfig {
+        let mut config = satroute::solver::SolverConfig::default();
+        if self.inprocess {
+            config.inprocess = satroute::solver::InprocessConfig::on();
+        }
+        config
+    }
+
     /// The run budget implied by `--timeout` / `--max-conflicts`.
     fn budget(&self) -> RunBudget {
         let mut budget = RunBudget::new();
@@ -206,6 +219,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         flight_record: false,
         chrome: None,
         collapsed: None,
+        inprocess: false,
+        preprocess: false,
     };
     let mut i = 0;
     let take_value = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
@@ -255,6 +270,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--trace" => opts.trace = Some(take_value(args, &mut i, "--trace")?),
             "--metrics" => opts.metrics = Some(take_value(args, &mut i, "--metrics")?),
             "--flight-record" => opts.flight_record = true,
+            "--inprocess" => opts.inprocess = true,
+            "--preprocess" => opts.preprocess = true,
             "--chrome" => opts.chrome = Some(take_value(args, &mut i, "--chrome")?),
             "--collapsed" => opts.collapsed = Some(take_value(args, &mut i, "--collapsed")?),
             "--progress" => opts.progress = true,
@@ -393,6 +410,7 @@ fn dispatch(
             let width = opts.width.ok_or("route/prove need --width <W>")?;
             let problem = load_problem(path)?;
             let mut pipeline = RoutingPipeline::new(Strategy::new(opts.encoding, opts.symmetry))
+                .with_solver_config(opts.solver_config())
                 .with_budget(opts.budget())
                 .with_tracer(tracer.clone())
                 .with_metrics(registry.clone())
@@ -419,6 +437,7 @@ fn dispatch(
                 .ok_or("min-width needs a problem file")?;
             let problem = load_problem(path)?;
             let mut pipeline = RoutingPipeline::new(Strategy::new(opts.encoding, opts.symmetry))
+                .with_solver_config(opts.solver_config())
                 .with_budget(opts.budget())
                 .with_tracer(tracer.clone())
                 .with_metrics(registry.clone())
@@ -632,7 +651,29 @@ fn dispatch(
                 "solve",
                 [("strategy", FieldValue::from(format!("cnf:{path}")))],
             );
-            let mut solver = CdclSolver::new();
+            // Pre-solve simplification (--preprocess) is skipped under
+            // proof logging: the preprocessor emits no DRAT steps, so
+            // the proof would not cover its rewrites.
+            let pre = if opts.preprocess && opts.proof.is_none() {
+                let (simp, pstats) = satroute::solver::preprocess::preprocess(&formula);
+                if registry.is_enabled() {
+                    satroute::solver::SolverMetricsHub::from_registry(registry)
+                        .on_preprocess(&pstats);
+                }
+                if !opts.json {
+                    println!(
+                        "c preprocess: {} units, {} pure literals, {} clauses removed, {} literals stripped",
+                        pstats.units,
+                        pstats.pure_literals,
+                        pstats.removed_clauses,
+                        pstats.removed_literals
+                    );
+                }
+                Some(simp)
+            } else {
+                None
+            };
+            let mut solver = CdclSolver::with_config(opts.solver_config());
             if opts.proof.is_some() {
                 solver.enable_proof_logging();
             }
@@ -647,7 +688,13 @@ fn dispatch(
                 fan = fan.with(Arc::new(TraceObserver::new(tracer.clone(), span.id())));
             }
             solver.set_observer(Arc::new(fan) as Arc<dyn RunObserver>);
-            solver.add_formula(&formula);
+            match &pre {
+                // A preprocessor refutation came from unit propagation
+                // alone, so the solver re-derives it instantly from the
+                // original clauses.
+                Some(simp) if !simp.unsat => solver.add_formula(&simp.formula),
+                _ => solver.add_formula(&formula),
+            }
             let outcome = solver.solve();
             drop(span);
             if opts.json {
@@ -668,6 +715,13 @@ fn dispatch(
             }
             match outcome {
                 SolveOutcome::Sat(model) => {
+                    // Extend a model of the residual formula back over
+                    // the literals the preprocessor fixed.
+                    let model = match &pre {
+                        Some(simp) if !simp.unsat => simp.restore_model(&model, formula.num_vars()),
+                        _ => model,
+                    };
+                    debug_assert!(formula.is_satisfied_by(&model));
                     if !opts.json {
                         println!("s SATISFIABLE");
                         print!("v");
@@ -722,7 +776,7 @@ fn dispatch(
             let graph = problem.conflict_graph();
 
             use satroute::core::{run_portfolio_opts, PortfolioOptions};
-            use satroute::solver::{SharingConfig, SolverConfig};
+            use satroute::solver::SharingConfig;
             // --diversify N races N copies of the selected strategy with
             // diversified solver configurations (a sound setting for clause
             // sharing: identical CNF per member); the default races the
@@ -746,7 +800,7 @@ fn dispatch(
                 &graph,
                 width,
                 &strategies,
-                &SolverConfig::default(),
+                &opts.solver_config(),
                 opts.budget(),
                 None,
                 &portfolio_opts,
@@ -838,6 +892,7 @@ fn dispatch(
             let mut request = Strategy::new(opts.encoding, opts.symmetry)
                 .cube_and_conquer(&graph, width)
                 .cube_vars(cube_vars)
+                .config(opts.solver_config())
                 .budget(opts.budget())
                 .trace(tracer.clone())
                 .metrics(registry.clone())
@@ -1171,6 +1226,7 @@ fn explain_at(
     let groups: Vec<u32> = problem.subnets().map(|s| s.net.0).collect();
     let mut request = Strategy::new(opts.encoding, opts.symmetry)
         .explain(&graph, &groups, width)
+        .config(opts.solver_config())
         .budget(opts.budget())
         .shrink_budget(opts.shrink_budget)
         .trace(tracer.clone())
@@ -1321,6 +1377,7 @@ fn print_usage() {
         "usage: satroute <command> [options]\n\
          commands: gen, route, prove, min-width, encode, solve, portfolio, conquer, explain, trace, bench, encodings\n\
          run control: --timeout <secs>, --max-conflicts <n>, --progress, --json\n\
+         simplification: --inprocess (in-search vivify/subsume/BVE rounds), --preprocess (pre-solve UP + pure literals; solve only)\n\
          portfolio: --diversify <N>, --portfolio-share, --threads <T>\n\
          conquer: --cube-vars <k> (2^k subcubes), --threads <T>, --portfolio-share\n\
          tracing: --trace <out.jsonl>; trace report|timeline <out.jsonl> [--json]\n\
@@ -1328,7 +1385,7 @@ fn print_usage() {
          metrics: --metrics <out.json|out.prom>; flight recording: --progress or --flight-record\n\
          min-width: --incremental (one warm solver, selector assumptions), --explain (blame the width below the minimum)\n\
          explain: --width <W>, --shrink-budget <n> (cap deletion probes), --json (core + blame document)\n\
-         bench: bench run [--suite quick|paper|incremental|conquer|explain] [--out F] [--runs N] [--trace F] [--flight-record] [--filter S];\n\
+         bench: bench run [--suite quick|paper|incremental|conquer|explain|inprocess] [--out F] [--runs N] [--trace F] [--flight-record] [--filter S];\n\
          \u{20}       bench compare <base> <cand> [--gate] [--threshold PCT] [--json]\n\
          see the crate README for details"
     );

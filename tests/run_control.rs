@@ -216,6 +216,11 @@ fn observer_events_arrive_in_valid_order() {
                     // and this request never attaches one.
                     panic!("seed {seed}: flight sample without a recorder");
                 }
+                SolverEvent::Inprocess { runs, .. } => {
+                    // Inprocessing is off by default, so a round here
+                    // would mean the default path changed.
+                    panic!("seed {seed}: inprocessing round #{runs} while disabled");
+                }
             }
         }
     }
